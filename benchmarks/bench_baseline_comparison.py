@@ -1,0 +1,155 @@
+"""Baselines: the Section 1.3 comparison on a shared workload.
+
+Integrates the same matched-pair workload under each approach and
+asserts the qualitative relationships the paper argues:
+
+* **Dayal aggregates** refuse every non-numeric conflicting attribute
+  (they only exist for numbers);
+* **DeMichiel partial values** fail outright on disjoint candidate sets
+  that the evidential approach either reconciles (renormalization) or
+  at least *reports* with a quantified kappa;
+* **Tseng-style mixtures** retain inconsistency: their pooled
+  distributions keep values the evidential result eliminates;
+* **PDM** loses every set-valued focal element to its wildcard.
+
+Each bench measures its approach's integration pass over the workload.
+"""
+
+import pytest
+
+from repro.baselines.aggregates import AggregateResolver
+from repro.baselines.partial_values import combine_partial, to_partial_value
+from repro.baselines.pdm import pdm_combine_missing, pdm_from_evidence
+from repro.baselines.probabilistic import (
+    ProbabilisticPartialValue,
+    combine_probabilistic,
+)
+from repro.errors import TotalConflictError
+from repro.integration import TupleMerger
+from benchmarks.conftest import synthetic_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(150)
+
+
+@pytest.fixture(scope="module")
+def matched_pairs(workload):
+    left, right = workload
+    return [
+        (left.get(t.key()), t) for t in right if t.key() in left
+    ]
+
+
+def test_baseline_evidential(benchmark, workload):
+    left, right = workload
+    merger = TupleMerger(on_conflict="vacuous")
+    merged, report = benchmark(merger.merge, left, right)
+    assert len(report.matched) > 0
+    # Dempster quantifies every conflict it resolves.
+    assert all(record.kappa > 0 for record in report.conflicts)
+
+
+def test_baseline_aggregates_refuse_non_numeric(benchmark, matched_pairs):
+    """Dayal's approach cannot integrate the categorical attribute."""
+    left_rows = [
+        {"id": l.key()[0], "label": l.value("label").definite_value()}
+        for l, _ in matched_pairs
+    ]
+    right_rows = [
+        {"id": r.key()[0], "label": "conflicting-" + r.value("label").definite_value()}
+        for _, r in matched_pairs
+    ]
+    resolver = AggregateResolver("id")
+    resolved, refused = benchmark(resolver.resolve, left_rows, right_rows)
+    assert len(refused) == len(matched_pairs)  # every label refused
+    assert len(resolved) == len(matched_pairs)
+
+
+def test_baseline_partial_values(benchmark, matched_pairs):
+    """DeMichiel: count reconciliation failures the evidential model
+    survives."""
+
+    def integrate():
+        failures = 0
+        merged = []
+        for l, r in matched_pairs:
+            a = to_partial_value(l.evidence("category"))
+            b = to_partial_value(r.evidence("category"))
+            try:
+                merged.append(combine_partial(a, b))
+            except TotalConflictError:
+                failures += 1
+        return merged, failures
+
+    merged, failures = benchmark(integrate)
+    assert failures > 0  # the workload contains irreconcilable cores
+    assert len(merged) + failures == len(matched_pairs)
+
+
+def test_baseline_probabilistic_mixture(benchmark, matched_pairs):
+    """Tseng: the mixture keeps values Dempster's rule eliminates."""
+
+    def integrate():
+        return [
+            combine_probabilistic(
+                ProbabilisticPartialValue.from_evidence(l.evidence("category")),
+                ProbabilisticPartialValue.from_evidence(r.evidence("category")),
+            )
+            for l, r in matched_pairs
+        ]
+
+    pooled = benchmark(integrate)
+    merger = TupleMerger(on_conflict="vacuous")
+    retained_inconsistency = 0
+    for (l, r), mixture in zip(matched_pairs, pooled):
+        try:
+            evidential = l.evidence("category").combine(r.evidence("category"))
+        except TotalConflictError:
+            retained_inconsistency += 1
+            continue
+        eliminated = {
+            value
+            for value in mixture.support()
+            if evidential.pls({value}) == 0
+        }
+        retained_inconsistency += bool(eliminated)
+    assert retained_inconsistency > 0
+
+
+def test_baseline_pdm_wildcard_loss(benchmark, matched_pairs):
+    """PDM: set-valued evidence collapses into the wildcard."""
+
+    def integrate():
+        return [
+            pdm_combine_missing(
+                pdm_from_evidence(l.evidence("category")),
+                pdm_from_evidence(r.evidence("category")),
+            )
+            for l, r in matched_pairs
+            if _compatible(l, r)
+        ]
+
+    def _compatible(l, r):
+        try:
+            pdm_combine_missing(
+                pdm_from_evidence(l.evidence("category")),
+                pdm_from_evidence(r.evidence("category")),
+            )
+            return True
+        except TotalConflictError:
+            return False
+
+    pooled = benchmark(integrate)
+    assert pooled
+    # Information loss: at least one source pair had set-valued evidence
+    # whose distinction PDM's ingestion destroyed.
+    lossy = 0
+    for l, r in matched_pairs:
+        for evidence in (l.evidence("category"), r.evidence("category")):
+            d = pdm_from_evidence(evidence)
+            if d.missing > evidence.ignorance():
+                lossy += 1
+                break
+    assert lossy > 0

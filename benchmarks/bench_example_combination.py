@@ -1,0 +1,36 @@
+"""Section 2.2 worked example: Dempster's rule of combination.
+
+m1 = [ca^1/2, {hu,si}^1/3, OMEGA^1/6] combined with
+m2 = [{ca,hu}^1/2, hu^1/4, OMEGA^1/4] under conflict kappa = 1/8 yields
+exactly {ca}:3/7, {hu}:1/3, {ca,hu}:2/21, {hu,si}:2/21, OMEGA:1/21.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ds import MassFunction, OMEGA, combine, conflict
+
+
+@pytest.fixture
+def m1():
+    return MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+
+
+@pytest.fixture
+def m2():
+    return MassFunction({("ca", "hu"): "1/2", "hu": "1/4", OMEGA: "1/4"})
+
+
+def test_section22_combination_example(benchmark, m1, m2):
+    combined = benchmark(combine, m1, m2)
+    assert conflict(m1, m2) == Fraction(1, 8)
+    assert combined[{"ca"}] == Fraction(3, 7)
+    assert combined[{"hu"}] == Fraction(1, 3)
+    assert combined[{"ca", "hu"}] == Fraction(2, 21)
+    assert combined[{"hu", "si"}] == Fraction(2, 21)
+    assert combined[OMEGA] == Fraction(1, 21)
+    # The trends the paper remarks on:
+    assert combined[{"hu"}] > m2[{"hu"}]      # {hunan} gains
+    assert combined[{"ca"}] < m1[{"ca"}]      # {cantonese} loses
+    assert combined[OMEGA] < min(m1[OMEGA], m2[OMEGA])  # ignorance shrinks

@@ -1,0 +1,27 @@
+"""Section 2.1 worked example: mass, belief and plausibility for the
+restaurant *wok*.
+
+m({cantonese}) = 1/2, m({hunan, sichuan}) = 1/3, m(OMEGA) = 1/6;
+Bel({ca, hu, si}) = 5/6 and Pls({ca, hu, si}) = 1.
+"""
+
+from fractions import Fraction
+
+from repro.ds import MassFunction, OMEGA, belief, plausibility
+
+CHINESE = {"cantonese", "hunan", "sichuan"}
+
+
+def build_and_measure():
+    m = MassFunction(
+        {"cantonese": "1/2", ("hunan", "sichuan"): "1/3", OMEGA: "1/6"}
+    )
+    return m, belief(m, CHINESE), plausibility(m, CHINESE)
+
+
+def test_section21_mass_example(benchmark):
+    m, bel, pls = benchmark(build_and_measure)
+    assert bel == Fraction(5, 6)
+    assert pls == 1
+    # m({cantonese}) > m({cantonese, hunan}): mass is per-subset.
+    assert m[{"cantonese"}] > m[{"cantonese", "hunan"}]

@@ -1,0 +1,46 @@
+"""Figure 3: deriving the new tuple membership in a selection.
+
+The figure's dataflow: the source tuple's (sn, sp) and the selection
+support F_SS(r, P) feed the derivation function F_TM, producing the
+result tuple's membership.  Micro-benchmarks the two stages separately
+and asserts the Table 2 garden numbers flow through.
+"""
+
+from fractions import Fraction
+
+from repro.algebra import IsPredicate
+from repro.algebra.support import selection_support
+from repro.datasets.restaurants import table_ra
+
+PREDICATE = IsPredicate("speciality", {"si"})
+
+
+def test_fig3_support_stage(benchmark):
+    """F_SS: evidence -> support pair."""
+    garden = table_ra().get("garden")
+    support = benchmark(selection_support, garden, PREDICATE)
+    assert support.as_tuple() == (Fraction(1, 2), Fraction(3, 4))
+
+
+def test_fig3_membership_derivation(benchmark):
+    """F_TM: (sn,sp) x (sn,sp) -> revised membership."""
+    garden = table_ra().get("garden")
+    support = selection_support(garden, PREDICATE)
+
+    revised = benchmark(garden.membership.combine_product, support)
+    assert revised.as_tuple() == (Fraction(1, 2), Fraction(3, 4))
+
+
+def test_fig3_full_derivation_pipeline(benchmark):
+    """Both stages end to end, per Figure 3."""
+    relation = table_ra()
+
+    def derive_all():
+        return [
+            t.membership.combine_product(selection_support(t, PREDICATE))
+            for t in relation
+        ]
+
+    memberships = benchmark(derive_all)
+    supported = [tm for tm in memberships if tm.is_supported]
+    assert len(supported) == 2  # garden and wok

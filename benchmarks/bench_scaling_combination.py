@@ -1,0 +1,64 @@
+"""Scaling: Dempster's rule versus the number of focal elements.
+
+The rule is quadratic in focal-element count (all pairs are
+intersected); this bench pins that shape and the exact-vs-float cost of
+a single combination.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.ds import MassFunction, combine
+from repro.ds.frame import OMEGA
+
+UNIVERSE = [f"v{i}" for i in range(24)]
+
+
+def _make_mass(n_focal: int, seed: int, exact: bool) -> MassFunction:
+    rng = random.Random(f"{seed}/{n_focal}/{exact}")
+    elements = [OMEGA]
+    seen = set()
+    while len(elements) < n_focal:
+        element = frozenset(rng.sample(UNIVERSE, rng.randint(1, 3)))
+        if element not in seen:
+            seen.add(element)
+            elements.append(element)
+    weights = [rng.randint(1, 9) for _ in elements]
+    total = sum(weights)
+    if exact:
+        masses = {e: Fraction(w, total) for e, w in zip(elements, weights)}
+    else:
+        masses = {e: w / total for e, w in zip(elements, weights)}
+    return MassFunction(masses)
+
+
+@pytest.mark.parametrize("n_focal", [2, 4, 8, 16])
+def test_combination_vs_focal_count(benchmark, n_focal):
+    m1 = _make_mass(n_focal, seed=1, exact=True)
+    m2 = _make_mass(n_focal, seed=2, exact=True)
+    combined = benchmark(combine, m1, m2)
+    assert sum(value for _, value in combined.items()) == 1
+
+
+@pytest.mark.parametrize("exact", [True, False], ids=["fraction", "float"])
+def test_combination_arithmetic_ablation(benchmark, exact):
+    m1 = _make_mass(8, seed=1, exact=exact)
+    m2 = _make_mass(8, seed=2, exact=exact)
+    combined = benchmark(combine, m1, m2)
+    total = sum(value for _, value in combined.items())
+    if exact:
+        assert total == 1
+    else:
+        assert abs(float(total) - 1.0) < 1e-9
+
+
+def test_combination_chain(benchmark):
+    """Folding ten sources (associativity makes the order irrelevant)."""
+    from repro.ds import combine_all
+
+    sources = [_make_mass(5, seed=i, exact=True) for i in range(10)]
+    combined = benchmark(combine_all, sources)
+    # Ignorance only ever shrinks along the chain.
+    assert combined.ignorance() <= min(m.ignorance() for m in sources)

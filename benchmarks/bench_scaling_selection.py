@@ -1,0 +1,40 @@
+"""Scaling: extended selection and join versus relation size and
+predicate complexity."""
+
+import pytest
+
+from repro.algebra import And, IsPredicate, ThetaPredicate, equijoin, lit, select
+from benchmarks.conftest import SCALE_SIZES, synthetic_workload
+
+SIMPLE = IsPredicate("category", {"c0", "c1"})
+COMPOUND = And(
+    IsPredicate("category", {"c0", "c1", "c2"}),
+    ThetaPredicate("score", ">=", lit(4)),
+    ThetaPredicate("score", "<", lit(10)),
+)
+
+
+@pytest.mark.parametrize("n_tuples", SCALE_SIZES)
+def test_selection_scaling(benchmark, n_tuples):
+    left, _ = synthetic_workload(n_tuples)
+    result = benchmark(select, left, SIMPLE)
+    assert all(t.membership.is_supported for t in result)
+
+
+@pytest.mark.parametrize(
+    "predicate", [SIMPLE, COMPOUND], ids=["is-predicate", "compound"]
+)
+def test_selection_predicate_complexity(benchmark, predicate):
+    left, _ = synthetic_workload(400)
+    result = benchmark(select, left, predicate)
+    assert len(result) <= len(left)
+
+
+@pytest.mark.parametrize("n_tuples", [20, 60])
+def test_join_scaling(benchmark, n_tuples):
+    """The naive product-based join is quadratic -- documented shape."""
+    left, right = synthetic_workload(n_tuples)
+    result = benchmark(equijoin, left, right, [("label", "label")])
+    # label is unique per key, and overlap keys share labels.
+    matched = sum(1 for t in right if t.key() in left)
+    assert len(result) == matched

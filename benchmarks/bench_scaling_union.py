@@ -1,0 +1,43 @@
+"""Scaling: extended union cost versus relation size and arithmetic mode.
+
+The paper reports no timings (its prototype was Prolog); these benches
+document the implementation's behaviour:
+
+* union cost should grow ~linearly in the number of tuples (matching is
+  hash-based on keys; per-tuple work is bounded by evidence size);
+* exact Fraction arithmetic versus float masses is the accuracy/speed
+  ablation called out in DESIGN.md.
+"""
+
+import pytest
+
+from repro.algebra import union
+from benchmarks.conftest import SCALE_SIZES, synthetic_workload
+
+
+@pytest.mark.parametrize("n_tuples", SCALE_SIZES)
+def test_union_scaling_exact(benchmark, n_tuples):
+    left, right = synthetic_workload(n_tuples, exact=True)
+    result = benchmark(union, left, right, None, "vacuous")
+    matched = sum(1 for t in right if t.key() in left)
+    assert len(result) == 2 * n_tuples - matched
+
+
+@pytest.mark.parametrize("n_tuples", SCALE_SIZES)
+def test_union_scaling_float(benchmark, n_tuples):
+    left, right = synthetic_workload(n_tuples, exact=False)
+    result = benchmark(union, left, right, None, "vacuous")
+    matched = sum(1 for t in right if t.key() in left)
+    assert len(result) == 2 * n_tuples - matched
+
+
+def test_union_overlap_ablation(benchmark):
+    """Full-overlap unions do maximal combination work."""
+    from repro.datasets.generators import SyntheticConfig, synthetic_pair
+
+    config = SyntheticConfig(
+        n_tuples=200, overlap=1.0, conflict=0.3, ignorance=0.3, seed=7
+    )
+    left, right = synthetic_pair(config)
+    result = benchmark(union, left, right, None, "vacuous")
+    assert len(result) == len(left)

@@ -1,0 +1,50 @@
+"""Storage and analysis layer costs.
+
+* JSON serialization round-trip of extended relations (the bracket
+  notation keeps files human-readable; this bench keeps it honest on
+  speed and verifies losslessness at scale);
+* decision views and quality reports over the integrated relation.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import decide, relation_quality
+from repro.algebra import union
+from repro.storage.serialization import relation_from_json, relation_to_json
+from repro.datasets.restaurants import table_ra, table_rb
+from benchmarks.conftest import synthetic_workload
+
+
+@pytest.mark.parametrize("n_tuples", [100, 400])
+def test_serialization_round_trip(benchmark, n_tuples):
+    relation, _ = synthetic_workload(n_tuples)
+
+    def round_trip():
+        return relation_from_json(
+            json.loads(json.dumps(relation_to_json(relation)))
+        )
+
+    recovered = benchmark(round_trip)
+    assert recovered == relation  # lossless, including exact fractions
+
+
+def test_decision_view(benchmark):
+    integrated = union(table_ra(), table_rb(), name="R")
+    rows = benchmark(decide, integrated, "pignistic")
+    assert len(rows) == 6
+    garden = next(r for r in rows if r.key == ("garden",))
+    assert garden.values["speciality"] == "si"
+
+
+def test_quality_report(benchmark):
+    left, right = synthetic_workload(200)
+    integrated = union(left, right, on_conflict="vacuous")
+    report = benchmark(relation_quality, integrated)
+    assert report.n_tuples == len(integrated)
+    # Integration must not make the category attribute less specific
+    # than the noisier of the two sources.
+    before = relation_quality(left).attribute("category")
+    after = report.attribute("category")
+    assert after.mean_nonspecificity <= before.mean_nonspecificity + 0.5

@@ -1,0 +1,24 @@
+"""Table 2: the extended selection  select[sn>0, speciality is {si}](R_A).
+
+Asserts the exact reproduction (garden (0.5, 0.75), wok (1, 1), all
+other tuples excluded with sn = 0) and measures the operation.
+"""
+
+from fractions import Fraction
+
+from repro.algebra import IsPredicate, select
+from repro.datasets.restaurants import expected_table2
+from repro.storage import format_relation
+
+
+def test_table2_selection(benchmark, ra):
+    predicate = IsPredicate("speciality", {"si"})
+    result = benchmark(select, ra, predicate)
+    assert result.same_tuples(expected_table2())
+    assert [t.key()[0] for t in result] == ["garden", "wok"]
+    assert result.get("garden").membership.as_tuple() == (
+        Fraction(1, 2),
+        Fraction(3, 4),
+    )
+    print()
+    print(format_relation(result, title="Table 2 (reproduced)"))

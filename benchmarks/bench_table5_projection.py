@@ -1,0 +1,21 @@
+"""Table 5: the extended projection
+project[rname, phone, speciality, rating, (sn,sp)](R_A).
+
+Asserts the reproduction (all six tuples, memberships carried) and
+measures the operation.
+"""
+
+from repro.algebra import project
+from repro.datasets.restaurants import expected_table5
+from repro.storage import format_relation
+
+PROJECTION = ["rname", "phone", "speciality", "rating"]
+
+
+def test_table5_projection(benchmark, ra):
+    result = benchmark(project, ra, PROJECTION)
+    assert result.same_tuples(expected_table5())
+    assert len(result) == 6
+    assert result.schema.names == tuple(PROJECTION)
+    print()
+    print(format_relation(result, title="Table 5 (reproduced)"))

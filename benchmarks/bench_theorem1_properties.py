@@ -1,0 +1,72 @@
+"""Theorem 1: closure and boundedness of the five extended operations.
+
+Measures the mechanical verification (the substitute for the
+unavailable TR93-14 proof) on a synthetic workload: each bench augments
+the inputs with hypothetical complement relations and checks the sn > 0
+result sets coincide.
+"""
+
+import pytest
+
+from repro.algebra import (
+    IsPredicate,
+    equijoin,
+    product,
+    project,
+    select,
+    union,
+    verify_boundedness,
+    verify_closure,
+)
+from benchmarks.conftest import synthetic_workload
+
+PHANTOM_L = [(900_001,), (900_002,)]
+PHANTOM_R = [(900_003,)]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic_workload(60)
+
+
+def test_theorem1_union(benchmark, workload):
+    left, right = workload
+    operation = lambda a, b: union(a, b, on_conflict="vacuous")
+    ok = benchmark(
+        verify_boundedness, operation, [left, right], [PHANTOM_L, PHANTOM_R]
+    )
+    assert ok
+    assert verify_closure(operation(left, right))
+
+
+def test_theorem1_select(benchmark, workload):
+    left, _ = workload
+    operation = lambda r: select(r, IsPredicate("category", {"c0", "c1"}))
+    ok = benchmark(verify_boundedness, operation, [left], [PHANTOM_L])
+    assert ok
+    assert verify_closure(operation(left))
+
+
+def test_theorem1_project(benchmark, workload):
+    left, _ = workload
+    operation = lambda r: project(r, ["id", "category"])
+    ok = benchmark(verify_boundedness, operation, [left], [PHANTOM_L])
+    assert ok
+
+
+def test_theorem1_product(benchmark, workload):
+    left, right = workload
+    ok = benchmark(
+        verify_boundedness, product, [left, right], [PHANTOM_L, PHANTOM_R]
+    )
+    assert ok
+    assert verify_closure(product(left, right))
+
+
+def test_theorem1_join(benchmark, workload):
+    left, right = workload
+    operation = lambda a, b: equijoin(a, b, [("label", "label")])
+    ok = benchmark(
+        verify_boundedness, operation, [left, right], [PHANTOM_L, PHANTOM_R]
+    )
+    assert ok

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark both *measures* an operation and *asserts* the
+reproduction it corresponds to (a paper table, a worked example, or an
+expected qualitative shape), so `pytest benchmarks/ --benchmark-only`
+doubles as an end-to-end verification run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generators import SyntheticConfig, synthetic_pair
+from repro.datasets.restaurants import table_ra, table_rb
+
+
+@pytest.fixture
+def ra():
+    """The paper's R_A."""
+    return table_ra()
+
+
+@pytest.fixture
+def rb():
+    """The paper's R_B."""
+    return table_rb()
+
+
+#: Synthetic sweep sizes used by the scaling benches (tuples per source).
+SCALE_SIZES = (50, 200, 800)
+
+
+def synthetic_workload(n_tuples: int, *, exact: bool = True, seed: int = 7):
+    """A deterministic union-compatible relation pair for scaling runs."""
+    config = SyntheticConfig(
+        n_tuples=n_tuples,
+        overlap=0.5,
+        conflict=0.3,
+        ignorance=0.3,
+        exact=exact,
+        seed=seed,
+    )
+    return synthetic_pair(config)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""A conflict study: how the integration approaches behave as sources
+diverge.
+
+Sweeps the synthetic generator's ``conflict`` knob from agreeing sources
+to strongly disagreeing ones and reports, per level:
+
+* the mean Dempster conflict (kappa) the evidential union observes,
+* how much *ignorance* survives integration (evidential vs mixture),
+* the share of tuples DeMichiel's partial values cannot reconcile at
+  all (disjoint candidate sets), which the evidential model resolves by
+  renormalizing -- or flags via its conflict report when truly total,
+* what source discounting does to the same merge (reliability 0.8).
+
+This is the kind of administrator-facing analysis the paper motivates
+when it says total conflicts need "some actions ... to inform the data
+administrators or integrators".
+
+Run:  python examples/conflict_study.py
+"""
+
+from fractions import Fraction
+
+from repro.baselines.partial_values import combine_partial, to_partial_value
+from repro.datasets.generators import SyntheticConfig, synthetic_pair
+from repro.errors import TotalConflictError
+from repro.integration import IntegrationPipeline, TupleMerger
+
+
+def ignorance_share(relation) -> float:
+    """Mean OMEGA-mass over the uncertain 'category' attribute."""
+    values = [float(t.evidence("category").ignorance()) for t in relation]
+    return sum(values) / len(values) if values else 0.0
+
+
+def partial_value_failures(left, right) -> float:
+    """Fraction of matched tuples DeMichiel's intersection cannot merge."""
+    matched = [t.key() for t in right if t.key() in left]
+    if not matched:
+        return 0.0
+    failures = 0
+    for key in matched:
+        a = to_partial_value(left.get(key).evidence("category"))
+        b = to_partial_value(right.get(key).evidence("category"))
+        try:
+            combine_partial(a, b)
+        except TotalConflictError:
+            failures += 1
+    return failures / len(matched)
+
+
+def main() -> None:
+    print(
+        f"{'conflict':>8} | {'mean kappa':>10} | {'total':>5} | "
+        f"{'ignorance(evid)':>15} | {'ignorance(mix)':>14} | "
+        f"{'partial-value fail':>18} | {'ignorance(r=0.8)':>16}"
+    )
+    print("-" * 105)
+    for level in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        config = SyntheticConfig(
+            n_tuples=200, overlap=0.6, conflict=level, ignorance=0.3, seed=42
+        )
+        left, right = synthetic_pair(config)
+
+        evidential, report = TupleMerger(on_conflict="vacuous").merge(left, right)
+        kappas = [float(c.kappa) for c in report.conflicts if c.attribute == "category"]
+        mean_kappa = sum(kappas) / len(kappas) if kappas else 0.0
+        totals = sum(1 for c in report.total_conflicts if c.attribute == "category")
+
+        mixture, _ = TupleMerger(
+            default_method="mixture", on_conflict="vacuous"
+        ).merge(left, right)
+
+        discounted = IntegrationPipeline(
+            merger=TupleMerger(on_conflict="vacuous"),
+            reliabilities=(1, Fraction(4, 5)),
+        ).run(left, right)
+
+        print(
+            f"{level:>8.1f} | {mean_kappa:>10.3f} | {totals:>5d} | "
+            f"{ignorance_share(evidential):>15.3f} | "
+            f"{ignorance_share(mixture):>14.3f} | "
+            f"{partial_value_failures(left, right):>18.3f} | "
+            f"{ignorance_share(discounted.integrated):>16.3f}"
+        )
+
+    print()
+    print(
+        "Reading: Dempster (evidential) *reduces* ignorance as sources are\n"
+        "pooled and renormalizes conflict away, while the mixture rule\n"
+        "keeps inconsistency around; DeMichiel's partial values simply fail\n"
+        "on disjoint candidate sets; discounting an imperfect source keeps\n"
+        "more ignorance, hedging the merge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+"""repro: evidential reasoning for database integration.
+
+A complete Python implementation of
+
+    Ee-Peng Lim, Jaideep Srivastava, Shashi Shekhar.
+    "Resolving Attribute Incompatibility in Database Integration:
+     An Evidential Reasoning Approach."  ICDE 1994.
+
+The paper extends the relational model so that attribute values may be
+*evidence sets* (Dempster-Shafer mass functions over subsets of the
+attribute domain) and every tuple carries an ``(sn, sp)`` membership
+pair; the extended union resolves attribute-value conflicts between
+independently developed databases by pooling their evidence with
+Dempster's rule of combination.
+
+Package map
+-----------
+``repro.ds``           Dempster-Shafer substrate (mass, Bel/Pls, combination)
+``repro.model``        extended relational model (domains ... relations)
+``repro.algebra``      the five extended operations + Theorem 1 checks
+``repro.query``        SQL-like language, planner, executor
+``repro.integration``  the Figure 1 framework (preprocess, match, merge)
+``repro.sources``      evidence from summaries (votes, classification, history)
+``repro.baselines``    Dayal / DeMichiel / Tseng / PDM comparators
+``repro.storage``      database catalog, JSON serialization, table rendering
+``repro.datasets``     the paper's restaurant tables + synthetic generators
+
+Quickstart
+----------
+>>> from repro import Database, table_ra, table_rb, union
+>>> db = Database("tourist_bureau")
+>>> db.add(union(table_ra(), table_rb(), name="R"))
+>>> result = db.query("SELECT rname, rating FROM R WHERE rating IS {ex} WITH SN >= 0.5")
+>>> sorted(t.key()[0] for t in result)
+['ashiana', 'country', 'mehl']
+"""
+
+from repro.errors import (
+    CatalogError,
+    DomainError,
+    IntegrationError,
+    MassFunctionError,
+    MembershipError,
+    NotationError,
+    OperationError,
+    ParseError,
+    PlanError,
+    PredicateError,
+    QueryError,
+    RelationError,
+    ReproError,
+    SchemaError,
+    SerializationError,
+    TotalConflictError,
+)
+from repro.ds import (
+    OMEGA,
+    FrameOfDiscernment,
+    MassFunction,
+    belief,
+    combine,
+    combine_all,
+    conflict,
+    format_evidence,
+    parse_evidence,
+    plausibility,
+)
+from repro.model import (
+    CERTAIN,
+    IMPOSSIBLE,
+    UNKNOWN,
+    AnyDomain,
+    Attribute,
+    BooleanDomain,
+    Domain,
+    EnumeratedDomain,
+    EvidenceSet,
+    ExtendedRelation,
+    ExtendedTuple,
+    NumericDomain,
+    RelationSchema,
+    TextDomain,
+    TupleMembership,
+)
+from repro.algebra import (
+    And,
+    IsPredicate,
+    Not,
+    Or,
+    Predicate,
+    SN_CERTAIN,
+    SN_POSITIVE,
+    ThetaPredicate,
+    attr,
+    equijoin,
+    join,
+    lit,
+    product,
+    project,
+    rename,
+    select,
+    union,
+    union_with_report,
+)
+from repro.algebra import intersection
+from repro.analysis import decide, relation_quality
+from repro.integration import Federation, IntegrationPipeline, TupleMerger
+from repro.storage import Database, format_relation
+from repro.datasets import (
+    SyntheticConfig,
+    synthetic_pair,
+    table_ra,
+    table_rb,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "MassFunctionError",
+    "NotationError",
+    "TotalConflictError",
+    "DomainError",
+    "SchemaError",
+    "MembershipError",
+    "RelationError",
+    "PredicateError",
+    "OperationError",
+    "QueryError",
+    "ParseError",
+    "PlanError",
+    "IntegrationError",
+    "SerializationError",
+    "CatalogError",
+    # evidence
+    "OMEGA",
+    "FrameOfDiscernment",
+    "MassFunction",
+    "belief",
+    "plausibility",
+    "combine",
+    "combine_all",
+    "conflict",
+    "parse_evidence",
+    "format_evidence",
+    # model
+    "Domain",
+    "EnumeratedDomain",
+    "NumericDomain",
+    "TextDomain",
+    "BooleanDomain",
+    "AnyDomain",
+    "Attribute",
+    "RelationSchema",
+    "EvidenceSet",
+    "TupleMembership",
+    "CERTAIN",
+    "UNKNOWN",
+    "IMPOSSIBLE",
+    "ExtendedTuple",
+    "ExtendedRelation",
+    # algebra
+    "Predicate",
+    "IsPredicate",
+    "ThetaPredicate",
+    "And",
+    "Or",
+    "Not",
+    "attr",
+    "lit",
+    "select",
+    "union",
+    "union_with_report",
+    "project",
+    "product",
+    "join",
+    "equijoin",
+    "rename",
+    "SN_POSITIVE",
+    "SN_CERTAIN",
+    "intersection",
+    # integration / analysis / storage / datasets
+    "IntegrationPipeline",
+    "TupleMerger",
+    "Federation",
+    "decide",
+    "relation_quality",
+    "Database",
+    "format_relation",
+    "table_ra",
+    "table_rb",
+    "SyntheticConfig",
+    "synthetic_pair",
+    "__version__",
+]

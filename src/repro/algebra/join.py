@@ -1,0 +1,88 @@
+"""Extended join (Section 3.5).
+
+The paper defines the extended join as an extended cartesian product
+followed by an extended selection::
+
+    R join[Q, P] S  =  select[Q, P](R x S)
+
+The join condition ``P`` references the product schema's attribute
+names; when the two inputs share attribute names, those are prefixed
+with the relation name (``RA_rname``), exactly as
+:func:`repro.algebra.product.product` renames them.
+
+:func:`equijoin` is a convenience wrapper building the conjunction of
+``=`` theta-predicates for the given attribute pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import OperationError
+from repro.model.relation import ExtendedRelation
+from repro.algebra.predicates import And, Predicate, ThetaPredicate
+from repro.algebra.product import product, _rename_map
+from repro.algebra.select import select
+from repro.algebra.thresholds import SN_POSITIVE, MembershipThreshold
+
+
+def join(
+    left: ExtendedRelation,
+    right: ExtendedRelation,
+    predicate: Predicate,
+    threshold: MembershipThreshold = SN_POSITIVE,
+    name: str | None = None,
+) -> ExtendedRelation:
+    """``R join[Q, P] S``: product then selection.
+
+    Example: joining the restaurant relation with the managed-by
+    relationship on the (prefixed) restaurant-name attributes::
+
+        linked = join(ra, rm, ThetaPredicate("RA_rname", "=", attr("RM_A_rname")))
+    """
+    paired = product(left, right, name)
+    return select(paired, predicate, threshold, name)
+
+
+def equijoin(
+    left: ExtendedRelation,
+    right: ExtendedRelation,
+    on: Iterable[tuple[str, str]] | Iterable[str],
+    threshold: MembershipThreshold = SN_POSITIVE,
+    name: str | None = None,
+) -> ExtendedRelation:
+    """Join on equality of attribute pairs.
+
+    *on* is either pairs ``(left_attr, right_attr)`` or bare names
+    meaning the same attribute on both sides.  Names are given in the
+    *input* schemas; this helper translates them to the product schema's
+    (possibly prefixed) names.
+
+    >>> from repro.datasets.restaurants import table_ra, table_rm_a
+    >>> linked = equijoin(table_ra(), table_rm_a(), [("rname", "rname")])
+    >>> len(linked) > 0
+    True
+    """
+    pairs: list[tuple[str, str]] = []
+    for entry in on:
+        if isinstance(entry, str):
+            pairs.append((entry, entry))
+        else:
+            l_name, r_name = entry
+            pairs.append((l_name, r_name))
+    if not pairs:
+        raise OperationError("equijoin needs at least one attribute pair")
+    left_map = _rename_map(left.schema, right.schema)
+    right_map = _rename_map(right.schema, left.schema)
+    predicates = [
+        ThetaPredicate(left_map[l_name], "=", _attr(right_map[r_name]))
+        for l_name, r_name in pairs
+    ]
+    predicate: Predicate = predicates[0] if len(predicates) == 1 else And(*predicates)
+    return join(left, right, predicate, threshold, name)
+
+
+def _attr(name: str):
+    from repro.algebra.predicates import AttributeOperand
+
+    return AttributeOperand(name)

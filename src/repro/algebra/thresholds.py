@@ -1,0 +1,103 @@
+"""Membership threshold conditions (Section 3.1.3).
+
+A membership threshold condition ``Q`` constrains the *revised* tuple
+membership of a selection (or join) result: e.g. ``sn > 0.5`` keeps only
+tuples whose revised necessary support exceeds one half, and ``sn = 1``
+keeps only tuples that definitely satisfy the condition.
+
+To stay consistent with the interpretation of extended relations
+(CWA_ER), every threshold is automatically conjoined with ``sn > 0``;
+the selection operation enforces this, so a user-supplied ``Q`` can
+never smuggle an unsupported tuple into a result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import OperationError
+from repro.ds.mass import coerce_mass_value
+from repro.model.membership import TupleMembership
+
+
+class MembershipThreshold:
+    """A predicate over revised ``(sn, sp)`` membership pairs.
+
+    Build instances from the factory functions (:func:`sn_greater` and
+    friends) or combine them with ``&``.
+
+    >>> threshold = sn_greater(0) & sp_at_least("1/2")
+    >>> threshold(TupleMembership("1/4", "3/4"))
+    True
+    """
+
+    __slots__ = ("_check", "_description")
+
+    def __init__(self, check: Callable[[TupleMembership], bool], description: str):
+        self._check = check
+        self._description = description
+
+    @property
+    def description(self) -> str:
+        """Human-readable rendering, e.g. ``"sn > 0"``."""
+        return self._description
+
+    def __call__(self, membership: TupleMembership) -> bool:
+        return bool(self._check(membership))
+
+    def __and__(self, other: "MembershipThreshold") -> "MembershipThreshold":
+        if not isinstance(other, MembershipThreshold):
+            raise OperationError(f"cannot conjoin threshold with {other!r}")
+        return MembershipThreshold(
+            lambda tm: self._check(tm) and other._check(tm),
+            f"{self._description} and {other._description}",
+        )
+
+    def __repr__(self) -> str:
+        return f"MembershipThreshold({self._description})"
+
+
+def sn_greater(bound: object) -> MembershipThreshold:
+    """``sn > bound``."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sn > value, f"sn > {value}")
+
+
+def sn_at_least(bound: object) -> MembershipThreshold:
+    """``sn >= bound``."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sn >= value, f"sn >= {value}")
+
+
+def sn_equals(bound: object) -> MembershipThreshold:
+    """``sn = bound`` (e.g. ``sn = 1`` for definite answers only)."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sn == value, f"sn = {value}")
+
+
+def sp_greater(bound: object) -> MembershipThreshold:
+    """``sp > bound``."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sp > value, f"sp > {value}")
+
+
+def sp_at_least(bound: object) -> MembershipThreshold:
+    """``sp >= bound``."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sp >= value, f"sp >= {value}")
+
+
+def sp_equals(bound: object) -> MembershipThreshold:
+    """``sp = bound``."""
+    value = coerce_mass_value(bound)
+    return MembershipThreshold(lambda tm: tm.sp == value, f"sp = {value}")
+
+
+#: The canonical threshold: tuples with any positive necessary support.
+SN_POSITIVE = sn_greater(0)
+
+#: Only tuples that *definitely* satisfy the condition.
+SN_CERTAIN = sn_equals(1)
+
+#: No additional constraint (the implicit ``sn > 0`` still applies).
+ALWAYS = MembershipThreshold(lambda tm: True, "true")

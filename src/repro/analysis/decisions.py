@@ -1,0 +1,104 @@
+"""Decision views: collapsing evidence sets into crisp values.
+
+An extended relation answers queries with graded certainty; a *decision
+view* commits.  For every uncertain attribute of every tuple, a decision
+policy picks one value:
+
+* ``"max_belief"`` -- the most strongly supported singleton (cautious:
+  high belief means every piece of evidence commits to it);
+* ``"max_plausibility"`` -- the least refuted singleton (credulous);
+* ``"pignistic"`` -- maximal pignistic probability (the betting choice).
+
+Each decided cell carries its *confidence*: the decided value's belief,
+plausibility, or pignistic probability respectively, so consumers can
+still see how solid each commitment is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OperationError
+from repro.ds.transforms import (
+    max_belief_decision,
+    max_pignistic_decision,
+    max_plausibility_decision,
+    pignistic,
+)
+from repro.model.evidence import EvidenceSet
+from repro.model.membership import TupleMembership
+from repro.model.relation import ExtendedRelation
+
+#: The supported decision policies.
+DecisionPolicy = ("max_belief", "max_plausibility", "pignistic")
+
+
+@dataclass(frozen=True)
+class CrispRow:
+    """One decided tuple: plain values plus per-cell confidence."""
+
+    key: tuple
+    values: dict
+    confidence: dict
+    membership: TupleMembership
+
+
+def _decide_evidence(evidence: EvidenceSet, policy: str):
+    if policy == "max_belief":
+        value = max_belief_decision(evidence.mass_function)
+        return value, evidence.bel({value})
+    if policy == "max_plausibility":
+        value = max_plausibility_decision(evidence.mass_function)
+        return value, evidence.pls({value})
+    value = max_pignistic_decision(evidence.mass_function)
+    return value, pignistic(evidence.mass_function)[value]
+
+
+def decide(
+    relation: ExtendedRelation,
+    policy: str = "max_belief",
+    min_membership_sn: object = 0,
+) -> list[CrispRow]:
+    """Collapse *relation* into crisp rows under *policy*.
+
+    Tuples whose membership ``sn`` falls below *min_membership_sn* are
+    omitted (they are too uncertain to commit to at all).
+
+    >>> from repro.algebra import union
+    >>> from repro.datasets.restaurants import table_ra, table_rb
+    >>> rows = decide(union(table_ra(), table_rb()), policy="pignistic")
+    >>> garden = next(r for r in rows if r.key == ("garden",))
+    >>> garden.values["speciality"]
+    'si'
+    """
+    if policy not in DecisionPolicy:
+        raise OperationError(
+            f"unknown decision policy {policy!r}; expected one of "
+            f"{DecisionPolicy}"
+        )
+    from repro.ds.mass import coerce_mass_value
+
+    min_membership_sn = coerce_mass_value(min_membership_sn)
+    rows: list[CrispRow] = []
+    for etuple in relation:
+        if etuple.membership.sn < min_membership_sn:
+            continue
+        values: dict = {}
+        confidence: dict = {}
+        for name, value in etuple.items():
+            if isinstance(value, EvidenceSet):
+                decided, score = _decide_evidence(value, policy)
+                values[name] = decided
+                confidence[name] = score
+            else:
+                values[name] = value
+                confidence[name] = 1
+        rows.append(
+            CrispRow(
+                key=etuple.key(),
+                values=values,
+                confidence=confidence,
+                membership=etuple.membership,
+            )
+        )
+    return rows

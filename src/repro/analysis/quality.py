@@ -1,0 +1,123 @@
+"""Integration quality metrics.
+
+The union/merge reports say what happened during one merge; these
+metrics describe the *state* of a relation afterwards:
+
+* per-attribute uncertainty: mean ignorance (OMEGA mass), mean
+  nonspecificity and discord (bits) across tuples;
+* membership statistics: how many tuples are certain, the mean
+  ``sn`` and the mean ignorance gap ``sp - sn``.
+
+The conflict-study example and the ablation benchmarks read these to
+compare integration strategies quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OperationError
+from repro.ds.measures import discord, nonspecificity
+from repro.model.evidence import EvidenceSet
+from repro.model.relation import ExtendedRelation
+
+
+@dataclass(frozen=True)
+class AttributeUncertainty:
+    """Mean uncertainty of one attribute across a relation."""
+
+    attribute: str
+    mean_ignorance: float
+    mean_nonspecificity: float
+    mean_discord: float
+
+
+@dataclass
+class QualityReport:
+    """Relation-level quality digest."""
+
+    relation: str
+    n_tuples: int
+    certain_tuples: int
+    mean_sn: float
+    mean_membership_gap: float
+    attributes: list[AttributeUncertainty] = field(default_factory=list)
+
+    def attribute(self, name: str) -> AttributeUncertainty:
+        """The entry for one attribute."""
+        for entry in self.attributes:
+            if entry.attribute == name:
+                return entry
+        raise OperationError(f"no uncertainty entry for attribute {name!r}")
+
+    def summary(self) -> str:
+        """One-line digest."""
+        return (
+            f"{self.relation}: {self.n_tuples} tuples "
+            f"({self.certain_tuples} certain), mean sn {self.mean_sn:.3f}, "
+            f"mean sp-sn gap {self.mean_membership_gap:.3f}"
+        )
+
+
+def attribute_uncertainty(
+    relation: ExtendedRelation, name: str
+) -> AttributeUncertainty:
+    """Mean ignorance/nonspecificity/discord of attribute *name*."""
+    if name not in relation.schema:
+        raise OperationError(
+            f"relation {relation.name!r} has no attribute {name!r}"
+        )
+    ignorance_total = 0.0
+    nonspec_total = 0.0
+    discord_total = 0.0
+    count = 0
+    for etuple in relation:
+        value = etuple.value(name)
+        if not isinstance(value, EvidenceSet):
+            value = etuple.evidence(name)
+        count += 1
+        ignorance_total += float(value.ignorance())
+        nonspec_total += nonspecificity(value.mass_function)
+        discord_total += discord(value.mass_function)
+    if count == 0:
+        return AttributeUncertainty(name, 0.0, 0.0, 0.0)
+    return AttributeUncertainty(
+        attribute=name,
+        mean_ignorance=ignorance_total / count,
+        mean_nonspecificity=nonspec_total / count,
+        mean_discord=discord_total / count,
+    )
+
+
+def relation_quality(relation: ExtendedRelation) -> QualityReport:
+    """The full quality digest of a relation.
+
+    >>> from repro.datasets.restaurants import table_ra
+    >>> report = relation_quality(table_ra())
+    >>> report.n_tuples, report.certain_tuples
+    (6, 5)
+    """
+    n_tuples = len(relation)
+    certain = sum(1 for t in relation if t.membership.is_certain)
+    mean_sn = (
+        sum(float(t.membership.sn) for t in relation) / n_tuples
+        if n_tuples
+        else 0.0
+    )
+    mean_gap = (
+        sum(float(t.membership.m_unknown) for t in relation) / n_tuples
+        if n_tuples
+        else 0.0
+    )
+    attributes = [
+        attribute_uncertainty(relation, name)
+        for name in relation.schema.uncertain_names
+    ]
+    return QualityReport(
+        relation=relation.name,
+        n_tuples=n_tuples,
+        certain_tuples=certain,
+        mean_sn=mean_sn,
+        mean_membership_gap=mean_gap,
+        attributes=attributes,
+    )

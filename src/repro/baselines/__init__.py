@@ -1,0 +1,45 @@
+"""Baseline approaches to attribute-value conflict (Section 1.3).
+
+The paper situates its evidential approach against four earlier lines of
+work; all four are implemented so the comparison benchmarks can contrast
+their behaviour on the same data:
+
+* :mod:`repro.baselines.aggregates` -- Dayal (VLDB 1983): aggregate
+  functions (average/min/max) over conflicting numeric values;
+* :mod:`repro.baselines.partial_values` -- DeMichiel (TKDE 1989):
+  partial values (a set of candidates, exactly one correct), combined by
+  intersection; queries return *true* and *may-be* answer sets;
+* :mod:`repro.baselines.probabilistic` -- Tseng, Chen & Yang (1992):
+  probabilistic partial values with selection at a confidence level,
+  inconsistency retained on combination;
+* :mod:`repro.baselines.pdm` -- Barbara, Garcia-Molina & Porter (TKDE
+  1992): the probabilistic data model, probabilities on individual
+  values (plus a wildcard) but never on value subsets.
+"""
+
+from repro.baselines.aggregates import AggregateResolver
+from repro.baselines.partial_values import (
+    PartialValue,
+    combine_partial,
+    partial_select,
+    to_partial_value,
+)
+from repro.baselines.probabilistic import (
+    ProbabilisticPartialValue,
+    combine_probabilistic,
+    probabilistic_select,
+)
+from repro.baselines.pdm import PdmDistribution, pdm_combine_missing
+
+__all__ = [
+    "AggregateResolver",
+    "PartialValue",
+    "to_partial_value",
+    "combine_partial",
+    "partial_select",
+    "ProbabilisticPartialValue",
+    "combine_probabilistic",
+    "probabilistic_select",
+    "PdmDistribution",
+    "pdm_combine_missing",
+]

@@ -1,0 +1,129 @@
+"""DeMichiel's partial values (TKDE 1989).
+
+A *partial value* is "a set of values of which exactly one must be
+correct"; combining two partial values is their intersection.  Querying
+relations containing partial values returns two answer sets: **true**
+tuples (definitely qualify) and **may-be** tuples (might qualify).
+
+The paper generalizes this: an evidence set with a single focal element
+carrying mass one *is* a partial value, and Bel/Pls collapse to the
+true/may-be dichotomy.  The comparison benchmark quantifies what the
+generalization buys -- a partial value forgets the relative likelihoods
+an evidence set retains, and the two-answer-set interface forgets the
+graded membership the extended model reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TotalConflictError
+from repro.ds.frame import is_omega
+from repro.model.evidence import EvidenceSet
+
+
+class PartialValue:
+    """A non-empty set of candidate values, exactly one correct.
+
+    >>> PartialValue({"hu", "si"}).is_definite()
+    False
+    >>> PartialValue({"hu"}).definite_value()
+    'hu'
+    """
+
+    __slots__ = ("_candidates",)
+
+    def __init__(self, candidates: Iterable):
+        candidate_set = frozenset(candidates)
+        if not candidate_set:
+            raise TotalConflictError("a partial value cannot be empty")
+        self._candidates = candidate_set
+
+    @property
+    def candidates(self) -> frozenset:
+        """The candidate value set."""
+        return self._candidates
+
+    def is_definite(self) -> bool:
+        """``True`` when a single candidate remains."""
+        return len(self._candidates) == 1
+
+    def definite_value(self):
+        """The single candidate (raises when indefinite)."""
+        if not self.is_definite():
+            raise ValueError(f"{self!r} is not definite")
+        (value,) = self._candidates
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialValue):
+            return NotImplemented
+        return self._candidates == other._candidates
+
+    def __hash__(self) -> int:
+        return hash(self._candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __iter__(self):
+        return iter(sorted(self._candidates, key=repr))
+
+    def __repr__(self) -> str:
+        rendered = ",".join(sorted(map(str, self._candidates)))
+        return f"PartialValue({{{rendered}}})"
+
+
+def to_partial_value(evidence: EvidenceSet) -> PartialValue:
+    """Flatten an evidence set into a partial value (its core).
+
+    This is lossy by design: mass structure is discarded, keeping only
+    which values are possible at all.  OMEGA cores need an enumerable
+    domain.
+    """
+    core = evidence.mass_function.core()
+    if is_omega(core):
+        domain = evidence.domain
+        if domain is None or not domain.is_enumerable:
+            raise TotalConflictError(
+                "cannot flatten total ignorance without an enumerable domain"
+            )
+        core = frozenset(domain.frame().values)
+    return PartialValue(core)
+
+
+def combine_partial(left: PartialValue, right: PartialValue) -> PartialValue:
+    """DeMichiel's combination: set intersection.
+
+    Raises :class:`TotalConflictError` when the candidate sets are
+    disjoint (inconsistent sources).
+    """
+    meet = left.candidates & right.candidates
+    if not meet:
+        raise TotalConflictError(
+            f"partial values {left!r} and {right!r} are disjoint"
+        )
+    return PartialValue(meet)
+
+
+def partial_select(
+    rows: Iterable[tuple[object, PartialValue]],
+    values: Iterable,
+) -> tuple[list, list]:
+    """DeMichiel-style selection ``attribute in values``.
+
+    *rows* are ``(row_id, partial_value)`` pairs.  Returns
+    ``(true_ids, maybe_ids)``: rows whose candidates are entirely inside
+    *values* definitely qualify; rows with some overlap may qualify.
+    This two-set interface is what the extended model's graded
+    ``(sn, sp)`` membership replaces.
+    """
+    target = frozenset(values)
+    true_ids: list = []
+    maybe_ids: list = []
+    for row_id, partial in rows:
+        if partial.candidates <= target:
+            true_ids.append(row_id)
+        elif partial.candidates & target:
+            maybe_ids.append(row_id)
+    return true_ids, maybe_ids

@@ -1,0 +1,148 @@
+"""Barbara, Garcia-Molina & Porter's probabilistic data model (TKDE 1992).
+
+PDM attaches probabilities to attribute values of database entities, with
+two structural restrictions the paper calls out (Section 1.3):
+
+* probabilities attach to **individual values only**, never to subsets
+  -- residual probability goes to a wildcard ``*`` ("missing
+  probability", which PDM does allow);
+* there is **no tuple membership** concept.
+
+Barbara et al. themselves note the potential need of a COMBINE operator
+for pooling two distributions of an attribute; the paper argues
+Dempster's rule realizes it.  :func:`pdm_combine_missing` implements the
+natural PDM-style combination (pointwise product with wildcard handling,
+renormalized), and :func:`pdm_from_evidence` shows what PDM must discard
+when ingesting set-valued evidence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from fractions import Fraction
+
+from repro.errors import MassFunctionError, TotalConflictError
+from repro.ds.frame import is_omega
+from repro.ds.mass import coerce_mass_value
+from repro.model.evidence import EvidenceSet
+
+#: PDM's wildcard: "some value we know nothing about".
+WILDCARD = "*"
+
+
+class PdmDistribution:
+    """A PDM attribute distribution: values plus an optional wildcard.
+
+    >>> d = PdmDistribution({"ex": "1/2", WILDCARD: "1/2"})
+    >>> d.missing
+    Fraction(1, 2)
+    """
+
+    __slots__ = ("_probabilities", "_missing")
+
+    def __init__(self, probabilities: Mapping):
+        cleaned: dict = {}
+        missing = Fraction(0)
+        for value, probability in probabilities.items():
+            p = coerce_mass_value(probability)
+            if p < 0:
+                raise MassFunctionError(f"negative probability for {value!r}")
+            if p == 0:
+                continue
+            if value == WILDCARD:
+                missing = missing + p
+            else:
+                cleaned[value] = cleaned.get(value, 0) + p
+        total = sum(cleaned.values()) + missing
+        if isinstance(total, Fraction):
+            if total != 1:
+                raise MassFunctionError(f"probabilities must sum to 1, got {total}")
+        elif abs(float(total) - 1.0) > 1e-9:
+            raise MassFunctionError(f"probabilities must sum to 1, got {total}")
+        self._probabilities = cleaned
+        self._missing = missing
+
+    @property
+    def probabilities(self) -> dict:
+        """Explicit value probabilities (wildcard excluded)."""
+        return dict(self._probabilities)
+
+    @property
+    def missing(self):
+        """The wildcard (missing) probability."""
+        return self._missing
+
+    def probability(self, value: object):
+        """The explicit probability of *value*."""
+        return self._probabilities.get(value, Fraction(0))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PdmDistribution):
+            return NotImplemented
+        return (
+            self._probabilities == other._probabilities
+            and self._missing == other._missing
+        )
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"{value}:{p}"
+            for value, p in sorted(
+                self._probabilities.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        if self._missing:
+            items = f"{items}, *:{self._missing}" if items else f"*:{self._missing}"
+        return f"PdmDistribution({{{items}}})"
+
+
+def pdm_from_evidence(evidence: EvidenceSet) -> PdmDistribution:
+    """Ingest an evidence set into PDM.
+
+    Singleton focal elements carry over; **every non-singleton focal
+    element must collapse into the wildcard** -- PDM has nowhere to put
+    mass on a set.  This is the information loss the paper's model
+    avoids: ``m({hunan, sichuan}) = 1/3`` ("one of these two") becomes
+    indistinguishable from total ignorance.
+    """
+    probabilities: dict = {}
+    missing = Fraction(0)
+    for element, mass in evidence.items():
+        if not is_omega(element) and len(element) == 1:
+            (value,) = element
+            probabilities[value] = probabilities.get(value, 0) + mass
+        else:
+            missing = missing + mass
+    if missing:
+        probabilities[WILDCARD] = missing
+    return PdmDistribution(probabilities)
+
+
+def pdm_combine_missing(
+    left: PdmDistribution, right: PdmDistribution
+) -> PdmDistribution:
+    """The COMBINE operator PDM anticipates, in PDM's own vocabulary.
+
+    Pointwise product with the wildcard acting as "any value": the
+    combined probability of value ``v`` pools ``P1(v)P2(v)``,
+    ``P1(v)P2(*)`` and ``P1(*)P2(v)``; wildcard meets wildcard stays
+    wildcard.  Renormalizes by the non-conflicting mass.  This is
+    precisely Dempster's rule restricted to singleton-plus-OMEGA masses
+    -- the test-suite verifies the equivalence -- substantiating the
+    paper's claim that its extended union realizes PDM's missing
+    COMBINE.
+    """
+    pooled: dict = {}
+    wildcard_mass = left.missing * right.missing
+    for value, p in left.probabilities.items():
+        q = right.probability(value)
+        pooled[value] = p * q + p * right.missing
+    for value, q in right.probabilities.items():
+        pooled[value] = pooled.get(value, 0) + q * left.missing
+    total = sum(pooled.values()) + wildcard_mass
+    if total == 0:
+        raise TotalConflictError("PDM distributions are totally conflicting")
+    normalized = {value: p / total for value, p in pooled.items() if p > 0}
+    if wildcard_mass:
+        normalized[WILDCARD] = wildcard_mass / total
+    return PdmDistribution(normalized)

@@ -1,0 +1,158 @@
+"""Tseng, Chen & Yang's probabilistic partial values (1992).
+
+A probabilistic partial value lists the possible values of an attribute
+with probabilities.  Two stances distinguish it from the paper's
+evidential model (Section 1.3):
+
+* **no consistency assumption** -- when sources disagree, their
+  distributions are pooled by an (equal-weight) mixture, so a value one
+  source rules out survives with half its mass; Dempster's rule instead
+  renormalizes it away under the assumption that both sources are
+  consistent and reliable;
+* **probabilities only on individual values** -- mass cannot be given to
+  a *set* of values, so an undecided reviewer vote for {d35, d36} must
+  be split (here: uniformly), fabricating precision the evidence does
+  not contain.
+
+Selection filters tuples whose probability of satisfying the condition
+meets a confidence level, returning the qualifying probability with each
+answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from fractions import Fraction
+
+from repro.errors import MassFunctionError
+from repro.ds.frame import is_omega
+from repro.ds.mass import coerce_mass_value
+from repro.model.evidence import EvidenceSet
+
+
+class ProbabilisticPartialValue:
+    """A probability distribution over candidate attribute values."""
+
+    __slots__ = ("_probabilities",)
+
+    def __init__(self, probabilities: Mapping):
+        cleaned: dict = {}
+        for value, probability in probabilities.items():
+            p = coerce_mass_value(probability)
+            if p < 0:
+                raise MassFunctionError(
+                    f"negative probability {p!r} for {value!r}"
+                )
+            if p > 0:
+                cleaned[value] = p
+        if not cleaned:
+            raise MassFunctionError("a probabilistic partial value needs values")
+        total = sum(cleaned.values())
+        if isinstance(total, Fraction):
+            if total != 1:
+                raise MassFunctionError(f"probabilities must sum to 1, got {total}")
+        elif abs(float(total) - 1.0) > 1e-9:
+            raise MassFunctionError(f"probabilities must sum to 1, got {total}")
+        self._probabilities = cleaned
+
+    @classmethod
+    def from_evidence(cls, evidence: EvidenceSet) -> "ProbabilisticPartialValue":
+        """Flatten an evidence set by splitting set-masses uniformly.
+
+        This is the pignistic flattening -- the only way to fit
+        set-valued evidence into a model that admits probabilities on
+        individual values only.  It is lossy: ``m({d35,d36}) = 1/2``
+        becomes ``P(d35) = P(d36) = 1/4``, a precision the votes never
+        expressed.
+        """
+        probabilities: dict = {}
+        for element, mass in evidence.items():
+            if is_omega(element):
+                domain = evidence.domain
+                if domain is None or not domain.is_enumerable:
+                    raise MassFunctionError(
+                        "cannot flatten OMEGA without an enumerable domain"
+                    )
+                members = sorted(domain.frame().values, key=repr)
+            else:
+                members = sorted(element, key=repr)
+            share = mass / len(members)
+            for member in members:
+                probabilities[member] = probabilities.get(member, 0) + share
+        return cls(probabilities)
+
+    @property
+    def probabilities(self) -> dict:
+        """The value -> probability mapping."""
+        return dict(self._probabilities)
+
+    def probability(self, value: object):
+        """The probability of one value (0 when absent)."""
+        return self._probabilities.get(value, Fraction(0))
+
+    def probability_in(self, values: Iterable):
+        """The probability that the attribute lies in *values*."""
+        target = frozenset(values)
+        return sum(
+            (p for value, p in self._probabilities.items() if value in target),
+            Fraction(0),
+        )
+
+    def support(self) -> frozenset:
+        """The values with positive probability."""
+        return frozenset(self._probabilities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilisticPartialValue):
+            return NotImplemented
+        return self._probabilities == other._probabilities
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"{value}:{probability}"
+            for value, probability in sorted(
+                self._probabilities.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return f"ProbabilisticPartialValue({{{items}}})"
+
+
+def combine_probabilistic(
+    left: ProbabilisticPartialValue,
+    right: ProbabilisticPartialValue,
+) -> ProbabilisticPartialValue:
+    """Pool two distributions by equal-weight mixture.
+
+    Inconsistent information survives: a value with probability 0 in one
+    source and p in the other ends at p/2 -- it is *not* renormalized
+    away.  Contrast with Dempster's rule, which (for Bayesian masses)
+    multiplies pointwise and renormalizes, eliminating values either
+    source excludes.
+    """
+    pooled: dict = {}
+    for value, p in left.probabilities.items():
+        pooled[value] = pooled.get(value, 0) + p / 2
+    for value, p in right.probabilities.items():
+        pooled[value] = pooled.get(value, 0) + p / 2
+    return ProbabilisticPartialValue(pooled)
+
+
+def probabilistic_select(
+    rows: Iterable[tuple[object, ProbabilisticPartialValue]],
+    values: Iterable,
+    confidence: object = Fraction(1, 2),
+) -> list[tuple[object, object]]:
+    """Selection at a confidence level.
+
+    Returns ``(row_id, probability)`` pairs for rows whose probability
+    of lying in *values* is at least *confidence* -- "the possibilities
+    of tuples satisfying a query are given as part of the query result".
+    """
+    threshold = coerce_mass_value(confidence)
+    target = frozenset(values)
+    answers: list[tuple[object, object]] = []
+    for row_id, distribution in rows:
+        probability = distribution.probability_in(target)
+        if probability >= threshold:
+            answers.append((row_id, probability))
+    return answers

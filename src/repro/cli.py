@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Three subcommands, all operating on the JSON database format of
+:mod:`repro.storage.serialization`:
+
+``repro demo [PATH]``
+    Write the paper's example database (R_A, R_B, M_A, M_B, RM_A, RM_B)
+    to ``PATH`` (default ``restaurants.json``), ready for querying.
+
+``repro query DB QUERY``
+    Execute one query against a database file and print the result in
+    the paper's table style.  ``--explain`` prints the optimized plan
+    instead; ``--save NAME OUT`` stores the result relation under NAME
+    into OUT (which may equal DB).
+
+``repro show DB [RELATION]``
+    Print the catalog, or one relation as a table.
+
+Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
+(message on stderr), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.storage.database import Database
+from repro.storage.formatting import format_relation
+from repro.storage.serialization import load_database, save_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evidential reasoning for database integration "
+        "(Lim, Srivastava & Shekhar, ICDE 1994).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="write the paper's example database to a JSON file"
+    )
+    demo.add_argument(
+        "path",
+        nargs="?",
+        default="restaurants.json",
+        help="output file (default: restaurants.json)",
+    )
+    demo.add_argument(
+        "--integrated",
+        action="store_true",
+        help="also include the integrated relations R, M, RM",
+    )
+
+    query = commands.add_parser(
+        "query", help="run a query against a database file"
+    )
+    query.add_argument("database", help="database JSON file")
+    query.add_argument("text", help="the query, e.g. 'RA UNION RB BY (rname)'")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized logical plan instead of executing",
+    )
+    query.add_argument(
+        "--style",
+        choices=["decimal", "fraction", "auto"],
+        default="decimal",
+        help="mass rendering style (default: decimal, as the paper prints)",
+    )
+    query.add_argument(
+        "--save",
+        nargs=2,
+        metavar=("NAME", "OUT"),
+        help="store the result relation under NAME into database file OUT",
+    )
+
+    show = commands.add_parser("show", help="inspect a database file")
+    show.add_argument("database", help="database JSON file")
+    show.add_argument(
+        "relation", nargs="?", help="relation to print (default: catalog)"
+    )
+    show.add_argument(
+        "--style",
+        choices=["decimal", "fraction", "auto"],
+        default="decimal",
+        help="mass rendering style",
+    )
+    return parser
+
+
+def _command_demo(args: argparse.Namespace, out) -> int:
+    from repro.algebra.union import union
+    from repro.datasets.restaurants import (
+        table_m_a,
+        table_m_b,
+        table_ra,
+        table_rb,
+        table_rm_a,
+        table_rm_b,
+    )
+
+    db = Database("tourist_bureau")
+    for relation in (
+        table_ra(),
+        table_rb(),
+        table_m_a(),
+        table_m_b(),
+        table_rm_a(),
+        table_rm_b(),
+    ):
+        db.add(relation)
+    if args.integrated:
+        db.add(union(table_ra(), table_rb(), name="R"))
+        db.add(union(table_m_a(), table_m_b(), name="M"))
+        db.add(union(table_rm_a(), table_rm_b(), name="RM"))
+    save_database(db, args.path)
+    print(
+        f"wrote {len(db)} relations ({', '.join(db.names())}) to {args.path}",
+        file=out,
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace, out) -> int:
+    db = load_database(args.database)
+    if args.explain:
+        print(db.explain(args.text), file=out)
+        return 0
+    result = db.query(args.text)
+    print(format_relation(result, style=args.style), file=out)
+    if args.save:
+        name, destination = args.save
+        stored = result.with_name(name)
+        try:
+            target = load_database(destination)
+        except FileNotFoundError:
+            target = Database(name="db")
+        target.add(stored, replace=True)
+        save_database(target, destination)
+        print(f"saved result as {name!r} in {destination}", file=out)
+    return 0
+
+
+def _command_show(args: argparse.Namespace, out) -> int:
+    db = load_database(args.database)
+    if args.relation is None:
+        print(f"database {db.name!r}: {len(db)} relation(s)", file=out)
+        for relation in db:
+            keys = ", ".join(relation.schema.key_names)
+            print(
+                f"  {relation.name:<12} {len(relation):>4} tuples  key=({keys})",
+                file=out,
+            )
+        return 0
+    print(format_relation(db.get(args.relation), style=args.style), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the exit status."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _command_demo,
+        "query": _command_query,
+        "show": _command_show,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early: normal.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Datasets: the paper's running example and synthetic workload generators.
+
+:mod:`repro.datasets.restaurants` encodes the Minneapolis/St. Paul
+restaurant databases of Section 1.2 (Tables R_A and R_B) exactly, along
+with the expected results of Tables 2-5 for verification, and synthesized
+Manager / Managed-by relations matching the Figure 2 global schema.
+
+:mod:`repro.datasets.generators` produces parameterized synthetic pairs
+of extended relations for scaling and ablation benchmarks.
+"""
+
+from repro.datasets.restaurants import (
+    best_dish_domain,
+    expected_table2,
+    expected_table3,
+    expected_table4,
+    expected_table5,
+    rating_domain,
+    restaurant_schema,
+    speciality_domain,
+    table_m_a,
+    table_m_b,
+    table_ra,
+    table_rb,
+    table_rm_a,
+    table_rm_b,
+)
+from repro.datasets.generators import SyntheticConfig, synthetic_pair, synthetic_relation
+from repro.datasets.employees import (
+    employee_schema,
+    payroll_method_mix,
+    table_directory,
+    table_payroll,
+)
+
+__all__ = [
+    "restaurant_schema",
+    "speciality_domain",
+    "best_dish_domain",
+    "rating_domain",
+    "table_ra",
+    "table_rb",
+    "table_m_a",
+    "table_m_b",
+    "table_rm_a",
+    "table_rm_b",
+    "expected_table2",
+    "expected_table3",
+    "expected_table4",
+    "expected_table5",
+    "SyntheticConfig",
+    "synthetic_pair",
+    "synthetic_relation",
+    "employee_schema",
+    "table_payroll",
+    "table_directory",
+    "payroll_method_mix",
+]

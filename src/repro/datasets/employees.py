@@ -1,0 +1,144 @@
+"""A second domain: employee databases (the Dayal motivation).
+
+Section 1.3 recalls Dayal's running example -- two employee relations
+whose *salary* values disagree, resolved by an aggregate (average).  The
+paper's point is that aggregates and evidential combination are
+*separate classes of attribute integration methods which can co-exist in
+the integration framework*.  This dataset makes that concrete:
+
+* ``salary`` -- definite but conflicting numbers: an aggregate method's
+  territory;
+* ``department`` -- evidence from org charts that disagree on who moved
+  where (one-to-many placements produce set-valued focal elements);
+* ``level`` -- review-panel evidence over a seniority scale, a natural
+  theta-predicate target.
+
+Used by the integration tests/benchmarks to exercise per-attribute
+method mixes (``{"salary": "average", "department": "evidential", ...}``)
+on something other than restaurants.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.ds.frame import OMEGA
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.membership import TupleMembership
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+
+#: Departments appearing in the org charts.
+DEPARTMENTS = ("eng", "sales", "hr", "ops")
+
+#: Seniority levels (ordered; theta-predicates apply).
+LEVELS = (1, 2, 3, 4, 5)
+
+
+def department_domain() -> EnumeratedDomain:
+    """The department domain."""
+    return EnumeratedDomain("department", DEPARTMENTS)
+
+
+def level_domain() -> EnumeratedDomain:
+    """The seniority-level domain."""
+    return EnumeratedDomain("level", LEVELS)
+
+
+def employee_schema(name: str = "E") -> RelationSchema:
+    """Employee relation: eid*, name, salary, ydepartment, ylevel."""
+    return RelationSchema(
+        name,
+        [
+            Attribute("eid", TextDomain("eid"), key=True),
+            Attribute("name", TextDomain("name")),
+            Attribute("salary", NumericDomain("salary", low=0)),
+            Attribute("department", department_domain(), uncertain=True),
+            Attribute("level", level_domain(), uncertain=True),
+        ],
+    )
+
+
+def _row(schema, eid, name, salary, department, level, sn=1, sp=1):
+    return ExtendedTuple(
+        schema,
+        {
+            "eid": eid,
+            "name": name,
+            "salary": salary,
+            "department": department,
+            "level": level,
+        },
+        TupleMembership(sn, sp),
+    )
+
+
+def table_payroll(name: str = "payroll") -> ExtendedRelation:
+    """The payroll system's employee relation."""
+    schema = employee_schema(name)
+    f = Fraction
+    rows = [
+        _row(
+            schema, "e01", "ana", 98000,
+            {"eng": f(1)},
+            {4: f(3, 5), 5: f(2, 5)},
+        ),
+        _row(
+            schema, "e02", "ben", 74000,
+            # The org chart predates a reorg: ben is in eng or ops.
+            {("eng", "ops"): f(7, 10), OMEGA: f(3, 10)},
+            {3: f(1)},
+        ),
+        _row(
+            schema, "e03", "carla", 121000,
+            {"sales": f(4, 5), "hr": f(1, 5)},
+            {5: f(4, 5), 4: f(1, 5)},
+        ),
+        _row(
+            schema, "e04", "dmitri", 67000,
+            {"ops": f(1)},
+            {2: f(1, 2), 3: f(1, 2)},
+            sn=f(9, 10), sp=1,  # contractor conversion still pending
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def table_directory(name: str = "directory") -> ExtendedRelation:
+    """The staff directory's employee relation (independently kept)."""
+    schema = employee_schema(name)
+    f = Fraction
+    rows = [
+        _row(
+            schema, "e01", "ana", 102000,       # salary disagrees with payroll
+            {"eng": f(9, 10), OMEGA: f(1, 10)},
+            {5: f(1, 2), 4: f(1, 2)},
+        ),
+        _row(
+            schema, "e02", "ben", 74000,
+            {"eng": f(3, 5), "ops": f(2, 5)},   # sharper placement
+            {3: f(4, 5), 2: f(1, 5)},
+        ),
+        _row(
+            schema, "e03", "carla", 118000,     # salary disagrees
+            {"sales": f(1)},
+            {5: f(1)},
+        ),
+        _row(
+            schema, "e05", "erin", 88000,       # only the directory knows erin
+            {"hr": f(7, 10), OMEGA: f(3, 10)},
+            {4: f(1)},
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def payroll_method_mix() -> dict:
+    """The per-attribute integration methods this domain calls for."""
+    return {
+        "salary": "average",        # Dayal's aggregate class
+        "department": "evidential", # the paper's class
+        "level": "evidential",
+    }

@@ -1,0 +1,254 @@
+"""Synthetic workload generation for scaling and ablation benchmarks.
+
+The paper evaluates on a six-restaurant example; the scaling benchmarks
+need arbitrarily large pairs of union-compatible extended relations with
+controllable uncertainty structure.  :class:`SyntheticConfig` exposes the
+knobs that matter to the algebra's cost and behaviour:
+
+* ``n_tuples`` / ``overlap`` -- relation sizes and the fraction of keys
+  present in both sources (matched tuples are what the union combines);
+* ``domain_size`` / ``max_focal`` / ``max_focal_size`` -- evidence-set
+  shape: Dempster's rule is quadratic in the number of focal elements;
+* ``ignorance`` -- probability that an evidence set reserves mass for
+  OMEGA (nonbelief);
+* ``conflict`` -- how divergent the second source's evidence is from the
+  first's for matched tuples: 0 reuses the same focal structure, 1 draws
+  completely independent evidence (raising the chance of high kappa);
+* ``exact`` -- Fraction (exact) versus float masses, for the arithmetic
+  ablation.
+
+Generation is deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+from repro.errors import OperationError
+from repro.ds.frame import OMEGA
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.evidence import EvidenceSet
+from repro.model.membership import TupleMembership
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic workload generator."""
+
+    n_tuples: int = 100
+    overlap: float = 0.5
+    domain_size: int = 12
+    max_focal: int = 3
+    max_focal_size: int = 2
+    ignorance: float = 0.3
+    conflict: float = 0.3
+    uncertain_membership: float = 0.2
+    exact: bool = True
+    seed: int = 0
+
+    def validate(self) -> "SyntheticConfig":
+        """Raise :class:`OperationError` on out-of-range parameters."""
+        if self.n_tuples < 0:
+            raise OperationError(f"n_tuples must be >= 0, got {self.n_tuples}")
+        for field_name in ("overlap", "ignorance", "conflict", "uncertain_membership"):
+            value = getattr(self, field_name)
+            if not 0 <= value <= 1:
+                raise OperationError(f"{field_name} must lie in [0,1], got {value}")
+        if self.domain_size < 1:
+            raise OperationError(f"domain_size must be >= 1, got {self.domain_size}")
+        if not 1 <= self.max_focal_size <= self.domain_size:
+            raise OperationError(
+                "max_focal_size must lie in [1, domain_size], got "
+                f"{self.max_focal_size}"
+            )
+        if self.max_focal < 1:
+            raise OperationError(f"max_focal must be >= 1, got {self.max_focal}")
+        return self
+
+
+def synthetic_schema(config: SyntheticConfig, name: str = "S") -> RelationSchema:
+    """The generated schema: one key, two uncertain and one certain
+    attribute (category over an enumerated domain, score over small
+    integers so theta-predicates apply, label as certain text)."""
+    categories = [f"c{i}" for i in range(config.domain_size)]
+    scores = list(range(config.domain_size))
+    return RelationSchema(
+        name,
+        [
+            Attribute("id", NumericDomain("id", low=0, integral=True), key=True),
+            Attribute(
+                "category",
+                EnumeratedDomain("category", categories),
+                uncertain=True,
+            ),
+            Attribute(
+                "score", EnumeratedDomain("score", scores), uncertain=True
+            ),
+            Attribute("label", TextDomain("label")),
+        ],
+    )
+
+
+def _random_weights(rng: random.Random, count: int, exact: bool):
+    """Normalized random weights (small exact fractions or floats)."""
+    raw = [rng.randint(1, 9) for _ in range(count)]
+    total = sum(raw)
+    if exact:
+        return [Fraction(value, total) for value in raw]
+    return [value / total for value in raw]
+
+
+def _random_evidence(
+    rng: random.Random,
+    domain: EnumeratedDomain,
+    config: SyntheticConfig,
+) -> EvidenceSet:
+    """A random evidence set over *domain* honoring the config's shape."""
+    values = sorted(domain.frame().values, key=repr)
+    n_focal = rng.randint(1, config.max_focal)
+    use_omega = rng.random() < config.ignorance
+    elements: list = []
+    seen: set = set()
+    while len(elements) < n_focal:
+        size = rng.randint(1, config.max_focal_size)
+        element = frozenset(rng.sample(values, min(size, len(values))))
+        if element not in seen:
+            seen.add(element)
+            elements.append(element)
+    if use_omega:
+        elements.append(OMEGA)
+    weights = _random_weights(rng, len(elements), config.exact)
+    return EvidenceSet(dict(zip(elements, weights)), domain)
+
+
+def _perturbed_evidence(
+    rng: random.Random,
+    base: EvidenceSet,
+    domain: EnumeratedDomain,
+    config: SyntheticConfig,
+) -> EvidenceSet:
+    """Second-source evidence: same focal structure, fresh weights.
+
+    With probability ``config.conflict`` the evidence is drawn
+    independently instead, which is what produces non-trivial Dempster
+    conflict in the matched tuples.
+    """
+    if rng.random() < config.conflict:
+        return _random_evidence(rng, domain, config)
+    elements = list(base.focal_elements())
+    weights = _random_weights(rng, len(elements), config.exact)
+    return EvidenceSet(dict(zip(elements, weights)), domain)
+
+
+def _random_membership(rng: random.Random, config: SyntheticConfig) -> TupleMembership:
+    """Mostly-certain memberships with occasional partial support."""
+    if rng.random() >= config.uncertain_membership:
+        return TupleMembership.certain()
+    if config.exact:
+        sn = Fraction(rng.randint(1, 9), 10)
+        sp = sn + Fraction(rng.randint(0, 10 - sn.numerator), 10)
+    else:
+        sn = rng.randint(1, 9) / 10
+        sp = min(1.0, sn + rng.randint(0, 9) / 10)
+    return TupleMembership(sn, min(sp, 1))
+
+
+def synthetic_relation(
+    config: SyntheticConfig, name: str = "S", key_start: int = 0
+) -> ExtendedRelation:
+    """One synthetic relation with keys ``key_start .. key_start+n-1``."""
+    config.validate()
+    rng = random.Random(f"{config.seed}/{name}/{key_start}")
+    schema = synthetic_schema(config, name)
+    category = schema.attribute("category").domain
+    score = schema.attribute("score").domain
+    rows = []
+    for index in range(config.n_tuples):
+        key = key_start + index
+        rows.append(
+            ExtendedTuple(
+                schema,
+                {
+                    "id": key,
+                    "category": _random_evidence(rng, category, config),
+                    "score": _random_evidence(rng, score, config),
+                    "label": f"item-{key}",
+                },
+                _random_membership(rng, config),
+            )
+        )
+    return ExtendedRelation(schema, rows)
+
+
+def synthetic_pair(
+    config: SyntheticConfig,
+    left_name: str = "L",
+    right_name: str = "R",
+) -> tuple[ExtendedRelation, ExtendedRelation]:
+    """Two union-compatible relations with the configured key overlap.
+
+    The left relation holds keys ``0..n-1``.  The right relation holds
+    ``round(overlap * n)`` of those keys (with second-source evidence
+    derived from the left's, diverging per ``config.conflict``) plus
+    fresh keys to reach ``n`` tuples.
+
+    >>> left, right = synthetic_pair(SyntheticConfig(n_tuples=10, seed=1))
+    >>> len(left), len(right)
+    (10, 10)
+    """
+    config.validate()
+    left = synthetic_relation(config, left_name, key_start=0)
+    rng = random.Random(f"{config.seed}/pair")
+    schema = synthetic_schema(config, right_name)
+    category = schema.attribute("category").domain
+    score = schema.attribute("score").domain
+    n_shared = round(config.overlap * config.n_tuples)
+    shared_keys = sorted(
+        rng.sample(range(config.n_tuples), n_shared)
+    )
+    rows = []
+    for key in shared_keys:
+        base = left.get((key,))
+        rows.append(
+            ExtendedTuple(
+                schema,
+                {
+                    "id": key,
+                    "category": _perturbed_evidence(
+                        rng, base.evidence("category"), category, config
+                    ),
+                    "score": _perturbed_evidence(
+                        rng, base.evidence("score"), score, config
+                    ),
+                    "label": base.value("label").definite_value(),
+                },
+                _random_membership(rng, config),
+            )
+        )
+    for index in range(config.n_tuples - n_shared):
+        key = config.n_tuples + index
+        rows.append(
+            ExtendedTuple(
+                schema,
+                {
+                    "id": key,
+                    "category": _random_evidence(rng, category, config),
+                    "score": _random_evidence(rng, score, config),
+                    "label": f"item-{key}",
+                },
+                _random_membership(rng, config),
+            )
+        )
+    right = ExtendedRelation(schema, rows)
+    return left, right
+
+
+def scaled(config: SyntheticConfig, **overrides) -> SyntheticConfig:
+    """A copy of *config* with fields replaced (sweep helper)."""
+    return replace(config, **overrides).validate()

@@ -1,0 +1,462 @@
+"""The paper's running example: two restaurant databases.
+
+Section 1.2 introduces online databases DB_A (Minnesota Daily) and DB_B
+(Star Tribune) holding survey information about Minneapolis/St. Paul
+restaurants under the shared global schema of Figure 2:
+
+* ``R`` (Restaurant): rname*, street, bldg_no, phone, yspeciality,
+  ybest_dish, yrating
+* ``M`` (Manager): mname*, phone, yposition
+* ``RM`` (Managed-by): rname*, mname* -- an n:m relationship
+
+(keys starred; ``y`` marks attributes that may hold uncertain values;
+hyphens in the paper's attribute names are rendered as underscores).
+
+The evidence sets of ``R_A``/``R_B`` come from panels of six food
+reviewers voting on each restaurant's best dish and rating, and from
+menu-item classification for the speciality (Section 1.2).  The paper
+prints the resulting masses rounded (e.g. ``0.33``); this module keeps
+the underlying *exact* vote fractions (``1/3``), which is what makes the
+extended union of Table 4 come out at exactly ``1/7`` and ``6/7``
+(printed 0.143 / 0.857 in the paper).
+
+The ``M``/``RM`` contents are not given in the paper; the tuples here
+are synthesized to exercise the "entity and relationship types integrate
+uniformly" claim (see DESIGN.md, Substitutions).
+
+All ``table_*`` constructors return fresh relations, so tests can mutate
+nothing by construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.ds.frame import OMEGA
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.membership import TupleMembership
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+
+#: Speciality abbreviations used throughout the paper's tables.
+SPECIALITIES = ("am", "hu", "si", "ca", "mu", "it", "ta")
+
+#: Long names, for documentation and pretty printing.
+SPECIALITY_NAMES = {
+    "am": "american",
+    "hu": "hunan",
+    "si": "sichuan",
+    "ca": "cantonese",
+    "mu": "mughalai",
+    "it": "italian",
+    "ta": "tandoori",
+}
+
+#: Rating abbreviations: excellent, good, average.
+RATINGS = ("ex", "gd", "avg")
+
+
+def speciality_domain() -> EnumeratedDomain:
+    """The speciality domain (Section 2.1's Theta_speciality)."""
+    return EnumeratedDomain("speciality", SPECIALITIES)
+
+
+def best_dish_domain() -> EnumeratedDomain:
+    """The dish domain d1..d36 referenced by the tables."""
+    return EnumeratedDomain("best_dish", [f"d{i}" for i in range(1, 37)])
+
+
+def rating_domain() -> EnumeratedDomain:
+    """The rating domain {ex, gd, avg}."""
+    return EnumeratedDomain("rating", RATINGS)
+
+
+def position_domain() -> EnumeratedDomain:
+    """Manager position domain (synthesized, Fig. 2's yposition)."""
+    return EnumeratedDomain("position", ["owner", "head_chef", "manager"])
+
+
+def restaurant_schema(name: str = "R") -> RelationSchema:
+    """The Restaurant relation schema from Figure 2."""
+    return RelationSchema(
+        name,
+        [
+            Attribute("rname", TextDomain("rname"), key=True),
+            Attribute("street", TextDomain("street")),
+            Attribute("bldg_no", NumericDomain("bldg_no", low=1, integral=True)),
+            Attribute("phone", TextDomain("phone")),
+            Attribute("speciality", speciality_domain(), uncertain=True),
+            Attribute("best_dish", best_dish_domain(), uncertain=True),
+            Attribute("rating", rating_domain(), uncertain=True),
+        ],
+    )
+
+
+def manager_schema(name: str = "M") -> RelationSchema:
+    """The Manager relation schema from Figure 2."""
+    return RelationSchema(
+        name,
+        [
+            Attribute("mname", TextDomain("mname"), key=True),
+            Attribute("phone", TextDomain("phone")),
+            Attribute("position", position_domain(), uncertain=True),
+        ],
+    )
+
+
+def managed_by_schema(name: str = "RM") -> RelationSchema:
+    """The Managed-by relationship schema from Figure 2 (n:m)."""
+    return RelationSchema(
+        name,
+        [
+            Attribute("rname", TextDomain("rname"), key=True),
+            Attribute("mname", TextDomain("mname"), key=True),
+        ],
+    )
+
+
+def _f(numerator: int, denominator: int = 1) -> Fraction:
+    return Fraction(numerator, denominator)
+
+
+def _row(schema, rname, street, bldg_no, phone, speciality, best_dish, rating, sn, sp):
+    return ExtendedTuple(
+        schema,
+        {
+            "rname": rname,
+            "street": street,
+            "bldg_no": bldg_no,
+            "phone": phone,
+            "speciality": speciality,
+            "best_dish": best_dish,
+            "rating": rating,
+        },
+        TupleMembership(sn, sp),
+    )
+
+
+def table_ra(name: str = "RA") -> ExtendedRelation:
+    """Table 1 (upper half): relation R_A of database DB_A.
+
+    Rating/best-dish evidence are the exact six-reviewer vote fractions
+    behind the rounded masses the paper prints (garden's rating votes
+    2/3/1 give masses 1/3, 1/2, 1/6, printed 0.33/0.5/0.17).
+    """
+    schema = restaurant_schema(name)
+    rows = [
+        _row(
+            schema, "garden", "univ.ave.", 2011, "371-2155",
+            {"si": _f(1, 2), "hu": _f(1, 4), OMEGA: _f(1, 4)},
+            {"d31": _f(1, 2), ("d35", "d36"): _f(1, 2)},
+            {"ex": _f(1, 3), "gd": _f(1, 2), "avg": _f(1, 6)},
+            1, 1,
+        ),
+        _row(
+            schema, "wok", "wash.ave.", 600, "382-4165",
+            {"si": _f(1)},
+            {"d6": _f(1, 3), "d7": _f(1, 3), "d25": _f(1, 3)},
+            {"gd": _f(1, 4), "avg": _f(3, 4)},
+            1, 1,
+        ),
+        _row(
+            schema, "country", "plato.blvd", 12, "293-9111",
+            {"am": _f(1)},
+            {"d1": _f(1, 2), "d2": _f(1, 3), OMEGA: _f(1, 6)},
+            {"ex": _f(1)},
+            1, 1,
+        ),
+        _row(
+            schema, "olive", "nic.ave.", 514, "338-0355",
+            {"it": _f(1)},
+            {"d1": _f(1)},
+            {"gd": _f(1, 2), "avg": _f(1, 2)},
+            1, 1,
+        ),
+        _row(
+            schema, "mehl", "9th-street", 820, "333-4035",
+            {"mu": _f(4, 5), "ta": _f(1, 5)},
+            {"d24": _f(2, 5), "d31": _f(3, 5)},
+            {"ex": _f(4, 5), "gd": _f(1, 5)},
+            _f(1, 2), _f(1, 2),
+        ),
+        _row(
+            schema, "ashiana", "univ.ave.", 353, "371-0824",
+            {"mu": _f(9, 10), OMEGA: _f(1, 10)},
+            {"d34": _f(4, 5), "d25": _f(1, 5)},
+            {"ex": _f(1)},
+            1, 1,
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def table_rb(name: str = "RB") -> ExtendedRelation:
+    """Table 1 (lower half): relation R_B of database DB_B."""
+    schema = restaurant_schema(name)
+    rows = [
+        _row(
+            schema, "garden", "univ.ave.", 2011, "371-2155",
+            {"si": _f(1, 2), "hu": _f(3, 10), OMEGA: _f(1, 5)},
+            {"d31": _f(7, 10), "d35": _f(3, 10)},
+            {"ex": _f(1, 5), "gd": _f(4, 5)},
+            1, 1,
+        ),
+        _row(
+            schema, "wok", "wash.ave.", 600, "382-4165",
+            {"ca": _f(1, 5), "si": _f(7, 10), OMEGA: _f(1, 10)},
+            {"d6": _f(1, 2), "d7": _f(1, 4), "d25": _f(1, 4)},
+            {"gd": _f(1)},
+            1, 1,
+        ),
+        _row(
+            schema, "country", "plato.blvd", 12, "293-9111",
+            {"am": _f(1)},
+            {"d1": _f(1, 5), "d2": _f(4, 5)},
+            {"ex": _f(7, 10), "gd": _f(3, 10)},
+            1, 1,
+        ),
+        _row(
+            schema, "olive", "nic.ave.", 514, "338-0355",
+            {"it": _f(1)},
+            {"d1": _f(4, 5), "d2": _f(1, 5)},
+            {"gd": _f(4, 5), "avg": _f(1, 5)},
+            1, 1,
+        ),
+        _row(
+            schema, "mehl", "9th-street", 820, "333-4035",
+            {"mu": _f(1)},
+            {"d24": _f(1, 10), "d31": _f(9, 10)},
+            {"ex": _f(1)},
+            _f(4, 5), 1,
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Expected results of the paper's worked tables (for verification)
+# ---------------------------------------------------------------------------
+
+
+def expected_table2(name: str = "RA") -> ExtendedRelation:
+    """Table 2: select[sn>0, speciality is {si}](R_A).
+
+    Attribute values are retained; memberships are revised by F_TM:
+    garden (1,1)x(1/2,3/4) = (0.5, 0.75), wok (1,1)x(1,1) = (1,1).
+    """
+    schema = restaurant_schema(name)
+    rows = [
+        _row(
+            schema, "garden", "univ.ave.", 2011, "371-2155",
+            {"si": _f(1, 2), "hu": _f(1, 4), OMEGA: _f(1, 4)},
+            {"d31": _f(1, 2), ("d35", "d36"): _f(1, 2)},
+            {"ex": _f(1, 3), "gd": _f(1, 2), "avg": _f(1, 6)},
+            _f(1, 2), _f(3, 4),
+        ),
+        _row(
+            schema, "wok", "wash.ave.", 600, "382-4165",
+            {"si": _f(1)},
+            {"d6": _f(1, 3), "d7": _f(1, 3), "d25": _f(1, 3)},
+            {"gd": _f(1, 4), "avg": _f(3, 4)},
+            1, 1,
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def expected_table3(name: str = "RA") -> ExtendedRelation:
+    """Table 3: select[sn>0, (speciality is {mu}) and (rating is {ex})](R_A).
+
+    mehl: support (4/5,4/5)x(4/5,4/5) = (16/25, 16/25); membership
+    (1/2,1/2) x (16/25,16/25) = (8/25, 8/25) = (0.32, 0.32).
+    ashiana: support (9/10,1)x(1,1); membership (1,1) -> (0.9, 1).
+    """
+    schema = restaurant_schema(name)
+    rows = [
+        _row(
+            schema, "mehl", "9th-street", 820, "333-4035",
+            {"mu": _f(4, 5), "ta": _f(1, 5)},
+            {"d24": _f(2, 5), "d31": _f(3, 5)},
+            {"ex": _f(4, 5), "gd": _f(1, 5)},
+            _f(8, 25), _f(8, 25),
+        ),
+        _row(
+            schema, "ashiana", "univ.ave.", 353, "371-0824",
+            {"mu": _f(9, 10), OMEGA: _f(1, 10)},
+            {"d34": _f(4, 5), "d25": _f(1, 5)},
+            {"ex": _f(1)},
+            _f(9, 10), 1,
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def expected_table4(name: str = "RA_union_RB") -> ExtendedRelation:
+    """Table 4: R_A union_(rname) R_B -- the integrated relation.
+
+    Every evidence set is the exact Dempster combination; the paper's
+    printed decimals are these fractions rounded to three digits
+    (19/29 = 0.655..., 1/7 = 0.142857... printed 0.143, etc.).
+    """
+    schema = restaurant_schema(name)
+    rows = [
+        _row(
+            schema, "garden", "univ.ave.", 2011, "371-2155",
+            {"si": _f(19, 29), "hu": _f(8, 29), OMEGA: _f(2, 29)},
+            {"d31": _f(7, 10), "d35": _f(3, 10)},
+            {"ex": _f(1, 7), "gd": _f(6, 7)},
+            1, 1,
+        ),
+        _row(
+            schema, "wok", "wash.ave.", 600, "382-4165",
+            {"si": _f(1)},
+            {"d6": _f(1, 2), "d7": _f(1, 4), "d25": _f(1, 4)},
+            {"gd": _f(1)},
+            1, 1,
+        ),
+        _row(
+            schema, "country", "plato.blvd", 12, "293-9111",
+            {"am": _f(1)},
+            {"d1": _f(1, 4), "d2": _f(3, 4)},
+            {"ex": _f(1)},
+            1, 1,
+        ),
+        _row(
+            schema, "olive", "nic.ave.", 514, "338-0355",
+            {"it": _f(1)},
+            {"d1": _f(1)},
+            {"gd": _f(4, 5), "avg": _f(1, 5)},
+            1, 1,
+        ),
+        _row(
+            schema, "mehl", "9th-street", 820, "333-4035",
+            {"mu": _f(1)},
+            {"d24": _f(2, 29), "d31": _f(27, 29)},
+            {"ex": _f(1)},
+            _f(5, 6), _f(5, 6),
+        ),
+        _row(
+            schema, "ashiana", "univ.ave.", 353, "371-0824",
+            {"mu": _f(9, 10), OMEGA: _f(1, 10)},
+            {"d34": _f(4, 5), "d25": _f(1, 5)},
+            {"ex": _f(1)},
+            1, 1,
+        ),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def expected_table5(name: str = "RA") -> ExtendedRelation:
+    """Table 5: project[rname, phone, speciality, rating, (sn,sp)](R_A)."""
+    schema = RelationSchema(
+        name,
+        [
+            Attribute("rname", TextDomain("rname"), key=True),
+            Attribute("phone", TextDomain("phone")),
+            Attribute("speciality", speciality_domain(), uncertain=True),
+            Attribute("rating", rating_domain(), uncertain=True),
+        ],
+    )
+
+    def row(rname, phone, speciality, rating, sn, sp):
+        return ExtendedTuple(
+            schema,
+            {
+                "rname": rname,
+                "phone": phone,
+                "speciality": speciality,
+                "rating": rating,
+            },
+            TupleMembership(sn, sp),
+        )
+
+    rows = [
+        row("garden", "371-2155",
+            {"si": _f(1, 2), "hu": _f(1, 4), OMEGA: _f(1, 4)},
+            {"ex": _f(1, 3), "gd": _f(1, 2), "avg": _f(1, 6)}, 1, 1),
+        row("wok", "382-4165", {"si": _f(1)},
+            {"gd": _f(1, 4), "avg": _f(3, 4)}, 1, 1),
+        row("country", "293-9111", {"am": _f(1)}, {"ex": _f(1)}, 1, 1),
+        row("olive", "338-0355", {"it": _f(1)},
+            {"gd": _f(1, 2), "avg": _f(1, 2)}, 1, 1),
+        row("mehl", "333-4035", {"mu": _f(4, 5), "ta": _f(1, 5)},
+            {"ex": _f(4, 5), "gd": _f(1, 5)}, _f(1, 2), _f(1, 2)),
+        row("ashiana", "371-0824", {"mu": _f(9, 10), OMEGA: _f(1, 10)},
+            {"ex": _f(1)}, 1, 1),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+# ---------------------------------------------------------------------------
+# Synthesized Manager / Managed-by relations (Figure 2; contents not in paper)
+# ---------------------------------------------------------------------------
+
+
+def _manager_row(schema, mname, phone, position, sn=1, sp=1):
+    return ExtendedTuple(
+        schema,
+        {"mname": mname, "phone": phone, "position": position},
+        TupleMembership(sn, sp),
+    )
+
+
+def table_m_a(name: str = "M_A") -> ExtendedRelation:
+    """Synthesized Manager relation of DB_A."""
+    schema = manager_schema(name)
+    rows = [
+        _manager_row(schema, "chen", "371-0001",
+                     {"owner": _f(3, 5), "head_chef": _f(2, 5)}),
+        _manager_row(schema, "lee", "382-0002", {"manager": _f(1)}),
+        _manager_row(schema, "patel", "333-0003",
+                     {"owner": _f(1, 2), OMEGA: _f(1, 2)}),
+        _manager_row(schema, "olsen", "293-0004", {"owner": _f(1)},
+                     sn=_f(7, 10), sp=1),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def table_m_b(name: str = "M_B") -> ExtendedRelation:
+    """Synthesized Manager relation of DB_B."""
+    schema = manager_schema(name)
+    rows = [
+        _manager_row(schema, "chen", "371-0001",
+                     {"owner": _f(4, 5), OMEGA: _f(1, 5)}),
+        _manager_row(schema, "lee", "382-0002",
+                     {"manager": _f(7, 10), "head_chef": _f(3, 10)}),
+        _manager_row(schema, "rossi", "338-0005", {"head_chef": _f(1)}),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def _rm_row(schema, rname, mname, sn=1, sp=1):
+    return ExtendedTuple(
+        schema, {"rname": rname, "mname": mname}, TupleMembership(sn, sp)
+    )
+
+
+def table_rm_a(name: str = "RM_A") -> ExtendedRelation:
+    """Synthesized Managed-by relationship of DB_A (n:m)."""
+    schema = managed_by_schema(name)
+    rows = [
+        _rm_row(schema, "wok", "chen"),
+        _rm_row(schema, "garden", "chen", sn=_f(4, 5), sp=1),
+        _rm_row(schema, "garden", "lee"),
+        _rm_row(schema, "mehl", "patel"),
+        _rm_row(schema, "ashiana", "patel"),
+        _rm_row(schema, "country", "olsen"),
+    ]
+    return ExtendedRelation(schema, rows)
+
+
+def table_rm_b(name: str = "RM_B") -> ExtendedRelation:
+    """Synthesized Managed-by relationship of DB_B (n:m)."""
+    schema = managed_by_schema(name)
+    rows = [
+        _rm_row(schema, "wok", "chen"),
+        _rm_row(schema, "garden", "lee", sn=_f(9, 10), sp=1),
+        _rm_row(schema, "olive", "rossi"),
+        _rm_row(schema, "mehl", "patel", sn=_f(3, 5), sp=_f(4, 5)),
+    ]
+    return ExtendedRelation(schema, rows)

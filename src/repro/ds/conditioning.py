@@ -1,0 +1,38 @@
+"""Dempster conditioning: revising evidence on a definite observation.
+
+``m(. | B)`` is the special case of Dempster's rule where the second
+body of evidence is categorical on ``B`` ("the value certainly lies in
+B").  Every focal element is intersected with ``B`` and the masses are
+renormalized; evidence entirely outside ``B`` becomes conflict.
+
+The integration framework uses conditioning when a definite constraint
+is learned after merging -- e.g. the tourist bureau confirms a
+restaurant is Chinese, so its speciality evidence is conditioned on
+{hu, si, ca} without rerunning the integration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.ds.mass import MassFunction, coerce_focal_element
+from repro.ds.combination import combine
+
+
+def condition(m: MassFunction, constraint: Iterable) -> MassFunction:
+    """``m(. | constraint)``: Dempster conditioning.
+
+    >>> from repro.ds import MassFunction, OMEGA
+    >>> m = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+    >>> conditioned = condition(m, {"hu", "si"})
+    >>> conditioned[{"hu", "si"}]
+    Fraction(1, 1)
+
+    Raises
+    ------
+    TotalConflictError
+        When the evidence gives the constraint zero plausibility.
+    """
+    element = coerce_focal_element(constraint)
+    categorical = MassFunction({element: 1}, m.frame)
+    return combine(m, categorical)

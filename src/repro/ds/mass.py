@@ -1,0 +1,412 @@
+"""Mass functions (basic probability assignments).
+
+A mass function ``m`` allocates belief to *subsets* of a frame of
+discernment such that ``m(empty) = 0`` and the masses sum to one
+(Section 2.1 of the paper).  Subsets with positive mass are *focal
+elements*.  Crucially -- and unlike probability distributions -- mass
+assigned to a non-singleton set is committed to the set as a whole, not
+divided among its members, and the mass given to the entire frame
+represents *nonbelief* (ignorance).
+
+Arithmetic
+----------
+Masses may be :class:`fractions.Fraction` (exact) or :class:`float`.
+Constructors accept ``int``, ``Fraction``, ``float``, decimal strings such
+as ``"0.25"`` and rational strings such as ``"1/3"``.  Strings are always
+converted to exact fractions; pass genuine ``float`` objects to work in
+floating point.  Mixed inputs degrade gracefully: exactness is preserved
+whenever every mass is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+from fractions import Fraction
+from numbers import Rational
+from typing import Union
+
+from repro.errors import MassFunctionError
+from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, is_omega
+
+Numeric = Union[Fraction, float]
+
+#: Tolerance used to validate that float masses sum to one.
+FLOAT_SUM_TOLERANCE = 1e-9
+
+
+def coerce_mass_value(value: object) -> Numeric:
+    """Convert a user-supplied mass value into ``Fraction`` or ``float``.
+
+    * ``int`` and other rationals become :class:`Fraction` (exact),
+    * ``float`` stays ``float``,
+    * strings (``"0.25"``, ``"1/3"``) become exact :class:`Fraction`.
+    """
+    if isinstance(value, bool):
+        raise MassFunctionError(f"mass value must be numeric, got {value!r}")
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, Rational):
+        return Fraction(value)
+    if isinstance(value, str):
+        try:
+            return Fraction(value)
+        except (ValueError, ZeroDivisionError) as exc:
+            raise MassFunctionError(f"cannot parse mass value {value!r}") from exc
+    raise MassFunctionError(f"mass value must be numeric, got {value!r}")
+
+
+def coerce_focal_element(element: object) -> FocalElement:
+    """Normalize a user-supplied focal element.
+
+    Accepts :data:`OMEGA`, any iterable of values (except strings), or a
+    scalar, which is treated as a singleton set.  Strings are scalars:
+    ``"ca"`` means the singleton ``{"ca"}``, never ``{"c", "a"}``.
+    """
+    if is_omega(element):
+        return OMEGA
+    if isinstance(element, frozenset):
+        candidate = element
+    elif isinstance(element, (str, bytes)):
+        candidate = frozenset({element})
+    elif isinstance(element, Iterable):
+        candidate = frozenset(element)
+    else:
+        candidate = frozenset({element})
+    if not candidate:
+        raise MassFunctionError("the empty set cannot be a focal element")
+    return candidate
+
+
+def _focal_sort_key(element: FocalElement):
+    """Deterministic ordering: concrete sets by (size, members), OMEGA last."""
+    if is_omega(element):
+        return (1, 0, ())
+    return (0, len(element), tuple(sorted(map(repr, element))))
+
+
+class MassFunction:
+    """An immutable mass function over subsets of a frame.
+
+    Parameters
+    ----------
+    masses:
+        Mapping from focal elements to masses.  Keys may be scalars
+        (treated as singletons), iterables of values, or :data:`OMEGA`.
+        Zero-valued entries are dropped.
+    frame:
+        Optional enumerated :class:`FrameOfDiscernment`.  When given,
+        focal elements are validated against it and a concrete set equal
+        to the whole frame is canonicalized to :data:`OMEGA`.
+
+    >>> m = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+    >>> m[{"ca"}]
+    Fraction(1, 2)
+    >>> m[OMEGA]
+    Fraction(1, 6)
+    """
+
+    __slots__ = ("_masses", "_frame")
+
+    def __init__(
+        self,
+        masses: Mapping,
+        frame: FrameOfDiscernment | None = None,
+    ):
+        cleaned: dict[FocalElement, Numeric] = {}
+        for raw_element, raw_value in masses.items():
+            value = coerce_mass_value(raw_value)
+            if value < 0:
+                raise MassFunctionError(f"negative mass {value!r} for {raw_element!r}")
+            if value == 0:
+                continue
+            element = coerce_focal_element(raw_element)
+            if frame is not None:
+                element = frame.canonicalize(element)
+            if element in cleaned:
+                cleaned[element] = cleaned[element] + value
+            else:
+                cleaned[element] = value
+        _validate_total(cleaned)
+        self._masses = cleaned
+        self._frame = frame
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def exact(
+        cls, masses: Mapping, frame: FrameOfDiscernment | None = None
+    ) -> "MassFunction":
+        """Build a mass function converting every float via its repr.
+
+        ``0.25`` becomes ``Fraction(1, 4)`` exactly; use this when decimal
+        literals are meant as exact decimal fractions.
+        """
+        converted = {
+            element: Fraction(str(value)) if isinstance(value, float) else value
+            for element, value in masses.items()
+        }
+        return cls(converted, frame)
+
+    @classmethod
+    def from_counts(
+        cls, counts: Mapping, frame: FrameOfDiscernment | None = None
+    ) -> "MassFunction":
+        """Build a mass function from unnormalized counts (e.g. votes).
+
+        This is the paper's Section 1.2 derivation: a panel of reviewers
+        casts votes for values (or sets of values, or abstains -- map
+        abstentions to :data:`OMEGA`), and the mass of each focal element
+        is its vote share.  Counts are exact, so six votes split 2/4
+        produce masses 1/3 and 2/3 exactly.
+        """
+        total = 0
+        converted: dict[object, Fraction] = {}
+        for element, count in counts.items():
+            value = coerce_mass_value(count)
+            if isinstance(value, float):
+                value = Fraction(str(value))
+            if value < 0:
+                raise MassFunctionError(f"negative count {count!r} for {element!r}")
+            converted[element] = value
+            total += value
+        if total == 0:
+            raise MassFunctionError("counts sum to zero; cannot normalize")
+        return cls(
+            {element: value / total for element, value in converted.items()}, frame
+        )
+
+    @classmethod
+    def definite(
+        cls, value: object, frame: FrameOfDiscernment | None = None
+    ) -> "MassFunction":
+        """The mass function fully committed to a single value."""
+        return cls({coerce_focal_element(value): Fraction(1)}, frame)
+
+    @classmethod
+    def vacuous(cls, frame: FrameOfDiscernment | None = None) -> "MassFunction":
+        """The totally ignorant mass function: all mass on the frame."""
+        return cls({OMEGA: Fraction(1)}, frame)
+
+    @classmethod
+    def categorical(
+        cls, values: Iterable, frame: FrameOfDiscernment | None = None
+    ) -> "MassFunction":
+        """All mass on one (possibly non-singleton) set of values."""
+        return cls({coerce_focal_element(values): Fraction(1)}, frame)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def frame(self) -> FrameOfDiscernment | None:
+        """The enumerated frame, when one is attached."""
+        return self._frame
+
+    def focal_elements(self) -> tuple[FocalElement, ...]:
+        """The focal elements in deterministic order (OMEGA last)."""
+        return tuple(sorted(self._masses, key=_focal_sort_key))
+
+    def items(self) -> Iterator[tuple[FocalElement, Numeric]]:
+        """Iterate ``(focal element, mass)`` pairs in deterministic order."""
+        for element in self.focal_elements():
+            yield element, self._masses[element]
+
+    def mass(self, element: object) -> Numeric:
+        """The mass of *element* (zero when it is not focal)."""
+        key = coerce_focal_element(element)
+        if self._frame is not None and not is_omega(key):
+            key = self._frame.canonicalize(key)
+        return self._masses.get(key, Fraction(0))
+
+    def __getitem__(self, element: object) -> Numeric:
+        return self.mass(element)
+
+    def __contains__(self, element: object) -> bool:
+        return self.mass(element) != 0
+
+    def __len__(self) -> int:
+        return len(self._masses)
+
+    def __iter__(self) -> Iterator[FocalElement]:
+        return iter(self.focal_elements())
+
+    # -- structure predicates ----------------------------------------------
+
+    def is_exact(self) -> bool:
+        """``True`` when every mass is a :class:`Fraction`."""
+        return all(isinstance(value, Fraction) for value in self._masses.values())
+
+    def is_vacuous(self) -> bool:
+        """``True`` when all mass sits on the whole frame (ignorance)."""
+        return set(self._masses) == {OMEGA}
+
+    def is_definite(self) -> bool:
+        """``True`` when all mass sits on one singleton value."""
+        if len(self._masses) != 1:
+            return False
+        (element,) = self._masses
+        return not is_omega(element) and len(element) == 1
+
+    def definite_value(self):
+        """The single certain value; raises unless :meth:`is_definite`."""
+        if not self.is_definite():
+            raise MassFunctionError(f"{self!r} is not a definite value")
+        (element,) = self._masses
+        (value,) = element
+        return value
+
+    def is_bayesian(self) -> bool:
+        """``True`` when every focal element is a singleton (a probability
+        distribution in disguise)."""
+        return all(
+            not is_omega(element) and len(element) == 1 for element in self._masses
+        )
+
+    def is_consonant(self) -> bool:
+        """``True`` when the focal elements form a nested chain (possibility
+        distribution)."""
+        concrete = sorted(
+            (element for element in self._masses if not is_omega(element)), key=len
+        )
+        for smaller, larger in zip(concrete, concrete[1:]):
+            if not smaller <= larger:
+                return False
+        return True
+
+    def core(self) -> FocalElement:
+        """The union of all focal elements (OMEGA when ignorance is focal)."""
+        if OMEGA in self._masses:
+            if self._frame is not None:
+                return frozenset(self._frame.values)
+            return OMEGA
+        union: frozenset = frozenset()
+        for element in self._masses:
+            union = union | element
+        return union
+
+    def ignorance(self) -> Numeric:
+        """The mass assigned to the whole frame (nonbelief)."""
+        return self._masses.get(OMEGA, Fraction(0))
+
+    # -- belief measures (delegating to repro.ds.belief) --------------------
+
+    def bel(self, subset: object) -> Numeric:
+        """Belief committed to *subset*; see :func:`repro.ds.belief.belief`."""
+        from repro.ds.belief import belief
+
+        return belief(self, subset)
+
+    def pls(self, subset: object) -> Numeric:
+        """Plausibility of *subset*; see
+        :func:`repro.ds.belief.plausibility`."""
+        from repro.ds.belief import plausibility
+
+        return plausibility(self, subset)
+
+    def combine(self, other: "MassFunction") -> "MassFunction":
+        """Dempster's rule of combination; see
+        :func:`repro.ds.combination.combine`."""
+        from repro.ds.combination import combine
+
+        return combine(self, other)
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_float(self) -> "MassFunction":
+        """A copy with every mass converted to ``float``."""
+        return MassFunction(
+            {element: float(value) for element, value in self._masses.items()},
+            self._frame,
+        )
+
+    def to_exact(self) -> "MassFunction":
+        """A copy with every mass converted to an exact ``Fraction``.
+
+        Float masses are converted via their shortest decimal repr, so a
+        mass printed as ``0.25`` becomes exactly ``1/4``.
+        """
+        return MassFunction(
+            {
+                element: Fraction(str(value)) if isinstance(value, float) else value
+                for element, value in self._masses.items()
+            },
+            self._frame,
+        )
+
+    def with_frame(self, frame: FrameOfDiscernment | None) -> "MassFunction":
+        """A copy attached to (and validated against) *frame*."""
+        return MassFunction(dict(self._masses), frame)
+
+    def map_elements(self, mapping) -> "MassFunction":
+        """Translate focal elements through a value mapping.
+
+        *mapping* is a callable taking one domain value and returning
+        either a single value or an iterable of values (a one-to-many
+        mapping produces larger focal elements -- this is exactly how
+        domain translation introduces uncertainty during attribute
+        preprocessing).  OMEGA maps to OMEGA.  Masses of elements that
+        collide after mapping are summed.
+        """
+        translated: dict[FocalElement, Numeric] = {}
+        for element, value in self._masses.items():
+            if is_omega(element):
+                new_element: FocalElement = OMEGA
+            else:
+                members: set = set()
+                for member in element:
+                    image = mapping(member)
+                    if isinstance(image, (str, bytes)) or not isinstance(
+                        image, Iterable
+                    ):
+                        members.add(image)
+                    else:
+                        members.update(image)
+                if not members:
+                    raise MassFunctionError(
+                        f"mapping erased focal element {sorted(map(repr, element))}"
+                    )
+                new_element = frozenset(members)
+            if new_element in translated:
+                translated[new_element] = translated[new_element] + value
+            else:
+                translated[new_element] = value
+        return MassFunction(translated, None)
+
+    # -- dunder plumbing -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MassFunction):
+            return NotImplemented
+        return self._resolved_masses() == other._resolved_masses()
+
+    def _resolved_masses(self) -> dict:
+        """Masses with OMEGA resolved to the concrete frame when known,
+        so that equality is insensitive to OMEGA canonicalization."""
+        if self._frame is None or OMEGA not in self._masses:
+            return self._masses
+        resolved = dict(self._masses)
+        resolved[frozenset(self._frame.values)] = resolved.pop(OMEGA)
+        return resolved
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._resolved_masses().items()))
+
+    def __repr__(self) -> str:
+        from repro.ds.notation import format_evidence
+
+        return f"MassFunction({format_evidence(self)})"
+
+
+def _validate_total(masses: dict) -> None:
+    """Check that masses sum to one (exactly, or within float tolerance)."""
+    if not masses:
+        raise MassFunctionError("a mass function needs at least one focal element")
+    total = sum(masses.values())
+    if all(isinstance(value, Fraction) for value in masses.values()):
+        if total != 1:
+            raise MassFunctionError(f"masses must sum to 1, got {total}")
+    else:
+        if not math.isclose(float(total), 1.0, rel_tol=FLOAT_SUM_TOLERANCE, abs_tol=FLOAT_SUM_TOLERANCE):
+            raise MassFunctionError(f"masses must sum to 1, got {float(total)!r}")

@@ -1,0 +1,99 @@
+"""Probability transforms and decision rules over mass functions.
+
+A mass function bounds, but does not pick, a probability distribution.
+When a downstream consumer needs point probabilities (for ranking query
+answers, or for the probabilistic baselines of Section 1.3), two standard
+transforms are provided:
+
+* the **pignistic transform** (Smets): each focal element's mass is split
+  evenly among its members -- the expected-utility-safe choice;
+* the **plausibility transform**: singleton plausibilities, renormalized.
+
+Both need concrete focal elements; a symbolic OMEGA requires the mass
+function to carry an enumerated frame so the frame's members are known.
+
+Decision helpers (:func:`max_belief_decision` etc.) pick the best
+singleton under each criterion, which the examples use to produce
+definite integrated values on request.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import TransformError
+from repro.ds.frame import is_omega
+from repro.ds.mass import MassFunction, Numeric
+
+
+def _concrete_members(m: MassFunction, element) -> frozenset:
+    """Resolve a focal element to its concrete members, or fail."""
+    if not is_omega(element):
+        return element
+    if m.frame is None:
+        raise TransformError(
+            "mass on OMEGA cannot be redistributed without an enumerated frame"
+        )
+    return frozenset(m.frame.values)
+
+
+def pignistic(m: MassFunction) -> dict:
+    """The pignistic probability ``BetP(v) = sum m(X)/|X| over X with v in X``.
+
+    >>> from repro.ds import MassFunction
+    >>> m = MassFunction({"ca": "1/2", ("hu", "si"): "1/2"})
+    >>> betp = pignistic(m)
+    >>> betp["ca"], betp["hu"]
+    (Fraction(1, 2), Fraction(1, 4))
+    """
+    probabilities: dict = {}
+    for element, value in m.items():
+        members = _concrete_members(m, element)
+        share = value / len(members)
+        for member in members:
+            probabilities[member] = probabilities.get(member, Fraction(0)) + share
+    return probabilities
+
+
+def plausibility_transform(m: MassFunction) -> dict:
+    """Normalized singleton plausibilities ``Pl_P(v) = Pls({v}) / Z``."""
+    values: set = set()
+    for element, _ in m.items():
+        values.update(_concrete_members(m, element))
+    raw = {value: m.pls({value}) for value in sorted(values, key=repr)}
+    total = sum(raw.values())
+    if total == 0:
+        raise TransformError("all singleton plausibilities are zero")
+    return {value: pls / total for value, pls in raw.items()}
+
+
+def _argmax(scores: dict):
+    """The key with the maximal score; deterministic tie-break by repr."""
+    best_value: Numeric | None = None
+    best_key = None
+    for key in sorted(scores, key=repr):
+        if best_value is None or scores[key] > best_value:
+            best_value = scores[key]
+            best_key = key
+    return best_key
+
+
+def max_belief_decision(m: MassFunction):
+    """The singleton with maximal belief (most strongly supported value)."""
+    values: set = set()
+    for element, _ in m.items():
+        values.update(_concrete_members(m, element))
+    return _argmax({value: m.bel({value}) for value in values})
+
+
+def max_plausibility_decision(m: MassFunction):
+    """The singleton with maximal plausibility (least refuted value)."""
+    values: set = set()
+    for element, _ in m.items():
+        values.update(_concrete_members(m, element))
+    return _argmax({value: m.pls({value}) for value in values})
+
+
+def max_pignistic_decision(m: MassFunction):
+    """The singleton with maximal pignistic probability."""
+    return _argmax(pignistic(m))

@@ -1,0 +1,81 @@
+"""The database integration framework of Figure 1.
+
+The paper's architecture, left to right:
+
+1. **Schema mapping** (:mod:`repro.integration.correspondence`) --
+   correspondences between source attributes and the global schema,
+   extracted during schema integration.
+2. **Attribute domain information**
+   (:mod:`repro.integration.domain_mapping`) -- value mappings between
+   local and global domains; one-to-many mappings are where DeMichiel's
+   partial values (and our evidence sets) first arise.
+3. **Attribute preprocessing** (:mod:`repro.integration.preprocess`) --
+   maps each source relation's actual attributes into the virtual
+   attributes of the global schema.
+4. **Entity identification**
+   (:mod:`repro.integration.entity_identification`) -- pairs tuples
+   denoting the same real-world entity (by common key, as the paper
+   assumes; an attribute-similarity matcher is provided as the substrate
+   of the authors' companion work).
+5. **Tuple merging** (:mod:`repro.integration.merging`) -- combines the
+   attribute values of matched tuples per attribute integration method;
+   the evidential method is the paper's extended union.
+6. :class:`repro.integration.pipeline.IntegrationPipeline` wires all of
+   it together and produces the integrated relation plus a conflict
+   report.
+"""
+
+from repro.integration.correspondence import AttributeCorrespondence, SchemaMapping
+from repro.integration.domain_mapping import DomainValueMapping
+from repro.integration.preprocess import AttributePreprocessor
+from repro.integration.entity_identification import (
+    KeyMatcher,
+    SimilarityMatcher,
+    TupleMatching,
+)
+from repro.integration.methods import (
+    AverageMethod,
+    EvidentialMethod,
+    IntegrationMethod,
+    IntersectionMethod,
+    MaxMethod,
+    MinMethod,
+    MixtureMethod,
+    PreferLeftMethod,
+    PreferRightMethod,
+    get_method,
+)
+from repro.integration.merging import MergeReport, TupleMerger
+from repro.integration.pipeline import IntegrationPipeline, IntegrationResult
+from repro.integration.federation import (
+    Federation,
+    FederationReport,
+    FederationSource,
+)
+
+__all__ = [
+    "AttributeCorrespondence",
+    "SchemaMapping",
+    "DomainValueMapping",
+    "AttributePreprocessor",
+    "KeyMatcher",
+    "SimilarityMatcher",
+    "TupleMatching",
+    "IntegrationMethod",
+    "EvidentialMethod",
+    "AverageMethod",
+    "MinMethod",
+    "MaxMethod",
+    "IntersectionMethod",
+    "MixtureMethod",
+    "PreferLeftMethod",
+    "PreferRightMethod",
+    "get_method",
+    "TupleMerger",
+    "MergeReport",
+    "IntegrationPipeline",
+    "IntegrationResult",
+    "Federation",
+    "FederationReport",
+    "FederationSource",
+]

@@ -1,0 +1,150 @@
+"""Schema mapping: source-attribute to global-attribute correspondences.
+
+"Schema mapping establishes correspondences between attributes from
+different relations" (Section 1.1).  An
+:class:`AttributeCorrespondence` links one source attribute to one
+target (global) attribute with an optional value transform -- typically
+a :meth:`DomainValueMapping.as_transform` for domain translation.
+A :class:`SchemaMapping` collects correspondences (plus whole-tuple
+*derivations* for target attributes computed from several source
+attributes) and rewrites source tuples into the global schema.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.errors import IntegrationError
+from repro.model.etuple import ExtendedTuple
+from repro.model.schema import RelationSchema
+
+
+class AttributeCorrespondence:
+    """``source_attribute -> target_attribute`` with an optional transform.
+
+    The transform receives the stored source value (a scalar for key
+    attributes, an :class:`EvidenceSet` otherwise) and returns the value
+    to store under the target attribute.
+    """
+
+    __slots__ = ("_source", "_target", "_transform")
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        transform: Callable[[object], object] | None = None,
+    ):
+        if not source or not target:
+            raise IntegrationError(
+                f"correspondence needs source and target names, got "
+                f"{source!r} -> {target!r}"
+            )
+        self._source = source
+        self._target = target
+        self._transform = transform
+
+    @property
+    def source(self) -> str:
+        """The source attribute name."""
+        return self._source
+
+    @property
+    def target(self) -> str:
+        """The target (global) attribute name."""
+        return self._target
+
+    def apply(self, etuple: ExtendedTuple) -> object:
+        """The target value derived from *etuple*."""
+        value = etuple.value(self._source)
+        if self._transform is not None:
+            return self._transform(value)
+        return value
+
+    def __repr__(self) -> str:
+        arrow = " (transformed)" if self._transform is not None else ""
+        return f"AttributeCorrespondence({self._source!r} -> {self._target!r}{arrow})"
+
+
+class SchemaMapping:
+    """All correspondences from one source relation to the global schema.
+
+    Parameters
+    ----------
+    target_schema:
+        The global relation schema being produced.
+    correspondences:
+        One per target attribute covered by a single source attribute.
+    derivations:
+        ``{target_attribute: fn(source_tuple) -> value}`` for target
+        attributes computed from the whole source tuple (e.g. an
+        evidence set consolidated from several vote-count columns).
+
+    Every target attribute must be covered exactly once.
+    """
+
+    def __init__(
+        self,
+        target_schema: RelationSchema,
+        correspondences: Iterable[AttributeCorrespondence] = (),
+        derivations: Mapping[str, Callable[[ExtendedTuple], object]] | None = None,
+    ):
+        self._target_schema = target_schema
+        self._correspondences = tuple(correspondences)
+        self._derivations = dict(derivations or {})
+        covered: set[str] = set()
+        for correspondence in self._correspondences:
+            if correspondence.target not in target_schema:
+                raise IntegrationError(
+                    f"correspondence targets unknown attribute "
+                    f"{correspondence.target!r} of {target_schema.name!r}"
+                )
+            if correspondence.target in covered:
+                raise IntegrationError(
+                    f"target attribute {correspondence.target!r} covered twice"
+                )
+            covered.add(correspondence.target)
+        for target in self._derivations:
+            if target not in target_schema:
+                raise IntegrationError(
+                    f"derivation targets unknown attribute {target!r} of "
+                    f"{target_schema.name!r}"
+                )
+            if target in covered:
+                raise IntegrationError(
+                    f"target attribute {target!r} covered twice"
+                )
+            covered.add(target)
+        missing = set(target_schema.names) - covered
+        if missing:
+            raise IntegrationError(
+                f"schema mapping leaves target attribute(s) "
+                f"{', '.join(sorted(missing))} of {target_schema.name!r} uncovered"
+            )
+
+    @property
+    def target_schema(self) -> RelationSchema:
+        """The global schema this mapping produces."""
+        return self._target_schema
+
+    @property
+    def correspondences(self) -> tuple[AttributeCorrespondence, ...]:
+        """The one-to-one attribute correspondences."""
+        return self._correspondences
+
+    @classmethod
+    def identity(cls, target_schema: RelationSchema) -> "SchemaMapping":
+        """The mapping for a source already in the global schema."""
+        return cls(
+            target_schema,
+            [AttributeCorrespondence(name, name) for name in target_schema.names],
+        )
+
+    def apply(self, etuple: ExtendedTuple) -> dict[str, object]:
+        """Rewrite one source tuple into target-schema values."""
+        values: dict[str, object] = {}
+        for correspondence in self._correspondences:
+            values[correspondence.target] = correspondence.apply(etuple)
+        for target, derive in self._derivations.items():
+            values[target] = derive(etuple)
+        return values

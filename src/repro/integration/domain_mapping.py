@@ -1,0 +1,148 @@
+"""Attribute domain information: value mappings between domains.
+
+"Attribute domain information defines the mapping between attribute
+values from different domains" (Section 1.1).  A local database may code
+ratings 1-5 where the global schema uses {ex, gd, avg}; the mapping may
+be one-to-one (a clean recode) or **one-to-many** -- local value ``4``
+could mean global ``ex`` or ``gd``.  DeMichiel observed that such
+mappings force uncertainty on the integrated view: a one-to-many image
+is exactly a partial value, which the extended model represents as a
+focal element covering the image set.
+
+:meth:`DomainValueMapping.map_evidence` pushes a whole evidence set
+through the mapping (focal elements map member-wise, their images union)
+and :meth:`DomainValueMapping.as_transform` packages the mapping for use
+in an :class:`~repro.integration.correspondence.AttributeCorrespondence`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import IntegrationError
+from repro.model.domain import Domain
+from repro.model.evidence import EvidenceSet
+
+#: Policies for values without a mapping entry.
+UNMAPPED_POLICIES = ("error", "identity", "ignore")
+
+
+class DomainValueMapping:
+    """A (possibly one-to-many) mapping of local to global domain values.
+
+    Parameters
+    ----------
+    name:
+        Identifier for error messages, e.g. ``"stars-to-rating"``.
+    mapping:
+        ``{local_value: global_value or iterable of global values}``.
+    target_domain:
+        Optional global domain; images are validated against it.
+    unmapped:
+        What to do with values missing from *mapping*: ``"error"``
+        (default), ``"identity"`` (pass through), or ``"ignore"``
+        (treated as mapping to the whole target domain -- ignorance).
+
+    >>> stars = DomainValueMapping("stars", {5: "ex", 4: {"ex", "gd"},
+    ...                                      3: "gd", 2: "avg", 1: "avg"})
+    >>> sorted(stars.map_value(4))
+    ['ex', 'gd']
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mapping: Mapping,
+        target_domain: Domain | None = None,
+        unmapped: str = "error",
+    ):
+        if unmapped not in UNMAPPED_POLICIES:
+            raise IntegrationError(
+                f"unmapped policy must be one of {UNMAPPED_POLICIES}, "
+                f"got {unmapped!r}"
+            )
+        self._name = name
+        self._target_domain = target_domain
+        self._unmapped = unmapped
+        self._images: dict = {}
+        for local, image in mapping.items():
+            if isinstance(image, (str, bytes)) or not isinstance(image, Iterable):
+                image_set = frozenset({image})
+            else:
+                image_set = frozenset(image)
+            if not image_set:
+                raise IntegrationError(
+                    f"mapping {name!r} sends {local!r} to the empty set"
+                )
+            if target_domain is not None:
+                for value in image_set:
+                    if not target_domain.contains(value):
+                        raise IntegrationError(
+                            f"mapping {name!r} sends {local!r} to {value!r}, "
+                            f"outside domain {target_domain.name!r}"
+                        )
+            self._images[local] = image_set
+
+    @property
+    def name(self) -> str:
+        """The mapping's identifier."""
+        return self._name
+
+    @property
+    def target_domain(self) -> Domain | None:
+        """The global domain, when known."""
+        return self._target_domain
+
+    def map_value(self, value: object) -> frozenset:
+        """The image of one local value as a set of global values."""
+        if value in self._images:
+            return self._images[value]
+        if self._unmapped == "identity":
+            return frozenset({value})
+        if self._unmapped == "ignore":
+            if self._target_domain is None or not self._target_domain.is_enumerable:
+                raise IntegrationError(
+                    f"mapping {self._name!r} cannot 'ignore' {value!r} without "
+                    "an enumerable target domain"
+                )
+            return frozenset(self._target_domain.frame().values)
+        raise IntegrationError(
+            f"mapping {self._name!r} has no entry for value {value!r}"
+        )
+
+    def map_evidence(self, evidence: EvidenceSet) -> EvidenceSet:
+        """Push an evidence set through the mapping.
+
+        Focal elements map member-wise and their images union; OMEGA
+        stays OMEGA.  Masses of colliding images are summed.
+        """
+        mapped = evidence.mass_function.map_elements(self.map_value)
+        return EvidenceSet(mapped, self._target_domain)
+
+    def as_transform(self):
+        """A transform for :class:`AttributeCorrespondence`.
+
+        Scalars with singleton images stay scalars (so key attributes
+        survive); anything else becomes an evidence set -- the exact
+        point where domain translation injects uncertainty.
+        """
+
+        def transform(value: object) -> object:
+            if isinstance(value, EvidenceSet):
+                return self.map_evidence(value)
+            image = self.map_value(value)
+            if len(image) == 1:
+                (single,) = image
+                return single
+            return EvidenceSet(
+                {image: 1},
+                self._target_domain,
+            )
+
+        return transform
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainValueMapping({self._name!r}, {len(self._images)} entries, "
+            f"unmapped={self._unmapped!r})"
+        )

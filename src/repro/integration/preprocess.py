@@ -1,0 +1,60 @@
+"""Attribute preprocessing: source relations -> virtual global relations.
+
+Figure 1's first stage: "we first preprocess each source relation to make
+both relations compatible in their attributes.  This usually involves
+mapping the actual attributes from the source relations into virtual
+attributes of the appropriate domain types."
+
+:class:`AttributePreprocessor` applies a
+:class:`~repro.integration.correspondence.SchemaMapping` to every tuple
+of a source relation, producing the preprocessed relation (the paper's
+``R'_A`` / ``R'_B``).  Tuple memberships are preserved -- preprocessing
+changes representation, not evidence about existence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrationError
+from repro.model.etuple import ExtendedTuple
+from repro.model.relation import ExtendedRelation
+from repro.integration.correspondence import SchemaMapping
+
+
+class AttributePreprocessor:
+    """Rewrites a source relation into the global schema."""
+
+    def __init__(self, mapping: SchemaMapping):
+        self._mapping = mapping
+
+    @property
+    def mapping(self) -> SchemaMapping:
+        """The schema mapping being applied."""
+        return self._mapping
+
+    def preprocess(
+        self, relation: ExtendedRelation, name: str | None = None
+    ) -> ExtendedRelation:
+        """The preprocessed relation over the global schema.
+
+        >>> from repro.datasets.restaurants import table_ra, restaurant_schema
+        >>> identity = SchemaMapping.identity(restaurant_schema("global_R"))
+        >>> preprocessed = AttributePreprocessor(identity).preprocess(table_ra())
+        >>> preprocessed.name
+        'global_R'
+        """
+        schema = self._mapping.target_schema
+        if name is not None:
+            schema = schema.with_name(name)
+        rewritten = []
+        for etuple in relation:
+            try:
+                values = self._mapping.apply(etuple)
+            except IntegrationError:
+                raise
+            except Exception as exc:
+                raise IntegrationError(
+                    f"preprocessing tuple {etuple.key()!r} of "
+                    f"{relation.name!r} failed: {exc}"
+                ) from exc
+            rewritten.append(ExtendedTuple(schema, values, etuple.membership))
+        return ExtendedRelation(schema, rewritten)

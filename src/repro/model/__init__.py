@@ -1,0 +1,54 @@
+"""The extended relational model (Section 2.3 of the paper).
+
+An *extended relation* differs from a traditional relation in two ways:
+
+1. non-key attribute values may be **evidence sets** -- Dempster-Shafer
+   mass functions over subsets of the attribute domain -- while key
+   attributes stay definite;
+2. every tuple carries a **tuple membership** pair ``(sn, sp)`` giving
+   the necessary and possible support for the tuple belonging to the
+   relation, with ``0 <= sn <= sp <= 1``.
+
+The generalized closed world assumption (CWA_ER) interprets tuples absent
+from a relation as having ``sn = 0``; accordingly a stored relation only
+holds tuples with positive necessary support, which
+:class:`~repro.model.relation.ExtendedRelation` enforces.
+"""
+
+from repro.model.domain import (
+    AnyDomain,
+    BooleanDomain,
+    Domain,
+    EnumeratedDomain,
+    NumericDomain,
+    TextDomain,
+)
+from repro.model.attribute import Attribute
+from repro.model.schema import RelationSchema
+from repro.model.evidence import EvidenceSet
+from repro.model.membership import (
+    CERTAIN,
+    IMPOSSIBLE,
+    UNKNOWN,
+    TupleMembership,
+)
+from repro.model.etuple import ExtendedTuple
+from repro.model.relation import ExtendedRelation
+
+__all__ = [
+    "Domain",
+    "EnumeratedDomain",
+    "NumericDomain",
+    "TextDomain",
+    "BooleanDomain",
+    "AnyDomain",
+    "Attribute",
+    "RelationSchema",
+    "EvidenceSet",
+    "TupleMembership",
+    "CERTAIN",
+    "UNKNOWN",
+    "IMPOSSIBLE",
+    "ExtendedTuple",
+    "ExtendedRelation",
+]

@@ -1,0 +1,127 @@
+"""Relation attributes.
+
+An attribute couples a name with a domain and two flags:
+
+* ``key`` -- part of the relation key.  The paper's extended relations
+  have *definite* key values (footnote 3: "Generalization to uncertain
+  key values is outside the scope of this paper"), so a key attribute can
+  never be uncertain.
+* ``uncertain`` -- the attribute may hold evidence-set values.  The paper
+  prefixes such attributes with a dagger (rendered ``y`` in the text,
+  e.g. ``yspeciality``); :attr:`Attribute.display_name` reproduces that
+  convention.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.model.domain import Domain
+
+#: Prefix the paper puts in front of attributes that may hold uncertain
+#: values (printed as a dagger in the original, ``y`` in the text dump).
+UNCERTAIN_PREFIX = "y"
+
+
+class Attribute:
+    """A named, typed attribute of a relation schema.
+
+    >>> from repro.model import EnumeratedDomain
+    >>> speciality = Attribute(
+    ...     "speciality",
+    ...     EnumeratedDomain("speciality", ["am", "hu", "si", "ca", "mu", "it", "ta"]),
+    ...     uncertain=True,
+    ... )
+    >>> speciality.display_name
+    'yspeciality'
+    """
+
+    __slots__ = ("_name", "_domain", "_key", "_uncertain")
+
+    def __init__(
+        self,
+        name: str,
+        domain: Domain,
+        key: bool = False,
+        uncertain: bool = False,
+    ):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {name!r}")
+        if not isinstance(domain, Domain):
+            raise SchemaError(f"attribute {name!r} needs a Domain, got {domain!r}")
+        if key and uncertain:
+            raise SchemaError(
+                f"key attribute {name!r} cannot be uncertain "
+                "(extended relations have definite keys)"
+            )
+        self._name = name
+        self._domain = domain
+        self._key = bool(key)
+        self._uncertain = bool(uncertain)
+
+    @property
+    def name(self) -> str:
+        """The attribute name (without the uncertainty prefix)."""
+        return self._name
+
+    @property
+    def domain(self) -> Domain:
+        """The attribute's value domain."""
+        return self._domain
+
+    @property
+    def key(self) -> bool:
+        """Whether the attribute is part of the relation key."""
+        return self._key
+
+    @property
+    def uncertain(self) -> bool:
+        """Whether the attribute may hold evidence-set values."""
+        return self._uncertain
+
+    @property
+    def display_name(self) -> str:
+        """The paper's display form: uncertain attributes get a ``y``."""
+        if self._uncertain:
+            return UNCERTAIN_PREFIX + self._name
+        return self._name
+
+    def renamed(self, name: str) -> "Attribute":
+        """A copy of the attribute under a new name."""
+        return Attribute(name, self._domain, key=self._key, uncertain=self._uncertain)
+
+    def as_key(self) -> "Attribute":
+        """A copy marked as a key attribute (must be certain)."""
+        return Attribute(self._name, self._domain, key=True, uncertain=self._uncertain)
+
+    def as_nonkey(self) -> "Attribute":
+        """A copy without the key flag."""
+        return Attribute(
+            self._name, self._domain, key=False, uncertain=self._uncertain
+        )
+
+    def compatible_with(self, other: "Attribute") -> bool:
+        """Union-compatibility at the attribute level: same name, domain,
+        key flag and uncertainty flag."""
+        return (
+            self._name == other._name
+            and self._domain == other._domain
+            and self._key == other._key
+            and self._uncertain == other._uncertain
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self.compatible_with(other)
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._domain, self._key, self._uncertain))
+
+    def __repr__(self) -> str:
+        flags = []
+        if self._key:
+            flags.append("key")
+        if self._uncertain:
+            flags.append("uncertain")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"Attribute({self._name!r}: {self._domain.name}{suffix})"

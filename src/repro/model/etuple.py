@@ -1,0 +1,208 @@
+"""Extended tuples.
+
+An extended tuple binds a value to every attribute of a schema and
+carries a tuple membership pair:
+
+* **key** attributes hold definite scalar values (validated against the
+  attribute domain);
+* **uncertain** non-key attributes hold :class:`EvidenceSet` values
+  (scalars are auto-wrapped as definite evidence; strings in bracket
+  notation ``"[...]"`` are parsed);
+* **certain** non-key attributes also store an :class:`EvidenceSet`, but
+  it must be definite -- keeping one representation for all non-key
+  values lets the algebra treat them uniformly.
+
+Tuples are immutable; all "mutators" return new tuples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import RelationError, SchemaError
+from repro.ds.mass import MassFunction
+from repro.model.attribute import Attribute
+from repro.model.evidence import EvidenceSet
+from repro.model.membership import CERTAIN, TupleMembership
+from repro.model.schema import RelationSchema
+
+
+def _coerce_membership(membership: object) -> TupleMembership:
+    """Accept a TupleMembership or an (sn, sp) pair."""
+    if isinstance(membership, TupleMembership):
+        return membership
+    if isinstance(membership, tuple) and len(membership) == 2:
+        return TupleMembership(*membership)
+    raise RelationError(
+        f"tuple membership must be a TupleMembership or (sn, sp) pair, "
+        f"got {membership!r}"
+    )
+
+
+def _coerce_value(attribute: Attribute, raw: object) -> object:
+    """Normalize a raw attribute value according to the attribute kind."""
+    if attribute.key:
+        if isinstance(raw, EvidenceSet):
+            raw = raw.definite_value()
+        return attribute.domain.validate(raw)
+    # Non-key values are stored as evidence sets.
+    if isinstance(raw, EvidenceSet):
+        evidence = EvidenceSet(raw.mass_function, attribute.domain)
+    elif isinstance(raw, MassFunction):
+        evidence = EvidenceSet(raw, attribute.domain)
+    elif isinstance(raw, Mapping):
+        evidence = EvidenceSet(raw, attribute.domain)
+    elif isinstance(raw, str) and raw.startswith("[") and raw.endswith("]"):
+        evidence = EvidenceSet.parse(raw, attribute.domain)
+    else:
+        evidence = EvidenceSet.definite(
+            attribute.domain.validate(raw), attribute.domain
+        )
+    if not attribute.uncertain and not evidence.is_definite():
+        raise RelationError(
+            f"attribute {attribute.name!r} is certain but received the "
+            f"uncertain value {evidence.format()}"
+        )
+    return evidence
+
+
+class ExtendedTuple:
+    """One row of an extended relation.
+
+    >>> from repro.model import Attribute, RelationSchema, TextDomain, EnumeratedDomain
+    >>> schema = RelationSchema("R", [
+    ...     Attribute("rname", TextDomain("rname"), key=True),
+    ...     Attribute("rating", EnumeratedDomain("rating", ["ex","gd","avg"]),
+    ...               uncertain=True)])
+    >>> t = ExtendedTuple(schema, {"rname": "wok", "rating": "[gd^0.25, avg^0.75]"})
+    >>> t.key()
+    ('wok',)
+    >>> t.membership.is_certain
+    True
+    """
+
+    __slots__ = ("_schema", "_values", "_membership")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        values: Mapping[str, object],
+        membership: object = CERTAIN,
+    ):
+        unknown = set(values) - set(schema.names)
+        if unknown:
+            raise SchemaError(
+                f"values reference unknown attribute(s) "
+                f"{', '.join(sorted(unknown))} of relation {schema.name!r}"
+            )
+        missing = set(schema.names) - set(values)
+        if missing:
+            raise SchemaError(
+                f"tuple for {schema.name!r} is missing attribute(s) "
+                f"{', '.join(sorted(missing))}"
+            )
+        self._schema = schema
+        self._values = {
+            attribute.name: _coerce_value(attribute, values[attribute.name])
+            for attribute in schema.attributes
+        }
+        self._membership = _coerce_membership(membership)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The tuple's relation schema."""
+        return self._schema
+
+    @property
+    def membership(self) -> TupleMembership:
+        """The ``(sn, sp)`` membership pair."""
+        return self._membership
+
+    def key(self) -> tuple:
+        """The definite key values, in key-attribute order."""
+        return tuple(self._values[name] for name in self._schema.key_names)
+
+    def value(self, name: str) -> object:
+        """The stored value: a scalar for keys, an EvidenceSet otherwise."""
+        if name not in self._values:
+            raise SchemaError(
+                f"tuple of {self._schema.name!r} has no attribute {name!r}"
+            )
+        return self._values[name]
+
+    def evidence(self, name: str) -> EvidenceSet:
+        """The attribute value as an evidence set (keys wrapped definite)."""
+        value = self.value(name)
+        if isinstance(value, EvidenceSet):
+            return value
+        return EvidenceSet.definite(value, self._schema.attribute(name).domain)
+
+    def __getitem__(self, name: str) -> object:
+        return self.value(name)
+
+    def items(self):
+        """Iterate ``(attribute name, stored value)`` in schema order."""
+        for name in self._schema.names:
+            yield name, self._values[name]
+
+    # -- derivations --------------------------------------------------------------
+
+    def with_membership(self, membership: object) -> "ExtendedTuple":
+        """A copy with a different membership pair."""
+        return ExtendedTuple(self._schema, self._values, membership)
+
+    def with_values(self, replacements: Mapping[str, object]) -> "ExtendedTuple":
+        """A copy with some attribute values replaced."""
+        merged = dict(self._values)
+        merged.update(replacements)
+        return ExtendedTuple(self._schema, merged, self._membership)
+
+    def project(self, schema: RelationSchema) -> "ExtendedTuple":
+        """Restriction of this tuple to a projected schema.
+
+        The membership pair travels with the tuple (the paper's extended
+        projection keeps the membership attribute).
+        """
+        values = {name: self._values[name] for name in schema.names}
+        return ExtendedTuple(schema, values, self._membership)
+
+    def renamed(self, schema: RelationSchema, mapping: Mapping[str, str]) -> "ExtendedTuple":
+        """This tuple under a renamed schema (``mapping`` is old -> new)."""
+        values = {
+            mapping.get(name, name): value for name, value in self._values.items()
+        }
+        return ExtendedTuple(schema, values, self._membership)
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedTuple):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._values == other._values
+            and self._membership == other._membership
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._schema.names,
+                tuple(sorted(self._values.items(), key=lambda kv: kv[0], )),
+                self._membership,
+            )
+        )
+
+    def __repr__(self) -> str:
+        rendered = []
+        for name, value in self.items():
+            if isinstance(value, EvidenceSet):
+                rendered.append(f"{name}={value.format()}")
+            else:
+                rendered.append(f"{name}={value!r}")
+        return (
+            f"ExtendedTuple({', '.join(rendered)}, "
+            f"(sn,sp)={self._membership.format()})"
+        )

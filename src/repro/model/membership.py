@@ -1,0 +1,248 @@
+"""Tuple membership: the ``(sn, sp)`` support pair.
+
+Section 2.3 of the paper models the membership of a tuple in a relation
+as evidence over the boolean frame Psi = {true, false}:
+
+* ``sn = m({true})`` -- the *necessary* support,
+* ``sp = m({true}) + m(Psi) = 1 - m({false})`` -- the *possible* support,
+
+with ``0 <= sn <= sp <= 1``.  ``(1, 1)`` is certain existence, ``(0, 0)``
+certain non-existence, ``(0, 1)`` complete ignorance.
+
+Two combination rules act on membership pairs:
+
+* :meth:`TupleMembership.combine_dempster` -- the paper's function ``F``:
+  Dempster's rule on the boolean frame.  Used by the extended **union**
+  to pool the membership evidence two databases provide about the same
+  entity (verified against Table 4's *mehl* row:
+  ``(0.5, 0.5) (+) (0.8, 1) = (5/6, 5/6)``).
+* :meth:`TupleMembership.combine_product` -- the paper's ``F_TM``:
+  component-wise multiplication, treating the inputs as independent
+  events.  Used by **selection** (original membership x predicate
+  support, Figure 3) and by the **cartesian product**.
+
+The same structure doubles as the *support pair* that the selection
+support function ``F_SS`` assigns to predicates, so the algebra reuses
+this class for predicate supports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import MembershipError, TotalConflictError
+from repro.ds.frame import MEMBERSHIP_FRAME, OMEGA
+from repro.ds.mass import MassFunction, Numeric, coerce_mass_value
+
+
+class TupleMembership:
+    """An ``(sn, sp)`` pair with ``0 <= sn <= sp <= 1``.
+
+    >>> TupleMembership("1/2", "1/2").combine_dempster(TupleMembership("4/5", 1))
+    TupleMembership(sn=5/6, sp=5/6)
+    """
+
+    __slots__ = ("_sn", "_sp")
+
+    #: Absolute tolerance for float round-off at the interval borders.
+    FLOAT_TOLERANCE = 1e-9
+
+    def __init__(self, sn: object, sp: object):
+        necessary = coerce_mass_value(sn)
+        possible = coerce_mass_value(sp)
+        if isinstance(necessary, float) or isinstance(possible, float):
+            # Clamp float round-off (e.g. the closed-form Dempster rule
+            # can produce sn exceeding sp by ~1e-16); genuine violations
+            # beyond the tolerance still raise below.
+            tolerance = self.FLOAT_TOLERANCE
+            if -tolerance <= necessary < 0:
+                necessary = 0.0
+            if 1 < possible <= 1 + tolerance:
+                possible = 1.0
+            if possible < necessary <= possible + tolerance:
+                necessary = possible
+        if not 0 <= necessary <= possible <= 1:
+            raise MembershipError(
+                f"membership must satisfy 0 <= sn <= sp <= 1, got "
+                f"(sn={necessary!r}, sp={possible!r})"
+            )
+        self._sn = necessary
+        self._sp = possible
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def certain(cls) -> "TupleMembership":
+        """``(1, 1)``: the tuple exists with full certainty."""
+        return cls(Fraction(1), Fraction(1))
+
+    @classmethod
+    def unknown(cls) -> "TupleMembership":
+        """``(0, 1)``: complete ignorance about membership."""
+        return cls(Fraction(0), Fraction(1))
+
+    @classmethod
+    def impossible(cls) -> "TupleMembership":
+        """``(0, 0)``: the tuple certainly does not exist."""
+        return cls(Fraction(0), Fraction(0))
+
+    @classmethod
+    def from_mass(cls, mass: MassFunction) -> "TupleMembership":
+        """Build from a mass function over the frame {True, False}."""
+        return cls(mass.mass({True}), 1 - mass.mass({False}))
+
+    def to_mass(self) -> MassFunction:
+        """The equivalent mass function over {True, False}."""
+        return MassFunction(
+            {
+                frozenset({True}): self._sn,
+                frozenset({False}): 1 - self._sp,
+                OMEGA: self._sp - self._sn,
+            },
+            MEMBERSHIP_FRAME,
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def sn(self) -> Numeric:
+        """Necessary support ``m({true})``."""
+        return self._sn
+
+    @property
+    def sp(self) -> Numeric:
+        """Possible support ``1 - m({false})``."""
+        return self._sp
+
+    @property
+    def m_true(self) -> Numeric:
+        """Mass on {true} (alias of :attr:`sn`)."""
+        return self._sn
+
+    @property
+    def m_false(self) -> Numeric:
+        """Mass on {false}."""
+        return 1 - self._sp
+
+    @property
+    def m_unknown(self) -> Numeric:
+        """Mass on the whole boolean frame (ignorance)."""
+        return self._sp - self._sn
+
+    @property
+    def is_supported(self) -> bool:
+        """``sn > 0``: the CWA_ER storage criterion."""
+        return self._sn > 0
+
+    @property
+    def is_certain(self) -> bool:
+        """``(sn, sp) == (1, 1)``."""
+        return self._sn == 1 and self._sp == 1
+
+    @property
+    def is_impossible(self) -> bool:
+        """``(sn, sp) == (0, 0)``."""
+        return self._sp == 0
+
+    # -- combination rules --------------------------------------------------
+
+    def combine_dempster(self, other: "TupleMembership") -> "TupleMembership":
+        """The paper's ``F``: Dempster's rule on the boolean frame.
+
+        Uses the closed form (cross-checked against the generic rule by
+        the test-suite).  Raises :class:`TotalConflictError` when one
+        source is certain the tuple exists and the other is certain it
+        does not.
+        """
+        sn1, sp1 = self._sn, self._sp
+        sn2, sp2 = other._sn, other._sp
+        kappa = sn1 * (1 - sp2) + (1 - sp1) * sn2
+        if kappa == 1:
+            raise TotalConflictError(
+                "tuple membership evidence is totally conflicting "
+                f"({self} vs {other})"
+            )
+        remaining = 1 - kappa
+        mass_true = sn1 * sp2 + sp1 * sn2 - sn1 * sn2
+        mass_false = (1 - sp1) * (1 - sn2) + (sp1 - sn1) * (1 - sp2)
+        return TupleMembership(mass_true / remaining, 1 - mass_false / remaining)
+
+    def combine_product(self, other: "TupleMembership") -> "TupleMembership":
+        """The paper's ``F_TM``: independent-events conjunction.
+
+        ``(sn1*sn2, sp1*sp2)`` -- the rule used by selection (Figure 3)
+        and the cartesian product, and also the multiplicative rule for
+        conjoining the supports of independent predicates (Section 3.1.1,
+        after Baldwin and Hau-Kashyap).
+        """
+        return TupleMembership(self._sn * other._sn, self._sp * other._sp)
+
+    def combine_disjunction(self, other: "TupleMembership") -> "TupleMembership":
+        """Independent-events disjunction: support for ``S or T``.
+
+        ``sn = sn1 + sn2 - sn1*sn2`` (and likewise for ``sp``).  The paper
+        only needs conjunction; disjunctive predicates are an extension
+        and use this rule.
+        """
+        return TupleMembership(
+            self._sn + other._sn - self._sn * other._sn,
+            self._sp + other._sp - self._sp * other._sp,
+        )
+
+    def negate(self) -> "TupleMembership":
+        """Support for the complement event: ``(1 - sp, 1 - sn)``."""
+        return TupleMembership(1 - self._sp, 1 - self._sn)
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_float(self) -> "TupleMembership":
+        """A copy with float components."""
+        return TupleMembership(float(self._sn), float(self._sp))
+
+    def to_exact(self) -> "TupleMembership":
+        """A copy with exact components (floats via shortest repr)."""
+        sn = Fraction(str(self._sn)) if isinstance(self._sn, float) else self._sn
+        sp = Fraction(str(self._sp)) if isinstance(self._sp, float) else self._sp
+        return TupleMembership(sn, sp)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def as_tuple(self) -> tuple[Numeric, Numeric]:
+        """The raw ``(sn, sp)`` pair."""
+        return (self._sn, self._sp)
+
+    def __iter__(self):
+        return iter((self._sn, self._sp))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TupleMembership):
+            return NotImplemented
+        return self._sn == other._sn and self._sp == other._sp
+
+    def __hash__(self) -> int:
+        return hash((self._sn, self._sp))
+
+    def __repr__(self) -> str:
+        return f"TupleMembership(sn={self._sn}, sp={self._sp})"
+
+    def format(self, style: str = "auto", digits: int = 2) -> str:
+        """Render as the paper's ``(sn,sp)`` column, e.g. ``(0.5,0.75)``."""
+        from repro.ds.notation import format_mass_value
+
+        return (
+            f"({format_mass_value(self._sn, style, digits)},"
+            f"{format_mass_value(self._sp, style, digits)})"
+        )
+
+
+#: The tuple certainly belongs to the relation.
+CERTAIN = TupleMembership.certain()
+
+#: Complete ignorance about the tuple's membership.
+UNKNOWN = TupleMembership.unknown()
+
+#: The tuple certainly does not belong to the relation.
+IMPOSSIBLE = TupleMembership.impossible()
+
+#: Alias: predicate supports share the (sn, sp) structure (Section 3.1).
+SupportPair = TupleMembership

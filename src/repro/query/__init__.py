@@ -1,0 +1,36 @@
+"""Query processing over extended relations (Figure 1's last stage).
+
+A small SQL-like language over the extended algebra::
+
+    SELECT rname, phone FROM RA
+        WHERE speciality IS {si} AND rating IS {ex}
+        WITH SN > 0.5;
+
+    RA UNION RB BY (rname);
+
+    SELECT * FROM RA JOIN RM_A ON RA.rname = RM_A.rname WITH SN > 0;
+
+Semantics map 1:1 onto Section 3 of the paper:
+
+* ``WHERE`` holds a selection condition (is-predicates with ``IS {...}``
+  and theta-predicates with ``= < > <= >=``; ``AND`` uses the paper's
+  multiplicative rule, ``OR``/``NOT`` are the documented extensions);
+* ``WITH`` holds the membership threshold condition ``Q`` over ``SN`` /
+  ``SP`` (conjoined with ``sn > 0`` automatically);
+* ``UNION`` is the extended union on the common key (``BY (...)`` names
+  the key, which must match the schemas' key);
+* ``JOIN ... ON`` is the extended join; clashing attribute names are
+  referenced with dotted qualifiers (``RA.rname``) that resolve to the
+  product schema's prefixed names.
+
+Pipeline: :func:`parse` -> :func:`repro.query.planner.build_plan` ->
+:func:`repro.query.planner.optimize` -> execution against a
+:class:`repro.storage.Database`.
+"""
+
+from repro.query.lexer import tokenize
+from repro.query.parser import parse
+from repro.query.planner import build_plan, optimize
+from repro.query.executor import execute, explain
+
+__all__ = ["tokenize", "parse", "build_plan", "optimize", "execute", "explain"]

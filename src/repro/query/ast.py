@@ -1,0 +1,150 @@
+"""Abstract syntax trees for the query language.
+
+The AST is deliberately decoupled from the algebra: names are unresolved
+strings (possibly dotted), predicates are syntax, and no schema is
+consulted.  Binding happens in :mod:`repro.query.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+# -- operands -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NameRef:
+    """An attribute reference, optionally qualified (``RA.rname``)."""
+
+    name: str
+    qualifier: str | None = None
+
+    def render(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class ValueLiteral:
+    """A scalar literal (number or string)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class EvidenceLiteral:
+    """An evidence-set literal in bracket notation (unparsed text)."""
+
+    text: str
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IsCondition:
+    """``<name> IS { v1, v2, ... }``."""
+
+    attribute: NameRef
+    values: tuple
+
+
+@dataclass(frozen=True)
+class CompareCondition:
+    """``<operand> theta <operand>``."""
+
+    left: object
+    op: str
+    right: object
+
+
+@dataclass(frozen=True)
+class AndCondition:
+    """Conjunction."""
+
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class OrCondition:
+    """Disjunction (extension)."""
+
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """Negation (extension)."""
+
+    part: object
+
+
+# -- thresholds ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThresholdTerm:
+    """``SN >= 0.5`` etc.; field is ``"sn"`` or ``"sp"``."""
+
+    field: str
+    op: str
+    bound: Fraction
+
+
+# -- sources ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RelationSource:
+    """A named relation in the catalog."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class JoinSource:
+    """``<source> JOIN <source> ON <condition>``."""
+
+    left: object
+    right: object
+    condition: object
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A parenthesized query used as a source."""
+
+    query: object
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """``SELECT <projection> FROM <source> [WHERE ...] [WITH ...]``.
+
+    ``projection`` is ``None`` for ``*``.
+    """
+
+    projection: tuple[str, ...] | None
+    source: object
+    condition: object | None
+    thresholds: tuple[ThresholdTerm, ...]
+
+
+@dataclass(frozen=True)
+class UnionStatement:
+    """``<source> UNION|INTERSECT <source> [BY (key, ...)]``.
+
+    ``operator`` is ``"union"`` or ``"intersect"`` (the latter is the
+    consensus extension).
+    """
+
+    left: object
+    right: object
+    keys: tuple[str, ...] | None
+    operator: str = "union"

@@ -1,0 +1,27 @@
+"""Front door of the query layer: text in, extended relation out."""
+
+from __future__ import annotations
+
+from repro.model.relation import ExtendedRelation
+from repro.query.parser import parse
+from repro.query.planner import build_plan, optimize
+
+
+def execute(text: str, database) -> ExtendedRelation:
+    """Parse, plan, optimize and run a query against *database*.
+
+    >>> from repro.storage import Database
+    >>> from repro.datasets.restaurants import table_ra
+    >>> db = Database(); db.add(table_ra())
+    >>> result = db.query("SELECT rname FROM RA WHERE speciality IS {si}")
+    >>> sorted(t.key()[0] for t in result)
+    ['garden', 'wok']
+    """
+    plan = optimize(build_plan(parse(text), database))
+    return plan.execute(database)
+
+
+def explain(text: str, database) -> str:
+    """The optimized logical plan of a query, as indented text."""
+    plan = optimize(build_plan(parse(text), database))
+    return plan.describe()

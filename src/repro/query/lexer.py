@@ -1,0 +1,102 @@
+"""Hand-written lexer for the query language.
+
+Notable tokenization rules:
+
+* keywords are case-insensitive (``select`` == ``SELECT``); identifiers
+  keep their case;
+* a ``[`` opens an *evidence-set literal*, captured raw up to the
+  matching ``]`` and handed to :func:`repro.ds.notation.parse_evidence`
+  later -- the evidence grammar has its own lexer;
+* numbers cover integers, decimals and rationals (``1/3``);
+* strings use single or double quotes with backslash escapes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import LexError
+from repro.query.tokens import (
+    KEYWORDS,
+    KIND_EOF,
+    KIND_EVIDENCE,
+    KIND_IDENT,
+    KIND_KEYWORD,
+    KIND_NUMBER,
+    KIND_STRING,
+    KIND_SYMBOL,
+    SYMBOLS,
+    Token,
+)
+
+_WHITESPACE = re.compile(r"\s+")
+_COMMENT = re.compile(r"--[^\n]*")
+_NUMBER = re.compile(r"\d+(\.\d+|/\d+)?")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_STRING = re.compile(r"\"(?:[^\"\\]|\\.)*\"|'(?:[^'\\]|\\.)*'")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`LexError` on illegal input.
+
+    >>> [t.value for t in tokenize("SELECT rname FROM RA")[:3]]
+    ['SELECT', 'rname', 'FROM']
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _WHITESPACE.match(text, position) or _COMMENT.match(text, position)
+        if match:
+            position = match.end()
+            continue
+        start = position
+        character = text[position]
+        if character == "[":
+            end = _find_bracket_end(text, position)
+            tokens.append(Token(KIND_EVIDENCE, text[position : end + 1], start))
+            position = end + 1
+            continue
+        match = _STRING.match(text, position)
+        if match:
+            raw = match.group(0)
+            body = raw[1:-1].replace("\\" + raw[0], raw[0]).replace("\\\\", "\\")
+            tokens.append(Token(KIND_STRING, body, start))
+            position = match.end()
+            continue
+        match = _NUMBER.match(text, position)
+        if match:
+            tokens.append(Token(KIND_NUMBER, match.group(0), start))
+            position = match.end()
+            continue
+        match = _IDENT.match(text, position)
+        if match:
+            word = match.group(0)
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(KIND_KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(KIND_IDENT, word, start))
+            position = match.end()
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, position):
+                tokens.append(Token(KIND_SYMBOL, symbol, start))
+                position += len(symbol)
+                break
+        else:
+            raise LexError(f"illegal character {character!r}", position)
+    tokens.append(Token(KIND_EOF, "", length))
+    return tokens
+
+
+def _find_bracket_end(text: str, start: int) -> int:
+    """The index of the ``]`` closing the ``[`` at *start*."""
+    depth = 0
+    for index in range(start, len(text)):
+        if text[index] == "[":
+            depth += 1
+        elif text[index] == "]":
+            depth -= 1
+            if depth == 0:
+                return index
+    raise LexError("unterminated evidence-set literal", start)

@@ -1,0 +1,323 @@
+"""Recursive-descent parser for the query language.
+
+Grammar (keywords case-insensitive)::
+
+    statement  := query ';'? EOF
+    query      := select | union
+    union      := source UNION source (BY '(' ident (',' ident)* ')')?
+    select     := SELECT projection FROM source (WHERE condition)?
+                  (WITH thresholds)?
+    projection := '*' | ident (',' ident)*
+    source     := primary (JOIN primary ON condition)*
+    primary    := ident | '(' query ')'
+    condition  := conjunct (OR conjunct)*
+    conjunct   := factor (AND factor)*
+    factor     := NOT factor | '(' condition ')' | atom
+    atom       := operand IS setlit | operand cmp operand
+    operand    := name | NUMBER | STRING | EVIDENCE
+    name       := ident ('.' ident)?
+    setlit     := '{' value (',' value)* '}'
+    thresholds := thresh (AND thresh)*
+    thresh     := (SN | SP) cmp NUMBER
+    cmp        := '=' | '==' | '<' | '>' | '<=' | '>='
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.errors import ParseError
+from repro.ds.notation import parse_atom
+from repro.query import ast
+from repro.query.lexer import tokenize
+from repro.query.tokens import (
+    KIND_EOF,
+    KIND_EVIDENCE,
+    KIND_IDENT,
+    KIND_KEYWORD,
+    KIND_NUMBER,
+    KIND_STRING,
+    Token,
+)
+
+_COMPARISONS = ("<=", ">=", "==", "=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != KIND_EOF:
+            self._index += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if not (token.kind == KIND_KEYWORD and token.value == word):
+            raise ParseError(
+                f"expected {word}, got {token.value!r} at offset {token.position}"
+            )
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, got {token.value!r} at offset "
+                f"{token.position}"
+            )
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind != KIND_IDENT:
+            raise ParseError(
+                f"expected an identifier, got {token.value!r} at offset "
+                f"{token.position}"
+            )
+        return token.value
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse_statement(self):
+        query = self._parse_query()
+        self._accept_symbol(";")
+        token = self._peek()
+        if token.kind != KIND_EOF:
+            raise ParseError(
+                f"trailing input {token.value!r} at offset {token.position}"
+            )
+        return query
+
+    def _parse_query(self):
+        if self._peek().is_keyword("SELECT"):
+            statement = self._parse_select()
+            # A top-level select may still be the left arm of a UNION.
+            if self._peek().is_keyword("UNION") or self._peek().is_keyword(
+                "INTERSECT"
+            ):
+                raise ParseError(
+                    "UNION/INTERSECT take relation or parenthesized-query "
+                    "sources; wrap the SELECT in parentheses"
+                )
+            return statement
+        return self._parse_union_or_source_query()
+
+    def _parse_union_or_source_query(self):
+        left = self._parse_source()
+        operator = None
+        if self._accept_keyword("UNION"):
+            operator = "union"
+        elif self._accept_keyword("INTERSECT"):
+            operator = "intersect"
+        if operator is not None:
+            right = self._parse_source()
+            keys: tuple[str, ...] | None = None
+            if self._accept_keyword("BY"):
+                self._expect_symbol("(")
+                names = [self._expect_ident()]
+                while self._accept_symbol(","):
+                    names.append(self._expect_ident())
+                self._expect_symbol(")")
+                keys = tuple(names)
+            return ast.UnionStatement(left, right, keys, operator)
+        if isinstance(left, ast.SubquerySource):
+            return left.query
+        if isinstance(left, ast.RelationSource):
+            # A bare relation name is shorthand for SELECT * FROM name.
+            return ast.SelectStatement(None, left, None, ())
+        return ast.SelectStatement(None, left, None, ())
+
+    def _parse_select(self):
+        self._expect_keyword("SELECT")
+        projection: tuple[str, ...] | None
+        if self._accept_symbol("*"):
+            projection = None
+        else:
+            names = [self._expect_ident()]
+            while self._accept_symbol(","):
+                names.append(self._expect_ident())
+            projection = tuple(names)
+        self._expect_keyword("FROM")
+        source = self._parse_source()
+        condition = None
+        if self._accept_keyword("WHERE"):
+            condition = self._parse_condition()
+        thresholds: tuple[ast.ThresholdTerm, ...] = ()
+        if self._accept_keyword("WITH"):
+            thresholds = self._parse_thresholds()
+        return ast.SelectStatement(projection, source, condition, thresholds)
+
+    def _parse_source(self):
+        source = self._parse_primary_source()
+        while self._accept_keyword("JOIN"):
+            right = self._parse_primary_source()
+            self._expect_keyword("ON")
+            condition = self._parse_condition()
+            source = ast.JoinSource(source, right, condition)
+        return source
+
+    def _parse_primary_source(self):
+        if self._accept_symbol("("):
+            query = self._parse_query()
+            self._expect_symbol(")")
+            return ast.SubquerySource(query)
+        name = self._expect_ident()
+        return ast.RelationSource(name)
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _parse_condition(self):
+        parts = [self._parse_conjunct()]
+        while self._accept_keyword("OR"):
+            parts.append(self._parse_conjunct())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.OrCondition(tuple(parts))
+
+    def _parse_conjunct(self):
+        parts = [self._parse_factor()]
+        while self._accept_keyword("AND"):
+            parts.append(self._parse_factor())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.AndCondition(tuple(parts))
+
+    def _parse_factor(self):
+        if self._accept_keyword("NOT"):
+            return ast.NotCondition(self._parse_factor())
+        if self._peek().is_symbol("("):
+            self._advance()
+            condition = self._parse_condition()
+            self._expect_symbol(")")
+            return condition
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        left = self._parse_operand()
+        if self._accept_keyword("IS"):
+            if not isinstance(left, ast.NameRef):
+                raise ParseError("the left side of IS must be an attribute name")
+            values = self._parse_set_literal()
+            return ast.IsCondition(left, values)
+        op = self._parse_comparison()
+        right = self._parse_operand()
+        return ast.CompareCondition(left, op, right)
+
+    def _parse_comparison(self) -> str:
+        token = self._advance()
+        if token.value in _COMPARISONS:
+            return "=" if token.value == "==" else token.value
+        raise ParseError(
+            f"expected a comparison operator, got {token.value!r} at offset "
+            f"{token.position}"
+        )
+
+    def _parse_operand(self):
+        token = self._peek()
+        if token.kind == KIND_IDENT:
+            self._advance()
+            if self._accept_symbol("."):
+                member = self._expect_ident()
+                return ast.NameRef(member, qualifier=token.value)
+            return ast.NameRef(token.value)
+        if token.kind == KIND_NUMBER:
+            self._advance()
+            return ast.ValueLiteral(_parse_number(token.value))
+        if token.kind == KIND_STRING:
+            self._advance()
+            return ast.ValueLiteral(token.value)
+        if token.kind == KIND_EVIDENCE:
+            self._advance()
+            return ast.EvidenceLiteral(token.value)
+        raise ParseError(
+            f"expected an operand, got {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_set_literal(self) -> tuple:
+        self._expect_symbol("{")
+        values = [self._parse_set_value()]
+        while self._accept_symbol(","):
+            values.append(self._parse_set_value())
+        self._expect_symbol("}")
+        return tuple(values)
+
+    def _parse_set_value(self):
+        token = self._advance()
+        if token.kind == KIND_IDENT:
+            return token.value
+        if token.kind == KIND_NUMBER:
+            return _parse_number(token.value)
+        if token.kind == KIND_STRING:
+            return token.value
+        raise ParseError(
+            f"expected a value in set literal, got {token.value!r} at offset "
+            f"{token.position}"
+        )
+
+    # -- thresholds --------------------------------------------------------------------
+
+    def _parse_thresholds(self) -> tuple[ast.ThresholdTerm, ...]:
+        terms = [self._parse_threshold_term()]
+        while self._accept_keyword("AND"):
+            terms.append(self._parse_threshold_term())
+        return tuple(terms)
+
+    def _parse_threshold_term(self) -> ast.ThresholdTerm:
+        token = self._advance()
+        if token.is_keyword("SN"):
+            field = "sn"
+        elif token.is_keyword("SP"):
+            field = "sp"
+        else:
+            raise ParseError(
+                f"expected SN or SP in WITH clause, got {token.value!r} at "
+                f"offset {token.position}"
+            )
+        op = self._parse_comparison()
+        bound_token = self._advance()
+        if bound_token.kind != KIND_NUMBER:
+            raise ParseError(
+                f"expected a number bound, got {bound_token.value!r} at offset "
+                f"{bound_token.position}"
+            )
+        bound = _parse_number(bound_token.value)
+        if not isinstance(bound, (int, Fraction)):
+            bound = Fraction(str(bound))
+        return ast.ThresholdTerm(field, op, Fraction(bound))
+
+
+def _parse_number(text: str):
+    value = parse_atom(text)
+    if isinstance(value, str):
+        raise ParseError(f"bad number literal {text!r}")
+    return value
+
+
+def parse(text: str):
+    """Parse a query string into its AST.
+
+    >>> statement = parse("SELECT rname FROM RA WHERE speciality IS {si}")
+    >>> statement.projection
+    ('rname',)
+    """
+    return _Parser(tokenize(text)).parse_statement()

@@ -1,0 +1,266 @@
+"""Logical query plans over the extended algebra.
+
+Plans are bound trees: every node knows its output schema at build time
+(binding happens in :mod:`repro.query.planner`), so attribute resolution
+errors surface before execution.  Execution maps nodes 1:1 onto the
+algebra operations:
+
+* :class:`ScanPlan` -> catalog lookup
+* :class:`SelectPlan` -> :func:`repro.algebra.select` (a ``None``
+  predicate means a pure membership-threshold filter)
+* :class:`ProjectPlan` -> :func:`repro.algebra.project`
+* :class:`UnionPlan` -> :func:`repro.algebra.union`
+* :class:`ProductPlan` -> :func:`repro.algebra.product`
+
+(the extended join is represented as Select over Product, mirroring its
+definition in Section 3.5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+from repro.algebra.predicates import Predicate
+from repro.algebra.select import select as algebra_select
+from repro.algebra.project import project as algebra_project
+from repro.algebra.product import product as algebra_product
+from repro.algebra.union import union as algebra_union
+from repro.algebra.intersection import intersection as algebra_intersection
+from repro.algebra.thresholds import SN_POSITIVE, MembershipThreshold
+
+
+class Plan(ABC):
+    """A bound logical plan node."""
+
+    @abstractmethod
+    def schema(self) -> RelationSchema:
+        """The node's output schema."""
+
+    @abstractmethod
+    def execute(self, database) -> ExtendedRelation:
+        """Evaluate the node against a database catalog."""
+
+    @abstractmethod
+    def children(self) -> tuple["Plan", ...]:
+        """Child plan nodes."""
+
+    @abstractmethod
+    def label(self) -> str:
+        """One-line description of this node."""
+
+    def describe(self, indent: int = 0) -> str:
+        """The plan subtree as indented text (for ``EXPLAIN``)."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+class ScanPlan(Plan):
+    """Read a named relation from the catalog."""
+
+    def __init__(self, name: str, schema: RelationSchema):
+        self._name = name
+        self._schema = schema
+
+    @property
+    def name(self) -> str:
+        """The catalog name being scanned."""
+        return self._name
+
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def execute(self, database) -> ExtendedRelation:
+        return database.get(self._name)
+
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+    def label(self) -> str:
+        return f"Scan {self._name}"
+
+
+class SelectPlan(Plan):
+    """Extended selection; ``predicate=None`` filters on membership only."""
+
+    def __init__(
+        self,
+        child: Plan,
+        predicate: Predicate | None,
+        threshold: MembershipThreshold = SN_POSITIVE,
+    ):
+        self._child = child
+        self._predicate = predicate
+        self._threshold = threshold
+
+    @property
+    def predicate(self) -> Predicate | None:
+        """The selection condition (``None`` for threshold-only)."""
+        return self._predicate
+
+    @property
+    def threshold(self) -> MembershipThreshold:
+        """The membership threshold condition Q."""
+        return self._threshold
+
+    @property
+    def child(self) -> Plan:
+        """The input plan."""
+        return self._child
+
+    def schema(self) -> RelationSchema:
+        return self._child.schema()
+
+    def execute(self, database) -> ExtendedRelation:
+        relation = self._child.execute(database)
+        if self._predicate is not None:
+            return algebra_select(relation, self._predicate, self._threshold)
+        kept = [
+            etuple
+            for etuple in relation
+            if etuple.membership.is_supported and self._threshold(etuple.membership)
+        ]
+        return ExtendedRelation(relation.schema, kept, on_unsupported="drop")
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._child,)
+
+    def label(self) -> str:
+        predicate = repr(self._predicate) if self._predicate is not None else "-"
+        return f"Select P={predicate} Q=[{self._threshold.description}]"
+
+
+class ProjectPlan(Plan):
+    """Extended projection."""
+
+    def __init__(self, child: Plan, names: tuple[str, ...]):
+        self._child = child
+        self._names = tuple(names)
+        self._schema = child.schema().project(self._names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The projected attribute names."""
+        return self._names
+
+    @property
+    def child(self) -> Plan:
+        """The input plan."""
+        return self._child
+
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def execute(self, database) -> ExtendedRelation:
+        return algebra_project(self._child.execute(database), self._names)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._child,)
+
+    def label(self) -> str:
+        return f"Project [{', '.join(self._names)}]"
+
+
+class UnionPlan(Plan):
+    """Extended union (attribute-value conflict resolution)."""
+
+    def __init__(self, left: Plan, right: Plan):
+        left.schema().require_union_compatible(right.schema())
+        self._left = left
+        self._right = right
+
+    @property
+    def left(self) -> Plan:
+        """Left input."""
+        return self._left
+
+    @property
+    def right(self) -> Plan:
+        """Right input."""
+        return self._right
+
+    def schema(self) -> RelationSchema:
+        return self._left.schema()
+
+    def execute(self, database) -> ExtendedRelation:
+        return algebra_union(
+            self._left.execute(database), self._right.execute(database)
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._left, self._right)
+
+    def label(self) -> str:
+        keys = ", ".join(self._left.schema().key_names)
+        return f"Union by ({keys})"
+
+
+class IntersectPlan(Plan):
+    """Extended intersection (consensus extension): Dempster-merge of
+    the key-matched tuples only."""
+
+    def __init__(self, left: Plan, right: Plan):
+        left.schema().require_union_compatible(right.schema())
+        self._left = left
+        self._right = right
+
+    @property
+    def left(self) -> Plan:
+        """Left input."""
+        return self._left
+
+    @property
+    def right(self) -> Plan:
+        """Right input."""
+        return self._right
+
+    def schema(self) -> RelationSchema:
+        return self._left.schema()
+
+    def execute(self, database) -> ExtendedRelation:
+        return algebra_intersection(
+            self._left.execute(database), self._right.execute(database)
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._left, self._right)
+
+    def label(self) -> str:
+        keys = ", ".join(self._left.schema().key_names)
+        return f"Intersect by ({keys})"
+
+
+class ProductPlan(Plan):
+    """Extended cartesian product."""
+
+    def __init__(self, left: Plan, right: Plan):
+        self._left = left
+        self._right = right
+        self._schema = left.schema().concat(right.schema())
+
+    @property
+    def left(self) -> Plan:
+        """Left input."""
+        return self._left
+
+    @property
+    def right(self) -> Plan:
+        """Right input."""
+        return self._right
+
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def execute(self, database) -> ExtendedRelation:
+        return algebra_product(
+            self._left.execute(database), self._right.execute(database)
+        )
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._left, self._right)
+
+    def label(self) -> str:
+        return "Product"

@@ -1,0 +1,58 @@
+"""Token definitions for the query language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Reserved words (matched case-insensitively; stored upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "WITH",
+        "IS",
+        "AND",
+        "OR",
+        "NOT",
+        "UNION",
+        "INTERSECT",
+        "JOIN",
+        "ON",
+        "BY",
+        "SN",
+        "SP",
+    }
+)
+
+#: Token kinds produced by the lexer.
+KIND_KEYWORD = "KEYWORD"
+KIND_IDENT = "IDENT"
+KIND_NUMBER = "NUMBER"
+KIND_STRING = "STRING"
+KIND_EVIDENCE = "EVIDENCE"  # a raw [ ... ] evidence-set literal
+KIND_SYMBOL = "SYMBOL"
+KIND_EOF = "EOF"
+
+#: Multi- and single-character symbols, longest first.
+SYMBOLS = ("<=", ">=", "==", "(", ")", "{", "}", ",", ";", "*", "=", "<", ">", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """``True`` when this token is the given keyword."""
+        return self.kind == KIND_KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        """``True`` when this token is the given symbol."""
+        return self.kind == KIND_SYMBOL and self.value == symbol
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"

@@ -1,0 +1,30 @@
+"""Evidence acquisition from summary data (Section 1.2).
+
+The paper's key observation is that uncertainty arises when the
+integrated schema needs information that the component databases only
+hold as *summaries*: vote tallies from reviewer panels, item
+classifications, historical observations.  This package turns such
+summaries into evidence sets:
+
+* :mod:`repro.sources.voting` -- reviewer panels casting votes for
+  values, value sets (undecided between alternatives) or abstentions
+  (ignorance) -> mass by vote share;
+* :mod:`repro.sources.classification` -- classifying items (e.g. menu
+  dishes) into categories, with ambiguous and unclassifiable items ->
+  speciality evidence;
+* :mod:`repro.sources.history` -- time-stamped observations with
+  recency weighting -> evidence from history (extension).
+"""
+
+from repro.sources.voting import Ballot, VotePanel
+from repro.sources.classification import ClassificationRule, Classifier
+from repro.sources.history import Observation, evidence_from_history
+
+__all__ = [
+    "Ballot",
+    "VotePanel",
+    "ClassificationRule",
+    "Classifier",
+    "Observation",
+    "evidence_from_history",
+]

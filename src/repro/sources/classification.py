@@ -1,0 +1,129 @@
+"""Item classification -> evidence sets.
+
+Section 1.2: "The restaurants' speciality attribute can be obtained in a
+similar manner by classifying the items in the restaurant menus", and the
+Section 2.1 example interprets the mass assignment for restaurant *wok*
+via exactly this model: half the menu is pure Cantonese
+(``m({cantonese}) = 1/2``), a third of the dishes could be Hunan or
+Sichuan but not further distinguished (``m({hunan, sichuan}) = 1/3``),
+and for the rest no classification information is available
+(``m(OMEGA) = 1/6``).
+
+:class:`Classifier` applies ordered keyword rules to items.  A rule may
+map to one category (a confident classification) or several (an
+ambiguous one -- the item supports the category *set*).  Unmatched items
+contribute ignorance.  The resulting evidence set's masses are the
+classified fractions of the item list.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+from repro.errors import IntegrationError
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.model.domain import Domain
+from repro.model.evidence import EvidenceSet
+
+
+class ClassificationRule:
+    """Maps items containing *keyword* to a set of categories.
+
+    >>> rule = ClassificationRule("kung pao", {"si"})
+    >>> rule.matches("Kung Pao Chicken")
+    True
+    """
+
+    __slots__ = ("_keyword", "_categories")
+
+    def __init__(self, keyword: str, categories: Iterable):
+        if not keyword:
+            raise IntegrationError("a classification rule needs a keyword")
+        self._keyword = keyword.lower()
+        self._categories = frozenset(categories)
+        if not self._categories:
+            raise IntegrationError(
+                f"rule {keyword!r} needs at least one category"
+            )
+
+    @property
+    def keyword(self) -> str:
+        """The (lower-cased) keyword the rule looks for."""
+        return self._keyword
+
+    @property
+    def categories(self) -> frozenset:
+        """The categories the rule assigns."""
+        return self._categories
+
+    def matches(self, item: str) -> bool:
+        """Case-insensitive substring match."""
+        return self._keyword in item.lower()
+
+    def __repr__(self) -> str:
+        cats = ",".join(sorted(map(str, self._categories)))
+        return f"ClassificationRule({self._keyword!r} -> {{{cats}}})"
+
+
+class Classifier:
+    """Ordered-rule classifier turning item lists into evidence sets.
+
+    Rules are tried in order; the first match wins.  Unmatched items
+    count toward ignorance (OMEGA).
+
+    >>> from repro.datasets.restaurants import speciality_domain
+    >>> classifier = Classifier(speciality_domain(), [
+    ...     ClassificationRule("dim sum", {"ca"}),
+    ...     ClassificationRule("pepper", {"hu", "si"}),
+    ... ])
+    >>> menu = ["Dim Sum Platter", "Pepper Beef", "Mystery Special"]
+    >>> classifier.classify_items(menu).format()
+    '[ca^1/3, {hu,si}^1/3, Ω^1/3]'
+    """
+
+    def __init__(self, domain: Domain | None, rules: Sequence[ClassificationRule]):
+        self._domain = domain
+        self._rules = tuple(rules)
+        if domain is not None:
+            for rule in self._rules:
+                for category in rule.categories:
+                    if not domain.contains(category):
+                        raise IntegrationError(
+                            f"rule {rule.keyword!r} assigns {category!r} outside "
+                            f"domain {domain.name!r}"
+                        )
+
+    @property
+    def rules(self) -> tuple[ClassificationRule, ...]:
+        """The classification rules, in priority order."""
+        return self._rules
+
+    def classify(self, item: str) -> frozenset | None:
+        """The category set of the first matching rule, or ``None``."""
+        for rule in self._rules:
+            if rule.matches(item):
+                return rule.categories
+        return None
+
+    def classify_items(self, items: Iterable[str]) -> EvidenceSet:
+        """Evidence over the category domain from a list of items."""
+        counts: dict = {}
+        total = 0
+        for item in items:
+            total += 1
+            categories = self.classify(item)
+            element = OMEGA if categories is None else categories
+            counts[element] = counts.get(element, 0) + 1
+        if total == 0:
+            raise IntegrationError("cannot classify an empty item list")
+        frame = (
+            self._domain.frame()
+            if self._domain is not None and self._domain.is_enumerable
+            else None
+        )
+        masses = {
+            element: Fraction(count, total) for element, count in counts.items()
+        }
+        return EvidenceSet(MassFunction(masses, frame), self._domain)

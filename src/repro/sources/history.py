@@ -1,0 +1,106 @@
+"""Evidence from historical observations (extension).
+
+Section 1.1 notes that deriving integrated attributes "using statistical
+or history information may introduce uncertainty".  This module provides
+the history case: a sequence of time-stamped observations of an
+attribute's value (each observation possibly a value set, when the
+observer could not pin the value down) is consolidated into an evidence
+set with *recency weighting* -- an observation ``age`` steps old carries
+weight ``decay ** age``, so fresher observations dominate but old ones
+still contribute.
+
+With ``decay = 1`` this degenerates to plain vote counting and exactly
+matches :class:`repro.sources.voting.VotePanel` semantics, which the
+test-suite verifies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from fractions import Fraction
+
+from repro.errors import IntegrationError
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.model.domain import Domain
+from repro.model.evidence import EvidenceSet
+
+
+class Observation:
+    """One historical sighting of an attribute value.
+
+    ``values`` may be a single value, an iterable of candidate values
+    (the observer narrowed the value to a set), or ``None`` for an
+    uninformative observation (contributes ignorance).
+    ``timestamp`` is any monotonically comparable step counter.
+    """
+
+    __slots__ = ("_element", "_timestamp")
+
+    def __init__(self, values: object, timestamp: int):
+        if values is None:
+            self._element = OMEGA
+        elif isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+            self._element = frozenset({values})
+        else:
+            element = frozenset(values)
+            if not element:
+                raise IntegrationError("an observation needs at least one value")
+            self._element = element
+        self._timestamp = int(timestamp)
+
+    @property
+    def element(self):
+        """The observed focal element (frozenset or OMEGA)."""
+        return self._element
+
+    @property
+    def timestamp(self) -> int:
+        """The observation's step counter."""
+        return self._timestamp
+
+    def __repr__(self) -> str:
+        if self._element is OMEGA:
+            rendered = "?"
+        else:
+            rendered = "{" + ",".join(sorted(map(str, self._element))) + "}"
+        return f"Observation({rendered} @ {self._timestamp})"
+
+
+def evidence_from_history(
+    observations: Sequence[Observation],
+    domain: Domain | None = None,
+    decay: object = Fraction(9, 10),
+) -> EvidenceSet:
+    """Consolidate time-stamped observations into an evidence set.
+
+    Each observation is weighted ``decay ** (t_max - t)`` where ``t_max``
+    is the newest timestamp; weights are normalized into masses.
+
+    >>> from repro.datasets.restaurants import rating_domain
+    >>> history = [Observation("gd", 1), Observation("gd", 2),
+    ...            Observation("ex", 3)]
+    >>> es = evidence_from_history(history, rating_domain(), decay="1/2")
+    >>> es.mass({"ex"})
+    Fraction(4, 7)
+    """
+    if not observations:
+        raise IntegrationError("cannot build evidence from an empty history")
+    decay = Fraction(decay) if not isinstance(decay, (Fraction, float)) else decay
+    if not 0 < decay <= 1:
+        raise IntegrationError(f"decay must lie in (0, 1], got {decay!r}")
+    newest = max(observation.timestamp for observation in observations)
+    counts: dict = {}
+    for observation in observations:
+        weight = decay ** (newest - observation.timestamp)
+        element = observation.element
+        counts[element] = counts.get(element, 0) + weight
+        if domain is not None and element is not OMEGA:
+            for value in element:
+                if not domain.contains(value):
+                    raise IntegrationError(
+                        f"observed value {value!r} is outside domain "
+                        f"{domain.name!r}"
+                    )
+    frame = domain.frame() if domain is not None and domain.is_enumerable else None
+    return EvidenceSet(MassFunction.from_counts(counts, frame), domain)

@@ -1,0 +1,159 @@
+"""Reviewer-panel voting -> evidence sets.
+
+Section 1.2: "a panel of six food reviewers examines the food and service
+provided by each restaurant.  Each reviewer then casts one vote in favor
+of a dish and a vote on the overall rating.  The values for the
+attributes ybest_dish and yrating are derived by consolidating the voting
+results."
+
+A ballot may name:
+
+* a single value (``Ballot.for_value("d1")``) -- a committed vote;
+* a *set* of values (``Ballot.for_set({"d35", "d36"})``) -- the reviewer
+  could not decide among the alternatives, so the vote supports the set
+  as a whole (this is precisely what non-singleton focal elements are
+  for);
+* nothing (``Ballot.abstain()``) -- ignorance; the vote's share goes to
+  the whole domain (OMEGA).
+
+Vote shares are exact fractions: 2/4 votes out of six give masses 1/3
+and 2/3, matching how the paper's printed 0.33/0.67 masses arise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from fractions import Fraction
+
+from repro.errors import IntegrationError
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.model.domain import Domain
+from repro.model.evidence import EvidenceSet
+
+
+class Ballot:
+    """One reviewer's vote."""
+
+    __slots__ = ("_choice", "_weight")
+
+    def __init__(self, choice, weight: object = 1):
+        weight = Fraction(weight) if not isinstance(weight, Fraction) else weight
+        if weight <= 0:
+            raise IntegrationError(f"ballot weight must be positive, got {weight}")
+        self._choice = choice
+        self._weight = weight
+
+    @classmethod
+    def for_value(cls, value: object, weight: object = 1) -> "Ballot":
+        """A vote for a single value."""
+        return cls(frozenset({value}), weight)
+
+    @classmethod
+    def for_set(cls, values: Iterable, weight: object = 1) -> "Ballot":
+        """An undecided vote supporting a set of alternatives."""
+        value_set = frozenset(values)
+        if not value_set:
+            raise IntegrationError("a set ballot needs at least one value")
+        return cls(value_set, weight)
+
+    @classmethod
+    def abstain(cls, weight: object = 1) -> "Ballot":
+        """An abstention: the vote share becomes ignorance (OMEGA)."""
+        return cls(OMEGA, weight)
+
+    @property
+    def choice(self):
+        """The voted focal element (a frozenset or OMEGA)."""
+        return self._choice
+
+    @property
+    def weight(self) -> Fraction:
+        """The ballot's weight (1 for ordinary one-reviewer votes)."""
+        return self._weight
+
+    def __repr__(self) -> str:
+        if self._choice is OMEGA:
+            rendered = "abstain"
+        else:
+            rendered = "{" + ",".join(sorted(map(str, self._choice))) + "}"
+        return f"Ballot({rendered}, weight={self._weight})"
+
+
+class VotePanel:
+    """A panel of reviewers voting on one attribute of one entity.
+
+    >>> from repro.datasets.restaurants import best_dish_domain
+    >>> panel = VotePanel(best_dish_domain())
+    >>> panel.cast("d1", count=3)
+    >>> panel.cast("d2", count=2)
+    >>> panel.cast_abstention()
+    >>> panel.to_evidence().format()
+    '[d1^0.5, d2^1/3, Ω^1/6]'
+    """
+
+    def __init__(self, domain: Domain | None = None):
+        self._domain = domain
+        self._ballots: list[Ballot] = []
+
+    @property
+    def ballots(self) -> tuple[Ballot, ...]:
+        """All ballots cast so far."""
+        return tuple(self._ballots)
+
+    @property
+    def total_votes(self) -> Fraction:
+        """Total ballot weight."""
+        return sum((ballot.weight for ballot in self._ballots), Fraction(0))
+
+    def cast(self, value: object, count: int = 1) -> None:
+        """Cast *count* single-value votes for *value*."""
+        self._validate(frozenset({value}))
+        for _ in range(count):
+            self._ballots.append(Ballot.for_value(value))
+
+    def cast_set(self, values: Iterable, count: int = 1) -> None:
+        """Cast *count* undecided votes over *values*."""
+        value_set = frozenset(values)
+        self._validate(value_set)
+        for _ in range(count):
+            self._ballots.append(Ballot.for_set(value_set))
+
+    def cast_abstention(self, count: int = 1) -> None:
+        """Cast *count* abstentions."""
+        for _ in range(count):
+            self._ballots.append(Ballot.abstain())
+
+    def cast_ballot(self, ballot: Ballot) -> None:
+        """Cast a pre-built (possibly weighted) ballot."""
+        if ballot.choice is not OMEGA:
+            self._validate(ballot.choice)
+        self._ballots.append(ballot)
+
+    def _validate(self, values: frozenset) -> None:
+        if self._domain is None:
+            return
+        for value in values:
+            if not self._domain.contains(value):
+                raise IntegrationError(
+                    f"vote for {value!r} is outside domain {self._domain.name!r}"
+                )
+
+    def tally(self) -> dict:
+        """Vote weight per focal element."""
+        counts: dict = {}
+        for ballot in self._ballots:
+            counts[ballot.choice] = counts.get(ballot.choice, Fraction(0)) + ballot.weight
+        return counts
+
+    def to_evidence(self) -> EvidenceSet:
+        """Consolidate the votes into an evidence set (mass = vote share)."""
+        counts = self.tally()
+        if not counts:
+            raise IntegrationError("cannot consolidate an empty vote panel")
+        frame = (
+            self._domain.frame()
+            if self._domain is not None and self._domain.is_enumerable
+            else None
+        )
+        return EvidenceSet(MassFunction.from_counts(counts, frame), self._domain)

@@ -1,0 +1,37 @@
+"""Storage layer: catalogs, serialization and table rendering.
+
+* :mod:`repro.storage.database` -- an in-memory database of extended
+  relations with a catalog, the execution target of the query layer;
+* :mod:`repro.storage.serialization` -- lossless JSON round-tripping of
+  relations and databases (exact fractions serialize as ``"1/3"``);
+* :mod:`repro.storage.formatting` -- renders extended relations as text
+  tables in the paper's style (bracketed evidence sets, ``(sn,sp)``
+  column).
+"""
+
+from repro.storage.database import Database
+from repro.storage.serialization import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    load_relation,
+    relation_from_json,
+    relation_to_json,
+    save_database,
+    save_relation,
+)
+from repro.storage.formatting import format_relation, format_tuple
+
+__all__ = [
+    "Database",
+    "relation_to_json",
+    "relation_from_json",
+    "database_to_json",
+    "database_from_json",
+    "save_relation",
+    "load_relation",
+    "save_database",
+    "load_database",
+    "format_relation",
+    "format_tuple",
+]

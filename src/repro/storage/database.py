@@ -1,0 +1,96 @@
+"""An in-memory database of extended relations.
+
+:class:`Database` is the catalog the query executor resolves relation
+names against, and the convenient front door for interactive use::
+
+    db = Database("tourist_bureau")
+    db.add(table_ra())
+    db.add(table_rb())
+    result = db.query("SELECT rname FROM RA WHERE speciality IS {si}")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import CatalogError
+from repro.model.relation import ExtendedRelation
+
+
+class Database:
+    """A named catalog of extended relations."""
+
+    def __init__(self, name: str = "db"):
+        self._name = str(name)
+        self._relations: dict[str, ExtendedRelation] = {}
+
+    @property
+    def name(self) -> str:
+        """The database name."""
+        return self._name
+
+    def add(self, relation: ExtendedRelation, replace: bool = False) -> None:
+        """Register *relation* under its schema name.
+
+        Raises :class:`CatalogError` on duplicates unless *replace*.
+        """
+        name = relation.name
+        if name in self._relations and not replace:
+            raise CatalogError(
+                f"relation {name!r} already exists in database {self._name!r}"
+            )
+        self._relations[name] = relation
+
+    def get(self, name: str) -> ExtendedRelation:
+        """The relation registered under *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations)) or "(none)"
+            raise CatalogError(
+                f"no relation {name!r} in database {self._name!r} "
+                f"(known: {known})"
+            ) from None
+
+    def drop(self, name: str) -> None:
+        """Remove the relation registered under *name*."""
+        if name not in self._relations:
+            raise CatalogError(
+                f"cannot drop unknown relation {name!r} from {self._name!r}"
+            )
+        del self._relations[name]
+
+    def names(self) -> tuple[str, ...]:
+        """All registered relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def relations(self) -> tuple[ExtendedRelation, ...]:
+        """All registered relations, sorted by name."""
+        return tuple(self._relations[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[ExtendedRelation]:
+        return iter(self.relations())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def query(self, text: str) -> ExtendedRelation:
+        """Parse, plan and execute a query against this database.
+
+        See :mod:`repro.query` for the language.
+        """
+        from repro.query import execute
+
+        return execute(text, self)
+
+    def explain(self, text: str) -> str:
+        """The optimized logical plan of a query, rendered as text."""
+        from repro.query import explain
+
+        return explain(text, self)
+
+    def __repr__(self) -> str:
+        return f"Database({self._name!r}, {len(self._relations)} relations)"

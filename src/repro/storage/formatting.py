@@ -1,0 +1,70 @@
+"""Rendering extended relations as text tables, paper-style.
+
+The paper prints extended relations with one column per attribute (the
+uncertain ones showing bracketed evidence sets) plus a final ``(sn,sp)``
+column.  :func:`format_relation` reproduces that layout so examples and
+benchmarks can print "the same rows the paper reports".
+"""
+
+from __future__ import annotations
+
+from repro.model.etuple import ExtendedTuple
+from repro.model.evidence import EvidenceSet
+from repro.model.relation import ExtendedRelation
+
+
+def format_tuple(
+    etuple: ExtendedTuple, style: str = "decimal", digits: int = 3
+) -> dict[str, str]:
+    """One tuple as a column -> rendered-text mapping."""
+    cells: dict[str, str] = {}
+    for name, value in etuple.items():
+        attribute = etuple.schema.attribute(name)
+        if isinstance(value, EvidenceSet):
+            if value.is_definite():
+                cells[attribute.display_name] = str(value.definite_value())
+            else:
+                cells[attribute.display_name] = value.format(style, digits)
+        else:
+            cells[attribute.display_name] = str(value)
+    cells["(sn,sp)"] = etuple.membership.format(style="decimal", digits=2)
+    return cells
+
+
+def format_relation(
+    relation: ExtendedRelation,
+    style: str = "decimal",
+    digits: int = 3,
+    title: str | None = None,
+) -> str:
+    """A whole relation as an aligned text table.
+
+    >>> from repro.datasets.restaurants import table_ra
+    >>> print(format_relation(table_ra()).splitlines()[0])  # doctest: +SKIP
+    """
+    header = [
+        relation.schema.attribute(name).display_name
+        for name in relation.schema.names
+    ] + ["(sn,sp)"]
+    rows = [format_tuple(etuple, style, digits) for etuple in relation]
+    widths = {column: len(column) for column in header}
+    for row in rows:
+        for column in header:
+            widths[column] = max(widths[column], len(row.get(column, "")))
+
+    def render_line(cells: dict[str, str] | None) -> str:
+        if cells is None:
+            return "-+-".join("-" * widths[column] for column in header)
+        return " | ".join(
+            cells.get(column, "").ljust(widths[column]) for column in header
+        )
+
+    lines = []
+    if title is None:
+        title = f"Table {relation.name}"
+    lines.append(title)
+    lines.append(render_line({column: column for column in header}))
+    lines.append(render_line(None))
+    for row in rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Algebraic laws of the extended operations.
+
+Beyond Theorem 1, the operations obey (and, where the paper's semantics
+demand it, *fail to obey*) classical laws; pinning these down guards the
+semantics against refactoring drift:
+
+* selection fusion: cascaded selections = conjunction selection;
+* selection commutes with projection (when attributes are retained);
+* theta duality: ``A < B`` has exactly the support of ``B > A``;
+* union/intersection interplay;
+* documented NON-laws: union is not idempotent (self-combination
+  sharpens evidence), selection does not distribute over union.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    And,
+    IsPredicate,
+    ThetaPredicate,
+    intersection,
+    lit,
+    project,
+    select,
+    union,
+)
+from repro.algebra.support import theta_support
+from repro.model.evidence import EvidenceSet
+from repro.datasets.generators import SyntheticConfig, synthetic_pair
+from repro.datasets.restaurants import table_ra, table_rb
+from tests.conftest import mass_functions
+
+
+class TestSelectionLaws:
+    def test_fusion(self):
+        """select(select(R,P1),P2) == select(R, P1 and P2)."""
+        ra = table_ra()
+        p1 = IsPredicate("speciality", {"mu"})
+        p2 = IsPredicate("rating", {"ex"})
+        cascaded = select(select(ra, p1), p2)
+        fused = select(ra, And(p1, p2))
+        assert cascaded.same_tuples(fused)
+
+    def test_commutes(self):
+        """Selection order within a conjunction is irrelevant."""
+        ra = table_ra()
+        p1 = IsPredicate("speciality", {"mu"})
+        p2 = IsPredicate("rating", {"ex"})
+        assert select(select(ra, p1), p2).same_tuples(
+            select(select(ra, p2), p1)
+        )
+
+    def test_commutes_with_projection(self):
+        """project(select(R,P)) == select(project(R),P) when P's
+        attributes survive the projection."""
+        ra = table_ra()
+        predicate = IsPredicate("rating", {"ex"})
+        names = ["rname", "rating"]
+        left = project(select(ra, predicate), names)
+        right = select(project(ra, names), predicate)
+        assert left.same_tuples(right)
+
+    def test_does_not_distribute_over_union(self):
+        """Documented NON-law: selecting before the union changes the
+        combination inputs (this is why the planner never pushes)."""
+        ra, rb = table_ra(), table_rb()
+        predicate = IsPredicate("rating", {"ex"})
+        after = select(union(ra, rb, name="U"), predicate)
+        before = union(select(ra, predicate), select(rb, predicate), name="U")
+        assert not after.same_tuples(before)
+
+    def test_idempotent(self):
+        """Selecting twice with the same predicate weakens membership
+        again -- selection is NOT idempotent on uncertain predicates
+        (each application multiplies the support in)."""
+        ra = table_ra()
+        predicate = IsPredicate("speciality", {"si"})
+        once = select(ra, predicate)
+        twice = select(once, predicate)
+        garden_once = once.get("garden").membership
+        garden_twice = twice.get("garden").membership
+        assert garden_twice.sn == garden_once.sn * Fraction(1, 2)
+
+
+class TestThetaDuality:
+    CASES = [
+        ("<", ">"),
+        (">", "<"),
+        ("<=", ">="),
+        (">=", "<="),
+        ("=", "="),
+    ]
+
+    @pytest.mark.parametrize("op,mirror", CASES)
+    def test_support_mirrors(self, op, mirror):
+        a = EvidenceSet({frozenset({1, 4}): "3/5", frozenset({2, 6}): "2/5"})
+        b = EvidenceSet({frozenset({2, 4}): "4/5", frozenset({5}): "1/5"})
+        assert theta_support(a, b, op) == theta_support(b, a, mirror)
+
+    @given(m=mass_functions(universe=(1, 2, 3, 4), max_focal=3))
+    def test_mirror_property_generated(self, m):
+        a = EvidenceSet(m)
+        b = EvidenceSet({frozenset({2}): "1/2", frozenset({3, 4}): "1/2"})
+        for op, mirror in self.CASES:
+            assert theta_support(a, b, op) == theta_support(b, a, mirror)
+
+
+class TestUnionIntersectionLaws:
+    def test_intersection_refines_union(self):
+        ra, rb = table_ra(), table_rb()
+        consensus = intersection(ra, rb, name="X")
+        integrated = union(ra, rb, name="X")
+        for t in consensus:
+            assert integrated.get(t.key()) == t
+
+    def test_union_not_idempotent(self):
+        """R union R is NOT R: combining a relation with itself counts
+        the same evidence twice and sharpens it -- the paper's
+        independence assumption makes self-union meaningless, and this
+        test documents the behaviour."""
+        ra = table_ra()
+        doubled = union(ra, table_ra("RA2"), name="RA")
+        garden = doubled.get("garden").evidence("speciality")
+        original = ra.get("garden").evidence("speciality")
+        assert garden.mass({"si"}) > original.mass({"si"})
+
+    def test_union_with_empty_is_identity(self):
+        from repro.model.relation import ExtendedRelation
+
+        ra = table_ra()
+        empty = ExtendedRelation(table_rb("RB").schema, [])
+        assert union(ra, empty, name="RA").same_tuples(ra)
+
+    def test_intersection_with_empty_is_empty(self):
+        from repro.model.relation import ExtendedRelation
+
+        ra = table_ra()
+        empty = ExtendedRelation(table_rb("RB").schema, [])
+        assert len(intersection(ra, empty)) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_union_commutative_on_random_workloads(seed):
+    config = SyntheticConfig(n_tuples=10, seed=seed, ignorance=1.0)
+    left, right = synthetic_pair(config)
+    forward = union(left, right, name="U")
+    backward = union(right, left, name="U")
+    assert forward.same_tuples(backward)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_selection_fusion_on_random_workloads(seed):
+    config = SyntheticConfig(n_tuples=15, seed=seed)
+    left, _ = synthetic_pair(config)
+    p1 = IsPredicate("category", {"c0", "c1", "c2"})
+    p2 = ThetaPredicate("score", ">=", lit(3))
+    assert select(select(left, p1), p2).same_tuples(select(left, And(p1, p2)))

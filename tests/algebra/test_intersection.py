@@ -1,0 +1,104 @@
+"""Tests for the extended intersection (consensus extension)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import OperationError, TotalConflictError
+from repro.algebra import intersection, intersection_with_report, union
+from repro.algebra.properties import verify_boundedness, verify_closure
+from repro.datasets.restaurants import expected_table4, table_ra, table_rb
+
+
+class TestIntersection:
+    def test_keeps_only_matched_keys(self):
+        consensus = intersection(table_ra(), table_rb())
+        assert sorted(t.key()[0] for t in consensus) == [
+            "country",
+            "garden",
+            "mehl",
+            "olive",
+            "wok",
+        ]
+        assert consensus.get("ashiana") is None
+
+    def test_matched_tuples_equal_union_result(self):
+        """On matched keys, intersection and union agree exactly."""
+        consensus = intersection(table_ra(), table_rb())
+        integrated = expected_table4()
+        for t in consensus:
+            merged = integrated.get(t.key())
+            assert t.membership == merged.membership
+            for name in ("speciality", "best_dish", "rating"):
+                assert t.evidence(name) == merged.evidence(name)
+
+    def test_report(self):
+        _, report = intersection_with_report(table_ra(), table_rb())
+        assert len(report.matched) == 5
+        assert report.left_only == [("ashiana",)]
+        assert report.right_only == []
+
+    def test_result_name(self):
+        assert intersection(table_ra(), table_rb()).name == "RA_intersect_RB"
+        assert intersection(table_ra(), table_rb(), name="C").name == "C"
+
+    def test_commutative(self):
+        left = intersection(table_ra(), table_rb(), name="C")
+        right = intersection(table_rb(), table_ra(), name="C")
+        assert left.same_tuples(right)
+
+    def test_conflict_policies(self):
+        with pytest.raises(OperationError):
+            intersection(table_ra(), table_rb(), on_conflict="panic")
+
+    def test_theorem1_properties(self):
+        assert verify_closure(intersection(table_ra(), table_rb()))
+        assert verify_boundedness(
+            intersection,
+            [table_ra(), table_rb()],
+            [[("phantom-a",)], [("phantom-b",)]],
+        )
+
+    def test_intersection_subset_of_union(self):
+        consensus = intersection(table_ra(), table_rb(), name="X")
+        integrated = union(table_ra(), table_rb(), name="X")
+        assert set(consensus.keys()) <= set(integrated.keys())
+
+
+class TestIntersectionViaSql:
+    def test_intersect_statement(self):
+        from repro.storage import Database
+
+        db = Database()
+        db.add(table_ra())
+        db.add(table_rb())
+        result = db.query("RA INTERSECT RB BY (rname)")
+        assert len(result) == 5
+        direct = intersection(table_ra(), table_rb())
+        assert result.same_tuples(direct.with_name(result.name))
+
+    def test_no_pushdown_through_intersect(self):
+        from repro.storage import Database
+        from repro.query.parser import parse
+        from repro.query.planner import build_plan, optimize
+        from repro.query.plans import IntersectPlan, SelectPlan
+
+        db = Database()
+        db.add(table_ra())
+        db.add(table_rb())
+        plan = optimize(
+            build_plan(
+                parse("SELECT * FROM (RA INTERSECT RB) WHERE rating IS {ex}"),
+                db,
+            )
+        )
+        assert isinstance(plan, SelectPlan)
+        assert isinstance(plan.child, IntersectPlan)
+
+    def test_explain_shows_intersect(self):
+        from repro.storage import Database
+
+        db = Database()
+        db.add(table_ra())
+        db.add(table_rb())
+        assert "Intersect" in db.explain("RA INTERSECT RB")

@@ -1,0 +1,205 @@
+"""Exact reproduction of every worked table of the paper.
+
+These tests are the headline of the reproduction: Tables 2-5 and the
+inline Section 2.1/2.2 examples must come out *exactly* (as fractions),
+and their 3-digit decimal renderings must match the digits the paper
+prints.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ds.frame import OMEGA
+from repro.ds.notation import format_mass_value
+from repro.algebra import And, IsPredicate, project, select, union, union_with_report
+from repro.datasets.restaurants import (
+    expected_table2,
+    expected_table3,
+    expected_table4,
+    expected_table5,
+    table_ra,
+    table_rb,
+)
+
+
+@pytest.fixture
+def ra():
+    return table_ra()
+
+
+@pytest.fixture
+def rb():
+    return table_rb()
+
+
+class TestTable2:
+    """select[sn>0, speciality is {si}](R_A)."""
+
+    def test_exact_reproduction(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        assert result.same_tuples(expected_table2())
+
+    def test_only_garden_and_wok_qualify(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        assert sorted(t.key()[0] for t in result) == ["garden", "wok"]
+
+    def test_garden_membership_is_half_three_quarters(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        garden = result.get("garden")
+        assert garden.membership.as_tuple() == (Fraction(1, 2), Fraction(3, 4))
+        assert garden.membership.format(style="decimal") == "(0.5,0.75)"
+
+    def test_wok_membership_fully_certain(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        assert result.get("wok").membership.is_certain
+
+    def test_attribute_values_retained(self, ra):
+        """Footnote 4: unlike DeMichiel, selection keeps original values."""
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        garden = result.get("garden")
+        assert garden.evidence("speciality") == ra.get("garden").evidence(
+            "speciality"
+        )
+
+
+class TestTable3:
+    """select[sn>0, (speciality is {mu}) and (rating is {ex})](R_A)."""
+
+    @pytest.fixture
+    def result(self, ra):
+        predicate = And(
+            IsPredicate("speciality", {"mu"}), IsPredicate("rating", {"ex"})
+        )
+        return select(ra, predicate)
+
+    def test_exact_reproduction(self, result):
+        assert result.same_tuples(expected_table3())
+
+    def test_only_mughalai_restaurants_qualify(self, result):
+        assert sorted(t.key()[0] for t in result) == ["ashiana", "mehl"]
+
+    def test_mehl_membership(self, result):
+        # (0.32, 0.32) in the paper; exactly (8/25, 8/25).
+        assert result.get("mehl").membership.as_tuple() == (
+            Fraction(8, 25),
+            Fraction(8, 25),
+        )
+
+    def test_ashiana_membership(self, result):
+        # (0.9, 1) in the paper.
+        assert result.get("ashiana").membership.as_tuple() == (
+            Fraction(9, 10),
+            Fraction(1),
+        )
+
+
+class TestTable4:
+    """R_A union_(rname) R_B -- the integrated relation."""
+
+    @pytest.fixture
+    def merged(self, ra, rb):
+        return union(ra, rb)
+
+    def test_exact_reproduction(self, merged):
+        assert merged.same_tuples(expected_table4())
+
+    def test_paper_printed_digits_garden_speciality(self, merged):
+        """19/29, 8/29, 2/29 print as the paper's 0.655 / 0.276 / 0.069."""
+        speciality = merged.get("garden").evidence("speciality")
+        assert format_mass_value(speciality.mass({"si"}), "decimal", 3) == "0.655"
+        assert format_mass_value(speciality.mass({"hu"}), "decimal", 3) == "0.276"
+        assert format_mass_value(speciality.ignorance(), "decimal", 3) == "0.069"
+
+    def test_paper_printed_digits_garden_rating(self, merged):
+        """1/7 and 6/7 print as the paper's 0.143 / 0.857."""
+        rating = merged.get("garden").evidence("rating")
+        assert rating.mass({"ex"}) == Fraction(1, 7)
+        assert rating.mass({"gd"}) == Fraction(6, 7)
+        assert format_mass_value(rating.mass({"ex"}), "decimal", 3) == "0.143"
+        assert format_mass_value(rating.mass({"gd"}), "decimal", 3) == "0.857"
+
+    def test_garden_best_dish(self, merged):
+        """{d35,d36} meets {d35} -> d35 with mass 0.3; d31 keeps 0.7."""
+        best = merged.get("garden").evidence("best_dish")
+        assert best.mass({"d31"}) == Fraction(7, 10)
+        assert best.mass({"d35"}) == Fraction(3, 10)
+        assert best.mass({"d35", "d36"}) == 0
+
+    def test_wok_becomes_pure_sichuan(self, merged):
+        assert merged.get("wok").evidence("speciality").definite_value() == "si"
+
+    def test_wok_best_dish_sharpens(self, merged):
+        best = merged.get("wok").evidence("best_dish")
+        assert best.mass({"d6"}) == Fraction(1, 2)
+        assert best.mass({"d7"}) == Fraction(1, 4)
+        assert best.mass({"d25"}) == Fraction(1, 4)
+
+    def test_country_best_dish(self, merged):
+        best = merged.get("country").evidence("best_dish")
+        assert best.mass({"d1"}) == Fraction(1, 4)
+        assert best.mass({"d2"}) == Fraction(3, 4)
+
+    def test_olive_rating(self, merged):
+        rating = merged.get("olive").evidence("rating")
+        assert rating.mass({"gd"}) == Fraction(4, 5)
+        assert rating.mass({"avg"}) == Fraction(1, 5)
+
+    def test_mehl_membership_and_dishes(self, merged):
+        mehl = merged.get("mehl")
+        # (0.5,0.5) (+) (0.8,1) = (5/6, 5/6), printed (0.83, 0.83).
+        assert mehl.membership.as_tuple() == (Fraction(5, 6), Fraction(5, 6))
+        assert mehl.membership.format(style="decimal") == "(0.83,0.83)"
+        best = mehl.evidence("best_dish")
+        assert best.mass({"d24"}) == Fraction(2, 29)
+        assert best.mass({"d31"}) == Fraction(27, 29)
+
+    def test_ashiana_passes_through_unchanged(self, merged, ra):
+        """Only R_A knows ashiana; the union must retain it verbatim."""
+        assert merged.get("ashiana") is not None
+        original = ra.get("ashiana")
+        copied = merged.get("ashiana")
+        assert copied.membership == original.membership
+        for name in ("speciality", "best_dish", "rating"):
+            assert copied.evidence(name) == original.evidence(name)
+
+    def test_report_counts(self, ra, rb):
+        _, report = union_with_report(ra, rb)
+        assert len(report.matched) == 5
+        assert report.left_only == [("ashiana",)]
+        assert report.right_only == []
+        assert report.total_conflicts == []
+
+
+class TestTable5:
+    """project[rname, phone, speciality, rating, (sn,sp)](R_A)."""
+
+    def test_exact_reproduction(self, ra):
+        result = project(ra, ["rname", "phone", "speciality", "rating"])
+        assert result.same_tuples(expected_table5())
+
+    def test_all_six_tuples_survive(self, ra):
+        result = project(ra, ["rname", "phone", "speciality", "rating"])
+        assert len(result) == 6
+
+    def test_membership_carried(self, ra):
+        result = project(ra, ["rname", "phone", "speciality", "rating"])
+        assert result.get("mehl").membership.as_tuple() == (
+            Fraction(1, 2),
+            Fraction(1, 2),
+        )
+
+
+class TestUnionAlgebraicProperties:
+    def test_union_commutative_on_paper_data(self, ra, rb):
+        left = union(ra, rb, name="U")
+        right = union(rb, ra, name="U")
+        assert left.same_tuples(right)
+
+    def test_union_query_order_independent(self, ra, rb):
+        """Combining evidence is associative/commutative, so the order of
+        integrating databases does not matter (Section 2.2)."""
+        third = table_ra("RC")  # a third source identical to R_A
+        a = union(union(ra, rb), third)
+        b = union(ra, union(rb, third))
+        assert a.same_tuples(b)

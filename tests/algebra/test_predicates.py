@@ -1,0 +1,198 @@
+"""Tests for the predicate AST and its support calculus."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.schema import RelationSchema
+from repro.algebra.predicates import (
+    And,
+    AttributeOperand,
+    IsPredicate,
+    LiteralOperand,
+    Not,
+    Or,
+    ThetaPredicate,
+    attr,
+    lit,
+)
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "R",
+        [
+            Attribute("name", TextDomain("name"), key=True),
+            Attribute(
+                "colour",
+                EnumeratedDomain("colour", ["red", "green", "blue"]),
+                uncertain=True,
+            ),
+            Attribute(
+                "size", EnumeratedDomain("size", [1, 2, 3, 4, 5]), uncertain=True
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def row(schema):
+    return ExtendedTuple(
+        schema,
+        {
+            "name": "thing",
+            "colour": "[red^0.5, {green,blue}^0.25, Ω^0.25]",
+            "size": {frozenset({2}): "1/2", frozenset({3, 4}): "1/2"},
+        },
+    )
+
+
+class TestIsPredicate:
+    def test_support(self, row):
+        support = IsPredicate("colour", {"red"}).support(row)
+        assert support.as_tuple() == (Fraction(1, 2), Fraction(3, 4))
+
+    def test_multi_value(self, row):
+        support = IsPredicate("colour", {"green", "blue"}).support(row)
+        assert support.as_tuple() == (Fraction(1, 4), Fraction(1, 2))
+
+    def test_needs_values(self):
+        with pytest.raises(PredicateError):
+            IsPredicate("colour", set())
+
+    def test_needs_attribute_name(self):
+        with pytest.raises(PredicateError):
+            IsPredicate("", {"x"})
+
+    def test_attributes(self):
+        assert IsPredicate("colour", {"red"}).attributes() == frozenset({"colour"})
+
+    def test_validate_against(self, schema):
+        IsPredicate("colour", {"red"}).validate_against(schema)
+        with pytest.raises(PredicateError, match="unknown attribute"):
+            IsPredicate("ghost", {"red"}).validate_against(schema)
+
+    def test_builder_sugar(self, row):
+        support = attr("colour").is_in({"red"}).support(row)
+        assert support.sn == Fraction(1, 2)
+
+
+class TestThetaPredicate:
+    def test_attribute_vs_literal(self, row):
+        predicate = ThetaPredicate("size", "<=", lit(2))
+        # {2} <= 2 definitely (1/2); {3,4} <= 2 never.
+        assert predicate.support(row).as_tuple() == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_attribute_vs_attribute(self, schema):
+        both = ExtendedTuple(
+            schema,
+            {"name": "x", "colour": "red", "size": {frozenset({3}): 1}},
+        )
+        predicate = ThetaPredicate("size", "=", attr("size"))
+        assert predicate.support(both).as_tuple() == (1, 1)
+
+    def test_operator_sugar(self, row):
+        predicate = attr("size") >= lit(3)
+        support = predicate.support(row)
+        # {3,4} >= 3 definitely (1/2); {2} >= 3 never.
+        assert support.as_tuple() == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_evidence_literal(self, row):
+        predicate = ThetaPredicate("size", "<", lit("[{5}^1]"))
+        # 2 < 5 and {3,4} < 5: both certain.
+        assert predicate.support(row).as_tuple() == (1, 1)
+
+    def test_ne_rejected(self):
+        with pytest.raises(PredicateError):
+            _ = attr("size") != lit(3)
+
+    def test_attributes_collects_both_sides(self):
+        predicate = ThetaPredicate("a", "<", attr("b"))
+        assert predicate.attributes() == frozenset({"a", "b"})
+
+    def test_literal_has_no_attributes(self):
+        assert lit(5).attributes() == frozenset()
+
+    def test_invalid_operator(self):
+        with pytest.raises(PredicateError):
+            ThetaPredicate("a", "!=", lit(1))
+
+
+class TestCompound:
+    def test_and_multiplicative(self, row):
+        p = And(IsPredicate("colour", {"red"}), IsPredicate("size", {2}))
+        support = p.support(row)
+        # (1/2, 3/4) x (1/2, 1/2)
+        assert support.as_tuple() == (Fraction(1, 4), Fraction(3, 8))
+
+    def test_and_flattens(self):
+        a = IsPredicate("colour", {"red"})
+        b = IsPredicate("size", {2})
+        c = IsPredicate("size", {3})
+        assert len(And(And(a, b), c).parts) == 3
+
+    def test_and_needs_two(self):
+        with pytest.raises(PredicateError):
+            And(IsPredicate("a", {"x"}))
+
+    def test_ampersand_operator(self, row):
+        p = IsPredicate("colour", {"red"}) & IsPredicate("size", {2})
+        assert isinstance(p, And)
+
+    def test_or_disjunctive(self, row):
+        p = Or(IsPredicate("colour", {"red"}), IsPredicate("size", {2}))
+        support = p.support(row)
+        # sn = 1/2 + 1/2 - 1/4 = 3/4; sp = 3/4 + 1/2 - 3/8 = 7/8.
+        assert support.as_tuple() == (Fraction(3, 4), Fraction(7, 8))
+
+    def test_or_flattens_and_validates(self):
+        a = IsPredicate("colour", {"red"})
+        b = IsPredicate("size", {2})
+        assert len(Or(Or(a, b), a).parts) == 3
+        with pytest.raises(PredicateError):
+            Or(a)
+
+    def test_not_inverts_interval(self, row):
+        p = Not(IsPredicate("colour", {"red"}))
+        assert p.support(row).as_tuple() == (Fraction(1, 4), Fraction(1, 2))
+
+    def test_not_requires_predicate(self):
+        with pytest.raises(PredicateError):
+            Not("colour is red")
+
+    def test_attributes_union(self):
+        p = And(IsPredicate("a", {"x"}), IsPredicate("b", {"y"})) | IsPredicate(
+            "c", {"z"}
+        )
+        assert p.attributes() == frozenset({"a", "b", "c"})
+
+    def test_de_morgan_on_supports(self, row):
+        """not(A and B) == (not A) or (not B) at the support level."""
+        a = IsPredicate("colour", {"red"})
+        b = IsPredicate("size", {2})
+        left = Not(And(a, b)).support(row)
+        right = Or(Not(a), Not(b)).support(row)
+        assert left == right
+
+
+class TestOperandResolution:
+    def test_attribute_operand_reads_tuple(self, row):
+        evidence = AttributeOperand("colour").resolve(row)
+        assert evidence.mass({"red"}) == Fraction(1, 2)
+
+    def test_literal_operand_constant(self, row):
+        evidence = LiteralOperand(5).resolve(row)
+        assert evidence.definite_value() == 5
+
+    def test_bracket_string_parses(self):
+        operand = LiteralOperand("[a^0.5, b^0.5]")
+        assert operand.evidence.mass({"a"}) == Fraction(1, 2)
+
+    def test_plain_string_stays_scalar(self):
+        operand = LiteralOperand("plain")
+        assert operand.evidence.definite_value() == "plain"

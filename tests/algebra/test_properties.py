@@ -1,0 +1,208 @@
+"""Mechanical verification of Theorem 1: closure and boundedness.
+
+The paper's proof lives in an unavailable technical report; these tests
+verify the properties on the paper's data, on synthetic relations, and
+property-based over generated workloads.  A negative test documents why
+complements must carry sp = 1 (complete ignorance).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationError
+from repro.algebra import (
+    IsPredicate,
+    ThetaPredicate,
+    equijoin,
+    lit,
+    product,
+    project,
+    select,
+    union,
+)
+from repro.algebra.properties import (
+    augment_with_complement,
+    complement_relation,
+    verify_boundedness,
+    verify_closure,
+)
+from repro.datasets.generators import SyntheticConfig, synthetic_pair
+from repro.datasets.restaurants import table_ra, table_rb
+
+
+@pytest.fixture
+def ra():
+    return table_ra()
+
+
+@pytest.fixture
+def rb():
+    return table_rb()
+
+
+PHANTOMS_L = [("phantom-a",), ("phantom-b",)]
+PHANTOMS_R = [("phantom-c",)]
+
+
+class TestClosure:
+    def test_select_closure(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}))
+        assert verify_closure(result)
+
+    def test_union_closure(self, ra, rb):
+        assert verify_closure(union(ra, rb))
+
+    def test_project_closure(self, ra):
+        assert verify_closure(project(ra, ["rname", "rating"]))
+
+    def test_product_closure(self, ra, rb):
+        assert verify_closure(product(ra, rb.with_name("RB2")))
+
+    def test_join_closure(self, ra, rb):
+        assert verify_closure(
+            equijoin(ra, rb.with_name("RB2"), [("rname", "rname")])
+        )
+
+
+class TestComplementConstruction:
+    def test_complement_tuples_have_zero_support(self, ra):
+        complement = complement_relation(ra, PHANTOMS_L)
+        for etuple in complement:
+            assert etuple.membership.as_tuple() == (0, 1)
+
+    def test_complement_attributes_vacuous(self, ra):
+        complement = complement_relation(ra, PHANTOMS_L)
+        for etuple in complement:
+            for name in ("speciality", "best_dish", "rating"):
+                assert etuple.evidence(name).is_vacuous()
+
+    def test_existing_key_rejected(self, ra):
+        with pytest.raises(OperationError, match="already present"):
+            complement_relation(ra, [("wok",)])
+
+    def test_wrong_key_arity_rejected(self, ra):
+        with pytest.raises(OperationError, match="does not match"):
+            complement_relation(ra, [("a", "b")])
+
+    def test_augmentation_concatenates(self, ra):
+        augmented = augment_with_complement(ra, PHANTOMS_L)
+        assert len(augmented) == len(ra) + len(PHANTOMS_L)
+
+
+class TestBoundednessOnPaperData:
+    def test_union(self, ra, rb):
+        assert verify_boundedness(union, [ra, rb], [PHANTOMS_L, PHANTOMS_R])
+
+    def test_select(self, ra):
+        operation = lambda r: select(r, IsPredicate("speciality", {"si"}))
+        assert verify_boundedness(operation, [ra], [PHANTOMS_L])
+
+    def test_project(self, ra):
+        operation = lambda r: project(r, ["rname", "speciality"])
+        assert verify_boundedness(operation, [ra], [PHANTOMS_L])
+
+    def test_product(self, ra, rb):
+        operation = lambda a, b: product(a, b.with_name("RB2"))
+        assert verify_boundedness(operation, [ra, rb], [PHANTOMS_L, PHANTOMS_R])
+
+    def test_join(self, ra, rb):
+        operation = lambda a, b: equijoin(
+            a, b.with_name("RB2"), [("rname", "rname")]
+        )
+        assert verify_boundedness(operation, [ra, rb], [PHANTOMS_L, PHANTOMS_R])
+
+    def test_theta_select(self, ra):
+        operation = lambda r: select(r, ThetaPredicate("bldg_no", ">=", lit(500)))
+        assert verify_boundedness(operation, [ra], [PHANTOMS_L])
+
+    def test_input_arity_validated(self, ra):
+        with pytest.raises(OperationError):
+            verify_boundedness(union, [ra], [PHANTOMS_L, PHANTOMS_R])
+
+
+class TestBoundednessNegative:
+    def test_sp_below_one_breaks_union_boundedness(self, ra, rb):
+        """A complement with sp < 1 carries *evidence of non-membership*;
+        Dempster-combining it with a matched real tuple changes that
+        tuple's membership, so boundedness fails.  This is exactly why
+        CWA_ER complements read as (0, 1)."""
+        # Overlap the complement with the *other* relation's keys so the
+        # union actually matches a complement tuple against real data.
+        augmented_left = augment_with_complement(ra, [("extra",)], sp="1/2")
+        extra_schema = rb.schema
+        from repro.model.etuple import ExtendedTuple
+        from repro.model.evidence import EvidenceSet
+        from repro.model.relation import ExtendedRelation
+
+        # Certain attributes must agree with the synthesized complement
+        # values (a certain attribute cannot express ignorance, so the
+        # complement carries the domain's arbitrary sample: "" / low).
+        extra_tuple = ExtendedTuple(
+            extra_schema,
+            {
+                "rname": "extra",
+                "street": "",
+                "bldg_no": 1,
+                "phone": "",
+                "speciality": EvidenceSet.vacuous(
+                    extra_schema.attribute("speciality").domain
+                ),
+                "best_dish": EvidenceSet.vacuous(
+                    extra_schema.attribute("best_dish").domain
+                ),
+                "rating": {"gd": "1/2", "ex": "1/2"},
+            },
+            ("1/2", 1),
+        )
+        grown_rb = rb.add(extra_tuple)
+        plain = union(ra, grown_rb)
+        augmented = union(augmented_left, grown_rb)
+        # sn changes for the matched key -> boundedness equality broken.
+        assert plain.get("extra").membership != augmented.get("extra").membership
+
+    def test_sp_one_preserves_union_boundedness(self, ra, rb):
+        """Same setup with sp = 1 complements: identical results."""
+        augmented_left = augment_with_complement(ra, [("phantom-x",)], sp=1)
+        plain = union(ra, rb)
+        augmented = union(augmented_left, rb)
+        plain_supported = {
+            t.key(): (tuple(t.items()), t.membership)
+            for t in plain
+            if t.membership.is_supported
+        }
+        augmented_supported = {
+            t.key(): (tuple(t.items()), t.membership)
+            for t in augmented
+            if t.membership.is_supported
+        }
+        assert plain_supported == augmented_supported
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_boundedness_property_on_synthetic_workloads(seed):
+    """Theorem 1's boundedness on randomized relations, all operations."""
+    config = SyntheticConfig(n_tuples=12, seed=seed, conflict=0.4)
+    left, right = synthetic_pair(config)
+    phantom_l = [(90_000 + seed,)]
+    phantom_r = [(90_001 + seed,)]
+
+    safe_union = lambda a, b: union(a, b, on_conflict="vacuous")
+    assert verify_boundedness(safe_union, [left, right], [phantom_l, phantom_r])
+
+    selector = lambda r: select(r, IsPredicate("category", {"c0", "c1"}))
+    assert verify_boundedness(selector, [left], [phantom_l])
+
+    projector = lambda r: project(r, ["id", "category"])
+    assert verify_boundedness(projector, [left], [phantom_l])
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_closure_property_on_synthetic_workloads(seed):
+    config = SyntheticConfig(n_tuples=10, seed=seed)
+    left, right = synthetic_pair(config)
+    assert verify_closure(union(left, right, on_conflict="vacuous"))
+    assert verify_closure(select(left, IsPredicate("category", {"c0"})))
+    assert verify_closure(product(left, right))

@@ -1,0 +1,97 @@
+"""Tests for the extended selection beyond the paper-table cases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.algebra import (
+    IsPredicate,
+    SN_CERTAIN,
+    ThetaPredicate,
+    attr,
+    lit,
+    select,
+)
+from repro.algebra.thresholds import sn_at_least, sp_at_least
+from repro.datasets.restaurants import table_ra
+
+
+@pytest.fixture
+def ra():
+    return table_ra()
+
+
+class TestThresholds:
+    def test_sn_certain_keeps_only_definite_answers(self, ra):
+        result = select(ra, IsPredicate("rating", {"ex"}), SN_CERTAIN)
+        # Only country and ashiana have rating [ex^1] with certain
+        # membership; mehl has [ex^0.8] and membership (0.5,0.5).
+        assert sorted(t.key()[0] for t in result) == ["ashiana", "country"]
+
+    def test_sn_at_least_half(self, ra):
+        result = select(ra, IsPredicate("rating", {"ex"}), sn_at_least("1/2"))
+        assert sorted(t.key()[0] for t in result) == ["ashiana", "country"]
+
+    def test_sp_threshold(self, ra):
+        result = select(ra, IsPredicate("speciality", {"hu"}), sp_at_least("1/2"))
+        # garden: Pls({hu}) = 1/4 + 1/4 = 1/2 -> sp = 1/2 passes;
+        # sn = Bel = 1/4 > 0.
+        assert [t.key()[0] for t in result] == ["garden"]
+
+    def test_sn_zero_tuples_always_excluded(self, ra):
+        """Even a permissive threshold cannot admit sn = 0 tuples."""
+        from repro.algebra.thresholds import ALWAYS
+
+        result = select(ra, IsPredicate("speciality", {"si"}), ALWAYS)
+        assert sorted(t.key()[0] for t in result) == ["garden", "wok"]
+
+
+class TestThetaSelection:
+    def test_numeric_comparison_on_certain_attribute(self, ra):
+        result = select(ra, ThetaPredicate("bldg_no", ">=", lit(600)))
+        assert sorted(t.key()[0] for t in result) == ["garden", "mehl", "wok"]
+
+    def test_comparison_is_crisp_for_definite_values(self, ra):
+        result = select(ra, ThetaPredicate("bldg_no", "<", lit(600)))
+        for t in result:
+            assert t.membership == table_ra().get(t.key()).membership
+
+    def test_attribute_to_attribute(self, ra):
+        result = select(ra, ThetaPredicate("bldg_no", "=", attr("bldg_no")))
+        assert len(result) == len(ra)
+
+
+class TestResultShape:
+    def test_original_relation_untouched(self, ra):
+        select(ra, IsPredicate("speciality", {"si"}))
+        assert len(ra) == 6
+        assert ra.get("garden").membership.is_certain
+
+    def test_result_name_defaults_to_input(self, ra):
+        assert select(ra, IsPredicate("speciality", {"si"})).name == "RA"
+
+    def test_result_name_override(self, ra):
+        result = select(ra, IsPredicate("speciality", {"si"}), name="sichuan")
+        assert result.name == "sichuan"
+        assert len(result) == 2
+
+    def test_unknown_attribute_rejected(self, ra):
+        with pytest.raises(PredicateError, match="unknown attribute"):
+            select(ra, IsPredicate("cuisine", {"si"}))
+
+    def test_empty_result_is_valid_relation(self, ra):
+        result = select(ra, IsPredicate("speciality", {"ta"}), SN_CERTAIN)
+        assert len(result) == 0
+        assert result.schema.names == ra.schema.names
+
+    def test_selection_composes(self, ra):
+        """Cascaded selections multiply supports."""
+        first = select(ra, IsPredicate("speciality", {"mu"}))
+        second = select(first, IsPredicate("rating", {"ex"}))
+        mehl = second.get("mehl")
+        assert mehl.membership.as_tuple() == (Fraction(8, 25), Fraction(8, 25))
+
+    def test_selection_on_key_attribute(self, ra):
+        result = select(ra, ThetaPredicate("rname", "=", lit("wok")))
+        assert [t.key()[0] for t in result] == ["wok"]

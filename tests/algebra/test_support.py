@@ -1,0 +1,136 @@
+"""Tests for the selection support function F_SS."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.errors import PredicateError
+from repro.ds.frame import OMEGA
+from repro.model.domain import EnumeratedDomain
+from repro.model.evidence import EvidenceSet
+from repro.algebra.support import (
+    is_support,
+    normalize_theta,
+    theta_support,
+)
+from tests.conftest import mass_functions
+
+
+class TestIsSupport:
+    def test_bel_pls_pair(self):
+        es = EvidenceSet("[si^0.5, hu^0.25, Ω^0.25]")
+        support = is_support(es, {"si"})
+        assert support.as_tuple() == (Fraction(1, 2), Fraction(3, 4))
+
+    def test_definite_hit(self):
+        es = EvidenceSet.definite("si")
+        assert is_support(es, {"si"}).as_tuple() == (1, 1)
+
+    def test_definite_miss(self):
+        es = EvidenceSet.definite("am")
+        assert is_support(es, {"si"}).as_tuple() == (0, 0)
+
+    def test_set_focal_element_partially_supports(self):
+        es = EvidenceSet("[{d35,d36}^1]")
+        # Bel({d35}) = 0 (mass is on the pair), Pls({d35}) = 1.
+        assert is_support(es, {"d35"}).as_tuple() == (0, 1)
+        # Querying the whole pair captures the mass.
+        assert is_support(es, {"d35", "d36"}).as_tuple() == (1, 1)
+
+    def test_empty_value_set_rejected(self):
+        with pytest.raises(PredicateError):
+            is_support(EvidenceSet.definite("x"), set())
+
+
+class TestNormalizeTheta:
+    def test_aliases(self):
+        assert normalize_theta("==") == "="
+        assert normalize_theta("≥") == ">="
+        assert normalize_theta("≤") == "<="
+
+    def test_canonical_passthrough(self):
+        for op in ("=", "<", ">", "<=", ">="):
+            assert normalize_theta(op) == op
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PredicateError):
+            normalize_theta("!=")
+
+
+class TestThetaSupport:
+    """The Section 3.1.1 definition: sn sums pairs where theta holds
+    for every member pair, sp sums pairs where it holds for some."""
+
+    @pytest.fixture
+    def a(self):
+        # The paper's example operand A = [{1,4}^0.6, {2,6}^0.4].
+        return EvidenceSet({frozenset({1, 4}): "3/5", frozenset({2, 6}): "2/5"})
+
+    @pytest.fixture
+    def b(self):
+        # The paper's example operand B = [{2,4}^0.8, {5}^0.2].
+        return EvidenceSet({frozenset({2, 4}): "4/5", frozenset({5}): "1/5"})
+
+    def test_definitional_semantics_all_operators(self, a, b):
+        """Exhaustive check of the definition for each theta.
+
+        (The paper's inline example prints (0.6, 1); its comparison glyph
+        is lost to OCR, and no theta in {=,<,>,<=,>=} yields that pair
+        under the printed definition -- see EXPERIMENTS.md.  What we pin
+        down here is the *definition* itself, hand-evaluated.)
+        """
+        # pairs and weights: ({1,4},{2,4}):12/25, ({1,4},{5}):3/25,
+        #                    ({2,6},{2,4}):8/25,  ({2,6},{5}):2/25
+        expectations = {
+            "=": (0, Fraction(12 + 8, 25)),
+            "<": (Fraction(3, 25), 1),
+            "<=": (Fraction(3, 25), 1),
+            ">": (0, Fraction(12 + 8 + 2, 25)),
+            ">=": (0, Fraction(12 + 8 + 2, 25)),
+        }
+        for op, (sn, sp) in expectations.items():
+            support = theta_support(a, b, op)
+            assert support.as_tuple() == (sn, sp), op
+
+    def test_definite_comparison(self):
+        five = EvidenceSet.definite(5)
+        three = EvidenceSet.definite(3)
+        assert theta_support(five, three, ">").as_tuple() == (1, 1)
+        assert theta_support(five, three, "<").as_tuple() == (0, 0)
+        assert theta_support(five, five, "=").as_tuple() == (1, 1)
+
+    def test_equality_of_sets_never_definitely_true(self):
+        pair = EvidenceSet({frozenset({1, 2}): 1})
+        assert theta_support(pair, pair, "=").as_tuple() == (0, 1)
+
+    def test_unframed_omega_contributes_possibility_only(self):
+        a = EvidenceSet({OMEGA: "1/2", frozenset({5}): "1/2"})
+        b = EvidenceSet.definite(5)
+        support = theta_support(a, b, "=")
+        assert support.as_tuple() == (Fraction(1, 2), 1)
+
+    def test_framed_omega_resolves_exactly(self):
+        domain = EnumeratedDomain("score", [5])
+        a = EvidenceSet({OMEGA: 1}, domain)
+        b = EvidenceSet.definite(5, domain)
+        # OMEGA = {5} here, so equality is certain.
+        assert theta_support(a, b, "=").as_tuple() == (1, 1)
+
+    def test_incomparable_values_raise(self):
+        a = EvidenceSet.definite("text")
+        b = EvidenceSet.definite(5)
+        with pytest.raises(PredicateError, match="cannot compare"):
+            theta_support(a, b, "<")
+
+    def test_support_is_valid_membership_pair(self, a, b):
+        for op in ("=", "<", ">", "<=", ">="):
+            support = theta_support(a, b, op)
+            assert 0 <= support.sn <= support.sp <= 1
+
+
+@given(m=mass_functions())
+def test_is_support_always_valid_interval(m):
+    es = EvidenceSet(m)
+    support = is_support(es, {"a", "b"})
+    assert 0 <= support.sn <= support.sp <= 1

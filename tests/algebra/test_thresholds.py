@@ -1,0 +1,72 @@
+"""Tests for membership threshold conditions Q."""
+
+import pytest
+
+from repro.errors import OperationError
+from repro.model.membership import TupleMembership
+from repro.algebra.thresholds import (
+    ALWAYS,
+    SN_CERTAIN,
+    SN_POSITIVE,
+    MembershipThreshold,
+    sn_at_least,
+    sn_equals,
+    sn_greater,
+    sp_at_least,
+    sp_equals,
+    sp_greater,
+)
+
+
+class TestFactories:
+    def test_sn_greater(self):
+        q = sn_greater("1/2")
+        assert q(TupleMembership("3/4", 1))
+        assert not q(TupleMembership("1/2", 1))
+
+    def test_sn_at_least(self):
+        q = sn_at_least("1/2")
+        assert q(TupleMembership("1/2", 1))
+        assert not q(TupleMembership("1/4", 1))
+
+    def test_sn_equals(self):
+        q = sn_equals(1)
+        assert q(TupleMembership(1, 1))
+        assert not q(TupleMembership("9/10", 1))
+
+    def test_sp_variants(self):
+        assert sp_greater("1/2")(TupleMembership(0, "3/4"))
+        assert sp_at_least("3/4")(TupleMembership(0, "3/4"))
+        assert sp_equals(1)(TupleMembership(0, 1))
+        assert not sp_greater(1)(TupleMembership(0, 1))
+
+    def test_constants(self):
+        assert SN_POSITIVE(TupleMembership("1/100", 1))
+        assert not SN_POSITIVE(TupleMembership(0, 1))
+        assert SN_CERTAIN(TupleMembership(1, 1))
+        assert not SN_CERTAIN(TupleMembership("1/2", 1))
+        assert ALWAYS(TupleMembership(0, 0))
+
+
+class TestCombination:
+    def test_conjunction(self):
+        q = sn_greater(0) & sp_at_least("3/4")
+        assert q(TupleMembership("1/2", "3/4"))
+        assert not q(TupleMembership("1/2", "1/2"))
+
+    def test_description_composes(self):
+        q = sn_greater(0) & sp_at_least("1/2")
+        assert "sn > 0" in q.description
+        assert "sp >= 1/2" in q.description
+
+    def test_bad_conjunction_operand(self):
+        with pytest.raises(OperationError):
+            sn_greater(0) & "not a threshold"
+
+    def test_custom_threshold(self):
+        gap = MembershipThreshold(lambda tm: tm.sp - tm.sn <= 0, "no ignorance")
+        assert gap(TupleMembership("1/2", "1/2"))
+        assert not gap(TupleMembership("1/4", "1/2"))
+
+    def test_repr_shows_description(self):
+        assert "sn > 0" in repr(SN_POSITIVE)

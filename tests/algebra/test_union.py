@@ -1,0 +1,218 @@
+"""Tests for the extended union beyond the Table 4 case."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import OperationError, SchemaError, TotalConflictError
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+from repro.algebra import union, union_with_report
+from repro.datasets.restaurants import table_ra, table_rb
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "S",
+        [
+            Attribute("k", TextDomain("k"), key=True),
+            Attribute(
+                "colour",
+                EnumeratedDomain("colour", ["r", "g", "b"]),
+                uncertain=True,
+            ),
+        ],
+    )
+
+
+def _rel(schema, name, rows):
+    tuples = [
+        ExtendedTuple(schema.with_name(name), values, membership)
+        for values, membership in rows
+    ]
+    return ExtendedRelation(schema.with_name(name), tuples)
+
+
+class TestStructure:
+    def test_unmatched_tuples_pass_through(self, schema):
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        right = _rel(schema, "R", [({"k": "b", "colour": "g"}, (1, 1))])
+        merged = union(left, right)
+        assert sorted(t.key()[0] for t in merged) == ["a", "b"]
+
+    def test_union_incompatible_schemas_rejected(self, schema):
+        other = RelationSchema(
+            "T",
+            [
+                Attribute("k", TextDomain("k"), key=True),
+                Attribute(
+                    "shade",
+                    EnumeratedDomain("shade", ["r", "g", "b"]),
+                    uncertain=True,
+                ),
+            ],
+        )
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        right = ExtendedRelation(
+            other, [ExtendedTuple(other, {"k": "a", "shade": "r"}, (1, 1))]
+        )
+        with pytest.raises(SchemaError):
+            union(left, right)
+
+    def test_result_name(self, schema):
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        right = _rel(schema, "R", [({"k": "a", "colour": "r"}, (1, 1))])
+        assert union(left, right).name == "L_union_R"
+        assert union(left, right, name="M").name == "M"
+
+    def test_bad_conflict_policy_rejected(self, schema):
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        with pytest.raises(OperationError):
+            union(left, left.with_name("R"), on_conflict="panic")
+
+
+class TestConflictPolicies:
+    @pytest.fixture
+    def conflicting(self, schema):
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        right = _rel(schema, "R", [({"k": "a", "colour": "g"}, (1, 1))])
+        return left, right
+
+    def test_raise_policy(self, conflicting):
+        left, right = conflicting
+        with pytest.raises(TotalConflictError, match="colour"):
+            union(left, right)
+
+    def test_vacuous_policy_records_and_continues(self, conflicting):
+        left, right = conflicting
+        merged, report = union_with_report(left, right, on_conflict="vacuous")
+        assert merged.get("a").evidence("colour").is_vacuous()
+        assert len(report.total_conflicts) == 1
+        assert report.total_conflicts[0].attribute == "colour"
+
+    def test_drop_policy_removes_tuple(self, conflicting):
+        left, right = conflicting
+        merged, report = union_with_report(left, right, on_conflict="drop")
+        assert len(merged) == 0
+        assert report.dropped == [("a",)]
+
+    def test_certain_attribute_conflict_drops_under_vacuous(self, schema):
+        """A certain attribute cannot hold ignorance; the tuple goes."""
+        certain_schema = RelationSchema(
+            "S",
+            [
+                Attribute("k", TextDomain("k"), key=True),
+                Attribute("street", TextDomain("street")),
+            ],
+        )
+        left = ExtendedRelation(
+            certain_schema.with_name("L"),
+            [
+                ExtendedTuple(
+                    certain_schema.with_name("L"),
+                    {"k": "a", "street": "univ.ave."},
+                    (1, 1),
+                )
+            ],
+        )
+        right = ExtendedRelation(
+            certain_schema.with_name("R"),
+            [
+                ExtendedTuple(
+                    certain_schema.with_name("R"),
+                    {"k": "a", "street": "wash.ave."},
+                    (1, 1),
+                )
+            ],
+        )
+        merged, report = union_with_report(left, right, on_conflict="vacuous")
+        assert len(merged) == 0
+        assert report.dropped == [("a",)]
+
+    def test_membership_total_conflict(self, schema):
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, (1, 1))])
+        right = ExtendedRelation(
+            schema.with_name("R"),
+            [
+                ExtendedTuple(
+                    schema.with_name("R"), {"k": "a", "colour": "r"}, (0, 0)
+                )
+            ],
+            on_unsupported="allow",
+        )
+        with pytest.raises(TotalConflictError, match="membership"):
+            union(left, right)
+        merged, report = union_with_report(left, right, on_conflict="drop")
+        assert len(merged) == 0
+        assert any(c.attribute == "(sn,sp)" for c in report.total_conflicts)
+
+
+class TestReport:
+    def test_kappa_recorded_per_attribute(self):
+        merged, report = union_with_report(table_ra(), table_rb())
+        garden_spec = [
+            c
+            for c in report.conflicts
+            if c.key == ("garden",) and c.attribute == "speciality"
+        ]
+        assert len(garden_spec) == 1
+        assert garden_spec[0].kappa == Fraction(11, 40)
+        assert not garden_spec[0].total
+
+    def test_membership_conflict_recorded(self):
+        _, report = union_with_report(table_ra(), table_rb())
+        mehl_membership = [
+            c
+            for c in report.conflicts
+            if c.key == ("mehl",) and c.attribute == "(sn,sp)"
+        ]
+        assert len(mehl_membership) == 1
+        assert mehl_membership[0].kappa == Fraction(2, 5)
+
+    def test_max_kappa(self):
+        _, report = union_with_report(table_ra(), table_rb())
+        assert report.max_kappa() == max(c.kappa for c in report.conflicts)
+
+    def test_summary_mentions_counts(self):
+        _, report = union_with_report(table_ra(), table_rb())
+        assert "5 matched" in report.summary()
+        assert "1 left-only" in report.summary()
+
+
+class TestEvidencePooling:
+    def test_certainty_shrinks_ignorance(self, schema):
+        left = _rel(
+            schema, "L", [({"k": "a", "colour": {"r": "1/2", ("r", "g"): "1/2"}}, (1, 1))]
+        )
+        right = _rel(
+            schema, "R", [({"k": "a", "colour": {"r": "1/2", ("r", "g"): "1/2"}}, (1, 1))]
+        )
+        merged = union(left, right)
+        colour = merged.get("a").evidence("colour")
+        # Agreement concentrates mass on {r}.
+        assert colour.mass({"r"}) > Fraction(1, 2)
+        assert colour.mass({"r", "g"}) < Fraction(1, 2)
+
+    def test_vacuous_right_is_identity(self, schema):
+        from repro.model.evidence import EvidenceSet
+
+        left = _rel(schema, "L", [({"k": "a", "colour": "r"}, ("1/2", 1))])
+        # right membership (0,1) is not storable under CWA_ER; use allow.
+        right = ExtendedRelation(
+            schema.with_name("R"),
+            [
+                ExtendedTuple(
+                    schema.with_name("R"),
+                    {"k": "a", "colour": EvidenceSet.vacuous(schema.attribute("colour").domain)},
+                    (0, 1),
+                )
+            ],
+            on_unsupported="allow",
+        )
+        merged = union(left, right)
+        assert merged.get("a").evidence("colour").definite_value() == "r"
+        assert merged.get("a").membership.as_tuple() == (Fraction(1, 2), 1)

@@ -1,0 +1,210 @@
+"""Tests for the Section 1.3 baseline comparators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import IntegrationError, MassFunctionError, TotalConflictError
+from repro.ds.frame import OMEGA
+from repro.model.evidence import EvidenceSet
+from repro.baselines.aggregates import AggregateResolver
+from repro.baselines.partial_values import (
+    PartialValue,
+    combine_partial,
+    partial_select,
+    to_partial_value,
+)
+from repro.baselines.probabilistic import (
+    ProbabilisticPartialValue,
+    combine_probabilistic,
+    probabilistic_select,
+)
+from repro.baselines.pdm import (
+    WILDCARD,
+    PdmDistribution,
+    pdm_combine_missing,
+    pdm_from_evidence,
+)
+from repro.datasets.restaurants import speciality_domain
+
+
+class TestAggregates:
+    def test_average_salary_example(self):
+        """Dayal's running example: disagreeing salaries average out."""
+        resolver = AggregateResolver("name")
+        resolved, refused = resolver.resolve(
+            [{"name": "e1", "salary": 100}], [{"name": "e1", "salary": 120}]
+        )
+        assert resolved[0]["salary"] == 110
+        assert refused == []
+
+    def test_min_max_sum(self):
+        resolver = AggregateResolver(
+            "k", methods={"low": "min", "high": "max", "total": "sum"}
+        )
+        resolved, _ = resolver.resolve(
+            [{"k": 1, "low": 5, "high": 5, "total": 5}],
+            [{"k": 1, "low": 3, "high": 9, "total": 7}],
+        )
+        assert resolved[0] == {"k": 1, "low": 3, "high": 9, "total": 12}
+
+    def test_non_numeric_disagreement_refused(self):
+        """The paper's point: aggregates cannot integrate non-numeric
+        conflicting values."""
+        resolver = AggregateResolver("k")
+        resolved, refused = resolver.resolve(
+            [{"k": 1, "speciality": "si"}], [{"k": 1, "speciality": "hu"}]
+        )
+        assert refused == [(1, "speciality")]
+        assert resolved[0]["speciality"] == "si"  # left value kept
+
+    def test_agreement_passes_through(self):
+        resolver = AggregateResolver("k")
+        resolved, refused = resolver.resolve(
+            [{"k": 1, "city": "mpls"}], [{"k": 1, "city": "mpls"}]
+        )
+        assert refused == []
+        assert resolved[0]["city"] == "mpls"
+
+    def test_unmatched_rows_kept(self):
+        resolver = AggregateResolver("k")
+        resolved, _ = resolver.resolve([{"k": 1, "v": 1}], [{"k": 2, "v": 2}])
+        assert len(resolved) == 2
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(IntegrationError):
+            AggregateResolver("k", default="median")
+        with pytest.raises(IntegrationError):
+            AggregateResolver("k", methods={"v": "mode"})
+
+    def test_fractional_average(self):
+        resolver = AggregateResolver("k")
+        resolved, _ = resolver.resolve([{"k": 1, "v": 1}], [{"k": 1, "v": 2}])
+        assert resolved[0]["v"] == Fraction(3, 2)
+
+
+class TestPartialValues:
+    def test_combination_is_intersection(self):
+        a = PartialValue({"hu", "si", "ca"})
+        b = PartialValue({"si", "ca", "am"})
+        assert combine_partial(a, b) == PartialValue({"si", "ca"})
+
+    def test_disjoint_is_total_conflict(self):
+        with pytest.raises(TotalConflictError):
+            combine_partial(PartialValue({"hu"}), PartialValue({"si"}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TotalConflictError):
+            PartialValue(set())
+
+    def test_definite(self):
+        assert PartialValue({"x"}).is_definite()
+        assert PartialValue({"x"}).definite_value() == "x"
+        with pytest.raises(ValueError):
+            PartialValue({"x", "y"}).definite_value()
+
+    def test_flattening_evidence_loses_mass_structure(self):
+        es = EvidenceSet("[si^0.9, hu^0.1]")
+        partial = to_partial_value(es)
+        # 0.9-vs-0.1 distinction is gone; only the candidate set remains.
+        assert partial == PartialValue({"si", "hu"})
+
+    def test_flattening_omega_needs_domain(self):
+        es = EvidenceSet("[si^0.5, Ω^0.5]")
+        with pytest.raises(TotalConflictError):
+            to_partial_value(es)
+        domained = EvidenceSet("[si^0.5, Ω^0.5]", speciality_domain())
+        assert to_partial_value(domained).candidates == (
+            speciality_domain().frame().values
+        )
+
+    def test_true_maybe_selection(self):
+        rows = [
+            ("definitely", PartialValue({"si"})),
+            ("maybe", PartialValue({"si", "hu"})),
+            ("no", PartialValue({"am"})),
+        ]
+        true_ids, maybe_ids = partial_select(rows, {"si"})
+        assert true_ids == ["definitely"]
+        assert maybe_ids == ["maybe"]
+
+
+class TestProbabilisticPartialValues:
+    def test_construction_validates(self):
+        with pytest.raises(MassFunctionError):
+            ProbabilisticPartialValue({"a": "1/2"})
+        with pytest.raises(MassFunctionError):
+            ProbabilisticPartialValue({"a": "-1/2", "b": "3/2"})
+
+    def test_from_evidence_splits_sets(self):
+        es = EvidenceSet("[d31^0.5, {d35,d36}^0.5]")
+        ppv = ProbabilisticPartialValue.from_evidence(es)
+        assert ppv.probability("d31") == Fraction(1, 2)
+        # Fabricated precision: the undecided half splits evenly.
+        assert ppv.probability("d35") == Fraction(1, 4)
+        assert ppv.probability("d36") == Fraction(1, 4)
+
+    def test_mixture_retains_inconsistency(self):
+        """A value one source excludes survives with half its mass --
+        unlike Dempster's renormalization."""
+        a = ProbabilisticPartialValue({"si": 1})
+        b = ProbabilisticPartialValue({"hu": 1})
+        pooled = combine_probabilistic(a, b)
+        assert pooled.probability("si") == Fraction(1, 2)
+        assert pooled.probability("hu") == Fraction(1, 2)
+
+    def test_probability_in(self):
+        ppv = ProbabilisticPartialValue({"a": "1/2", "b": "1/4", "c": "1/4"})
+        assert ppv.probability_in({"a", "b"}) == Fraction(3, 4)
+
+    def test_selection_with_confidence(self):
+        rows = [
+            ("high", ProbabilisticPartialValue({"si": "9/10", "hu": "1/10"})),
+            ("low", ProbabilisticPartialValue({"si": "1/10", "hu": "9/10"})),
+        ]
+        answers = probabilistic_select(rows, {"si"}, confidence="1/2")
+        assert answers == [("high", Fraction(9, 10))]
+
+
+class TestPdm:
+    def test_wildcard_missing_probability(self):
+        d = PdmDistribution({"ex": "1/2", WILDCARD: "1/2"})
+        assert d.missing == Fraction(1, 2)
+        assert d.probability("ex") == Fraction(1, 2)
+
+    def test_ingesting_set_evidence_loses_to_wildcard(self):
+        """PDM has nowhere to put mass on {hu,si}: it collapses to '*',
+        indistinguishable from total ignorance."""
+        es = EvidenceSet("[ca^1/2, {hu,si}^1/3, Ω^1/6]")
+        d = pdm_from_evidence(es)
+        assert d.probability("ca") == Fraction(1, 2)
+        assert d.missing == Fraction(1, 3) + Fraction(1, 6)
+
+    def test_combine_realizes_dempster_on_singleton_masses(self):
+        """PDM's anticipated COMBINE == Dempster restricted to
+        singleton+OMEGA masses (the paper's claim in Section 1.3)."""
+        from repro.ds.combination import combine
+        from repro.ds.mass import MassFunction
+
+        a = PdmDistribution({"x": "1/2", "y": "1/4", WILDCARD: "1/4"})
+        b = PdmDistribution({"x": "1/3", WILDCARD: "2/3"})
+        pooled = pdm_combine_missing(a, b)
+
+        ma = MassFunction({"x": "1/2", "y": "1/4", OMEGA: "1/4"})
+        mb = MassFunction({"x": "1/3", OMEGA: "2/3"})
+        dempster = combine(ma, mb)
+        assert pooled.probability("x") == dempster[{"x"}]
+        assert pooled.probability("y") == dempster[{"y"}]
+        assert pooled.missing == dempster[OMEGA]
+
+    def test_total_conflict(self):
+        a = PdmDistribution({"x": 1})
+        b = PdmDistribution({"y": 1})
+        with pytest.raises(TotalConflictError):
+            pdm_combine_missing(a, b)
+
+    def test_wildcard_saves_conflict(self):
+        a = PdmDistribution({"x": "1/2", WILDCARD: "1/2"})
+        b = PdmDistribution({"y": 1})
+        pooled = pdm_combine_missing(a, b)
+        assert pooled.probability("y") == 1

@@ -1,0 +1,91 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.model.membership import TupleMembership
+
+#: A small universe for generated evidence.
+UNIVERSE = ("a", "b", "c", "d", "e")
+
+
+@pytest.fixture
+def ra():
+    """The paper's R_A (fresh per test)."""
+    from repro.datasets.restaurants import table_ra
+
+    return table_ra()
+
+
+@pytest.fixture
+def rb():
+    """The paper's R_B (fresh per test)."""
+    from repro.datasets.restaurants import table_rb
+
+    return table_rb()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+def focal_elements(universe=UNIVERSE):
+    """Non-empty subsets of the universe, plus OMEGA."""
+    subsets = st.sets(
+        st.sampled_from(list(universe)), min_size=1, max_size=len(universe)
+    ).map(frozenset)
+    return st.one_of(subsets, st.just(OMEGA))
+
+
+@st.composite
+def mass_functions(draw, universe=UNIVERSE, max_focal=4):
+    """Random exact mass functions over the universe."""
+    n_focal = draw(st.integers(min_value=1, max_value=max_focal))
+    elements = draw(
+        st.lists(
+            focal_elements(universe),
+            min_size=n_focal,
+            max_size=n_focal,
+            unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=12),
+            min_size=n_focal,
+            max_size=n_focal,
+        )
+    )
+    total = sum(weights)
+    return MassFunction(
+        {element: Fraction(w, total) for element, w in zip(elements, weights)}
+    )
+
+
+@st.composite
+def memberships(draw):
+    """Random exact (sn, sp) pairs with 0 <= sn <= sp <= 1."""
+    denominator = draw(st.integers(min_value=1, max_value=12))
+    sn_numerator = draw(st.integers(min_value=0, max_value=denominator))
+    sp_numerator = draw(st.integers(min_value=sn_numerator, max_value=denominator))
+    return TupleMembership(
+        Fraction(sn_numerator, denominator), Fraction(sp_numerator, denominator)
+    )
+
+
+@st.composite
+def supported_memberships(draw):
+    """Memberships with sn > 0 (CWA_ER-conformant)."""
+    denominator = draw(st.integers(min_value=2, max_value=12))
+    sn_numerator = draw(st.integers(min_value=1, max_value=denominator))
+    sp_numerator = draw(st.integers(min_value=sn_numerator, max_value=denominator))
+    return TupleMembership(
+        Fraction(sn_numerator, denominator), Fraction(sp_numerator, denominator)
+    )

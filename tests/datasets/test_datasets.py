@@ -1,0 +1,206 @@
+"""Tests for the paper datasets and the synthetic generators."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OperationError
+from repro.ds.frame import OMEGA
+from repro.datasets.generators import (
+    SyntheticConfig,
+    scaled,
+    synthetic_pair,
+    synthetic_relation,
+    synthetic_schema,
+)
+from repro.datasets.restaurants import (
+    RATINGS,
+    SPECIALITIES,
+    best_dish_domain,
+    rating_domain,
+    restaurant_schema,
+    speciality_domain,
+    table_m_a,
+    table_m_b,
+    table_ra,
+    table_rb,
+    table_rm_a,
+    table_rm_b,
+)
+
+
+class TestRestaurantTables:
+    def test_ra_shape(self):
+        ra = table_ra()
+        assert len(ra) == 6
+        assert ra.schema.key_names == ("rname",)
+        assert set(ra.schema.uncertain_names) == {
+            "speciality",
+            "best_dish",
+            "rating",
+        }
+
+    def test_rb_shape(self):
+        rb = table_rb()
+        assert len(rb) == 5
+        assert rb.schema.union_compatible(table_ra().schema)
+
+    def test_exact_masses_behind_printed_decimals(self):
+        """The paper prints 0.33/0.5/0.17 for garden's rating; the exact
+        vote fractions are 1/3, 1/2, 1/6."""
+        garden = table_ra().get("garden")
+        rating = garden.evidence("rating")
+        assert rating.mass({"ex"}) == Fraction(1, 3)
+        assert rating.mass({"gd"}) == Fraction(1, 2)
+        assert rating.mass({"avg"}) == Fraction(1, 6)
+
+    def test_set_valued_focal_element(self):
+        garden = table_ra().get("garden")
+        assert garden.evidence("best_dish").mass({"d35", "d36"}) == Fraction(1, 2)
+
+    def test_memberships(self):
+        ra = table_ra()
+        assert ra.get("mehl").membership.as_tuple() == (
+            Fraction(1, 2),
+            Fraction(1, 2),
+        )
+        rb = table_rb()
+        assert rb.get("mehl").membership.as_tuple() == (Fraction(4, 5), 1)
+
+    def test_shared_certain_attributes_agree(self):
+        """Certain columns (street/bldg_no/phone) agree across sources,
+        as in the paper's Table 1."""
+        ra, rb = table_ra(), table_rb()
+        for rb_tuple in rb:
+            ra_tuple = ra.get(rb_tuple.key())
+            for name in ("street", "bldg_no", "phone"):
+                assert ra_tuple.value(name) == rb_tuple.value(name)
+
+    def test_fresh_instances(self):
+        assert table_ra() is not table_ra()
+        assert table_ra() == table_ra()
+
+    def test_domains(self):
+        assert set(SPECIALITIES) == speciality_domain().values
+        assert set(RATINGS) == rating_domain().values
+        assert len(best_dish_domain().values) == 36
+
+    def test_manager_relations(self):
+        ma, mb = table_m_a(), table_m_b()
+        assert ma.schema.union_compatible(mb.schema)
+        assert ("chen",) in ma and ("chen",) in mb
+
+    def test_relationship_relations_have_composite_keys(self):
+        rm = table_rm_a()
+        assert rm.schema.key_names == ("rname", "mname")
+        assert rm.get(("garden", "chen")) is not None
+        assert table_rm_b().schema.union_compatible(rm.schema)
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_tuples", -1),
+            ("overlap", 1.5),
+            ("ignorance", -0.1),
+            ("conflict", 2),
+            ("domain_size", 0),
+            ("max_focal", 0),
+            ("max_focal_size", 0),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(OperationError):
+            scaled(SyntheticConfig(), **{field: value})
+
+    def test_scaled_helper(self):
+        config = scaled(SyntheticConfig(), n_tuples=5)
+        assert config.n_tuples == 5
+
+
+class TestSyntheticGeneration:
+    def test_deterministic_in_seed(self):
+        a = synthetic_relation(SyntheticConfig(n_tuples=10, seed=7))
+        b = synthetic_relation(SyntheticConfig(n_tuples=10, seed=7))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthetic_relation(SyntheticConfig(n_tuples=10, seed=7))
+        b = synthetic_relation(SyntheticConfig(n_tuples=10, seed=8))
+        assert a != b
+
+    def test_sizes(self):
+        left, right = synthetic_pair(SyntheticConfig(n_tuples=20, seed=1))
+        assert len(left) == 20
+        assert len(right) == 20
+
+    def test_overlap_fraction(self):
+        config = SyntheticConfig(n_tuples=20, overlap=0.5, seed=1)
+        left, right = synthetic_pair(config)
+        shared = sum(1 for t in right if t.key() in left)
+        assert shared == 10
+
+    def test_zero_overlap(self):
+        left, right = synthetic_pair(SyntheticConfig(n_tuples=8, overlap=0, seed=1))
+        assert not any(t.key() in left for t in right)
+
+    def test_full_overlap(self):
+        left, right = synthetic_pair(SyntheticConfig(n_tuples=8, overlap=1, seed=1))
+        assert all(t.key() in left for t in right)
+
+    def test_exact_mode_masses_are_fractions(self):
+        relation = synthetic_relation(SyntheticConfig(n_tuples=5, seed=2, exact=True))
+        for t in relation:
+            assert t.evidence("category").mass_function.is_exact()
+
+    def test_float_mode(self):
+        relation = synthetic_relation(
+            SyntheticConfig(n_tuples=5, seed=2, exact=False)
+        )
+        masses = [
+            value
+            for t in relation
+            for _, value in t.evidence("category").items()
+        ]
+        assert any(isinstance(v, float) for v in masses)
+
+    def test_no_ignorance_when_disabled(self):
+        relation = synthetic_relation(
+            SyntheticConfig(n_tuples=20, seed=3, ignorance=0)
+        )
+        for t in relation:
+            assert t.evidence("category").ignorance() == 0
+
+    def test_certain_membership_when_disabled(self):
+        relation = synthetic_relation(
+            SyntheticConfig(n_tuples=20, seed=3, uncertain_membership=0)
+        )
+        assert all(t.membership.is_certain for t in relation)
+
+    def test_schema_shape(self):
+        schema = synthetic_schema(SyntheticConfig(domain_size=4))
+        assert schema.key_names == ("id",)
+        assert set(schema.uncertain_names) == {"category", "score"}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=30),
+    overlap=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_generated_relations_always_valid(n, overlap, seed):
+    """Every generated relation satisfies CWA_ER and key uniqueness by
+    construction (the constructors would raise otherwise)."""
+    config = SyntheticConfig(n_tuples=n, overlap=overlap, seed=seed)
+    left, right = synthetic_pair(config)
+    assert len(left) == n
+    assert len(right) == n
+    for t in left:
+        assert t.membership.is_supported

@@ -1,0 +1,89 @@
+"""Tests for the employee domain: aggregates and evidential methods
+co-existing in one merge (the Section 1.3 co-existence claim)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra import ThetaPredicate, lit, select
+from repro.integration import TupleMerger
+from repro.datasets.employees import (
+    employee_schema,
+    payroll_method_mix,
+    table_directory,
+    table_payroll,
+)
+
+
+@pytest.fixture
+def merged_and_report():
+    merger = TupleMerger(methods=payroll_method_mix())
+    return merger.merge(table_payroll(), table_directory(), name="staff")
+
+
+class TestDataset:
+    def test_shapes(self):
+        payroll, directory = table_payroll(), table_directory()
+        assert len(payroll) == 4
+        assert len(directory) == 4
+        assert payroll.schema.union_compatible(directory.schema)
+
+    def test_salary_is_certain_attribute(self):
+        schema = employee_schema()
+        assert not schema.attribute("salary").uncertain
+        assert schema.attribute("department").uncertain
+
+
+class TestMethodCoexistence:
+    def test_salary_averaged(self, merged_and_report):
+        """Dayal's aggregate resolves the numeric conflict."""
+        merged, _ = merged_and_report
+        ana = merged.get("e01")
+        assert ana.evidence("salary").definite_value() == 100000  # (98k+102k)/2
+        carla = merged.get("e03")
+        assert carla.evidence("salary").definite_value() == Fraction(239000, 2)
+
+    def test_department_dempster_combined(self, merged_and_report):
+        """The evidential method pools the org-chart evidence."""
+        merged, _ = merged_and_report
+        ben = merged.get("e02")
+        department = ben.evidence("department")
+        # payroll's {eng,ops} meets the directory's eng/ops singletons:
+        # belief concentrates on the singletons, eng ahead.
+        assert department.mass({"eng"}) > department.mass({"ops"})
+        assert department.bel({"eng", "ops"}) > Fraction(9, 10)
+
+    def test_unmatched_employees_pass_through(self, merged_and_report):
+        merged, report = merged_and_report
+        assert merged.get("e04") is not None  # payroll only
+        assert merged.get("e05") is not None  # directory only
+        assert ("e04",) in report.left_only
+        assert ("e05",) in report.right_only
+
+    def test_membership_pooled(self, merged_and_report):
+        merged, _ = merged_and_report
+        # e04 appears only in payroll with (0.9, 1): retained as-is.
+        assert merged.get("e04").membership.as_tuple() == (Fraction(9, 10), 1)
+
+    def test_conflicts_quantified(self, merged_and_report):
+        _, report = merged_and_report
+        # carla's department evidence conflicts (hr vs pure sales).
+        carla_conflicts = [
+            record for record in report.conflicts if record.key == ("e03",)
+        ]
+        assert any(record.attribute == "department" for record in carla_conflicts)
+        assert not report.total_conflicts
+
+
+class TestQueriesOnMergedStaff:
+    def test_theta_predicate_on_level(self, merged_and_report):
+        merged, _ = merged_and_report
+        seniors = select(merged, ThetaPredicate("level", ">=", lit(4)))
+        keys = sorted(t.key()[0] for t in seniors)
+        assert "e01" in keys  # ana: level 4-5 for sure
+        assert "e02" not in keys  # ben: level <= 3
+
+    def test_salary_comparison(self, merged_and_report):
+        merged, _ = merged_and_report
+        six_figures = select(merged, ThetaPredicate("salary", ">=", lit(100000)))
+        assert sorted(t.key()[0] for t in six_figures) == ["e01", "e03"]

@@ -1,0 +1,129 @@
+"""Tests for belief/plausibility/commonality measures."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ds.frame import OMEGA, FrameOfDiscernment
+from repro.ds.mass import MassFunction
+from repro.ds.belief import (
+    belief,
+    commonality,
+    doubt,
+    plausibility,
+    uncertainty_interval,
+)
+from tests.conftest import UNIVERSE, mass_functions
+
+
+@pytest.fixture
+def wok():
+    """The Section 2.1 example mass function for restaurant wok."""
+    return MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+
+
+class TestPaperExample:
+    def test_belief_of_chinese_specialities(self, wok):
+        # Bel({ca, hu, si}) = 5/6 in the paper.
+        assert belief(wok, {"ca", "hu", "si"}) == Fraction(5, 6)
+
+    def test_plausibility_of_chinese_specialities(self, wok):
+        # Pls({ca, hu, si}) = 1 in the paper.
+        assert plausibility(wok, {"ca", "hu", "si"}) == 1
+
+    def test_uncertainty_interval(self, wok):
+        assert uncertainty_interval(wok, {"ca", "hu", "si"}) == (
+            Fraction(5, 6),
+            Fraction(1),
+        )
+
+
+class TestBelief:
+    def test_singleton(self, wok):
+        assert belief(wok, {"ca"}) == Fraction(1, 2)
+        assert belief(wok, {"hu"}) == 0  # mass on {hu,si} is not committed to {hu}
+
+    def test_superset_collects_subset_masses(self, wok):
+        assert belief(wok, {"hu", "si"}) == Fraction(1, 3)
+
+    def test_omega_query_is_total(self, wok):
+        assert belief(wok, OMEGA) == 1
+
+    def test_unframed_omega_never_inside_concrete(self, wok):
+        # Without a frame, OMEGA's 1/6 cannot be claimed by any concrete set.
+        assert belief(wok, {"ca", "hu", "si", "am", "mu", "it", "ta"}) == Fraction(5, 6)
+
+    def test_framed_omega_inside_full_set(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        assert belief(m, {"a", "b"}) == 1
+
+
+class TestPlausibility:
+    def test_singleton(self, wok):
+        # Pls({hu}) = m({hu,si}) + m(OMEGA)
+        assert plausibility(wok, {"hu"}) == Fraction(1, 3) + Fraction(1, 6)
+
+    def test_disjoint_value(self, wok):
+        # 'am' intersects nothing except OMEGA.
+        assert plausibility(wok, {"am"}) == Fraction(1, 6)
+
+    def test_omega_query(self, wok):
+        assert plausibility(wok, OMEGA) == 1
+
+    def test_doubt_is_one_minus_pls(self, wok):
+        assert doubt(wok, {"ca"}) == 1 - plausibility(wok, {"ca"})
+
+
+class TestCommonality:
+    def test_commonality_counts_supersets(self, wok):
+        # Q({hu}) = m({hu,si}) + m(OMEGA)
+        assert commonality(wok, {"hu"}) == Fraction(1, 2)
+        # Q({ca}) = m({ca}) + m(OMEGA)
+        assert commonality(wok, {"ca"}) == Fraction(2, 3)
+
+    def test_commonality_of_omega_query(self, wok):
+        assert commonality(wok, OMEGA) == Fraction(1, 6)
+
+
+class TestMethodsDelegate:
+    def test_mass_function_methods(self, wok):
+        assert wok.bel({"ca"}) == belief(wok, {"ca"})
+        assert wok.pls({"ca"}) == plausibility(wok, {"ca"})
+
+
+@given(m=mass_functions())
+def test_bel_never_exceeds_pls(m):
+    for size in (1, 2, 3):
+        subset = frozenset(UNIVERSE[:size])
+        assert belief(m, subset) <= plausibility(m, subset)
+
+
+@given(m=mass_functions())
+def test_bel_pls_duality(m):
+    """Pls(A) = 1 - Bel(complement of A) over the evidence's universe."""
+    frame = FrameOfDiscernment("u", UNIVERSE)
+    framed = m.with_frame(frame)
+    for size in (1, 2, 4):
+        subset = frozenset(UNIVERSE[:size])
+        complement = frozenset(UNIVERSE) - subset
+        if not complement:
+            continue
+        assert plausibility(framed, subset) == 1 - belief(framed, complement)
+
+
+@given(m=mass_functions())
+def test_bel_monotone_under_inclusion(m):
+    smaller = frozenset(UNIVERSE[:2])
+    larger = frozenset(UNIVERSE[:4])
+    assert belief(m, smaller) <= belief(m, larger)
+    assert plausibility(m, smaller) <= plausibility(m, larger)
+
+
+@given(m=mass_functions(), size=st.integers(min_value=1, max_value=5))
+def test_bel_and_pls_bounded(m, size):
+    subset = frozenset(UNIVERSE[:size])
+    assert 0 <= belief(m, subset) <= 1
+    assert 0 <= plausibility(m, subset) <= 1

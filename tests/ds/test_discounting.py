@@ -1,0 +1,84 @@
+"""Tests for Shafer discounting."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MassFunctionError
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.ds.discounting import discount, discount_all
+from tests.conftest import mass_functions
+
+
+class TestDiscount:
+    def test_full_reliability_is_identity(self):
+        m = MassFunction({"a": "1/2", "b": "1/2"})
+        assert discount(m, 1) is m
+
+    def test_zero_reliability_is_vacuous(self):
+        m = MassFunction({"a": "1/2", "b": "1/2"})
+        assert discount(m, 0).is_vacuous()
+
+    def test_partial_discount(self):
+        m = MassFunction({"ex": 1})
+        d = discount(m, "4/5")
+        assert d[{"ex"}] == Fraction(4, 5)
+        assert d[OMEGA] == Fraction(1, 5)
+
+    def test_existing_ignorance_accumulates(self):
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"})
+        d = discount(m, "1/2")
+        assert d[{"a"}] == Fraction(1, 4)
+        assert d[OMEGA] == Fraction(3, 4)
+
+    def test_out_of_range_rejected(self):
+        m = MassFunction({"a": 1})
+        with pytest.raises(MassFunctionError):
+            discount(m, "3/2")
+        with pytest.raises(MassFunctionError):
+            discount(m, -1)
+
+    def test_frame_preserved(self):
+        from repro.ds.frame import FrameOfDiscernment
+
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = MassFunction({"a": 1}, frame)
+        assert discount(m, "1/2").frame == frame
+
+
+class TestDiscountAll:
+    def test_per_source_reliability(self):
+        sources = {
+            "db_a": MassFunction({"x": 1}),
+            "db_b": MassFunction({"y": 1}),
+        }
+        discounted = discount_all(sources, {"db_b": "1/2"})
+        assert discounted["db_a"][{"x"}] == 1  # untouched
+        assert discounted["db_b"][{"y"}] == Fraction(1, 2)
+
+    def test_inputs_not_mutated(self):
+        sources = {"s": MassFunction({"x": 1})}
+        discount_all(sources, {"s": "1/2"})
+        assert sources["s"][{"x"}] == 1
+
+
+@given(m=mass_functions(), numerator=st.integers(min_value=0, max_value=10))
+def test_discounted_masses_still_normalized(m, numerator):
+    reliability = Fraction(numerator, 10)
+    d = discount(m, reliability)
+    assert sum(value for _, value in d.items()) == 1
+
+
+@given(m=mass_functions(), numerator=st.integers(min_value=0, max_value=10))
+def test_discounting_weakens_belief(m, numerator):
+    """Discounting never increases the belief of any proper subset."""
+    reliability = Fraction(numerator, 10)
+    d = discount(m, reliability)
+    for element in m.focal_elements():
+        if element is OMEGA:
+            continue
+        assert d.bel(element) <= m.bel(element)
+        assert d.pls(element) >= reliability * m.pls(element)

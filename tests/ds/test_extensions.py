@@ -1,0 +1,158 @@
+"""Tests for the DS extensions: Moebius inversion, uncertainty measures,
+and Dempster conditioning."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.errors import MassFunctionError, TotalConflictError
+from repro.ds.frame import OMEGA, FrameOfDiscernment
+from repro.ds.mass import MassFunction
+from repro.ds.moebius import belief_table, mass_from_belief
+from repro.ds.measures import (
+    discord,
+    information_gain,
+    nonspecificity,
+    total_uncertainty,
+)
+from repro.ds.conditioning import condition
+from tests.conftest import UNIVERSE, mass_functions
+
+
+class TestMoebius:
+    def test_simple_inversion(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = mass_from_belief({("a",): "1/2", ("a", "b"): 1}, frame)
+        assert m[{"a"}] == Fraction(1, 2)
+        assert m[{"a", "b"}] == Fraction(1, 2)
+
+    def test_frame_belief_defaults_to_one(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = mass_from_belief({("a",): 1}, frame)
+        assert m[{"a"}] == 1
+
+    def test_bad_frame_belief(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        with pytest.raises(MassFunctionError, match="must be 1"):
+            mass_from_belief({("a", "b"): "1/2"}, frame)
+
+    def test_incoherent_beliefs_rejected(self):
+        """Bel({a}) + Bel({b}) > Bel({a,b}) is not totally monotone."""
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        with pytest.raises(MassFunctionError, match="monotone"):
+            mass_from_belief(
+                {("a",): "3/4", ("b",): "3/4", ("a", "b"): 1}, frame
+            )
+
+    def test_frame_from_plain_values(self):
+        m = mass_from_belief({("x",): 1}, ["x", "y"])
+        assert m.definite_value() == "x"
+
+    def test_belief_table_needs_frame(self):
+        with pytest.raises(MassFunctionError):
+            belief_table(MassFunction({"a": 1}))
+
+    def test_belief_table_contents(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        table = belief_table(m)
+        assert table[frozenset({"a"})] == Fraction(1, 2)
+        assert table[frozenset({"b"})] == 0
+        assert table[frozenset({"a", "b"})] == 1
+
+
+@given(m=mass_functions(universe=UNIVERSE[:3], max_focal=3))
+def test_moebius_round_trip(m):
+    """mass -> belief table -> mass is the identity (exact)."""
+    frame = FrameOfDiscernment("u", UNIVERSE[:3])
+    framed = m.with_frame(frame)
+    table = belief_table(framed)
+    recovered = mass_from_belief(table, frame)
+    assert recovered == framed
+
+
+class TestMeasures:
+    def test_definite_value_has_no_uncertainty(self):
+        m = MassFunction({"a": 1})
+        assert nonspecificity(m) == 0.0
+        assert discord(m) == 0.0
+        assert total_uncertainty(m) == 0.0
+
+    def test_vacuous_is_pure_nonspecificity(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c", "d"])
+        m = MassFunction({OMEGA: 1}, frame)
+        assert nonspecificity(m) == 2.0  # log2(4)
+        assert discord(m) == 0.0
+
+    def test_omega_nonspecificity_needs_frame(self):
+        with pytest.raises(MassFunctionError):
+            nonspecificity(MassFunction({OMEGA: 1}))
+
+    def test_bayesian_mass_is_pure_discord(self):
+        m = MassFunction({"a": "1/2", "b": "1/2"})
+        assert nonspecificity(m) == 0.0
+        # D = -sum 1/2 log2(1/2) = 1 bit.
+        assert discord(m) == pytest.approx(1.0)
+
+    def test_consonant_evidence_has_no_discord(self):
+        m = MassFunction({"a": "1/2", ("a", "b"): "1/2"})
+        assert discord(m) == pytest.approx(-0.5 * math.log2(1.0) - 0.5 * math.log2(1.0))
+
+    def test_combination_gains_information_on_agreement(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c"])
+        before = MassFunction({("a", "b"): "1/2", OMEGA: "1/2"}, frame)
+        sharpening = MassFunction({("a", "b"): "4/5", OMEGA: "1/5"}, frame)
+        after = before.combine(sharpening)
+        assert information_gain(before, after) > 0
+
+    def test_paper_combination_reduces_nonspecificity(self):
+        frame = FrameOfDiscernment("speciality", ["ca", "hu", "si"])
+        m1 = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"}, frame)
+        m2 = MassFunction({("ca", "hu"): "1/2", "hu": "1/4", OMEGA: "1/4"}, frame)
+        combined = m1.combine(m2)
+        assert nonspecificity(combined) < nonspecificity(m1)
+        assert nonspecificity(combined) < nonspecificity(m2)
+
+
+@given(m=mass_functions())
+def test_measures_nonnegative(m):
+    frame = FrameOfDiscernment("u", UNIVERSE)
+    framed = m.with_frame(frame)
+    assert nonspecificity(framed) >= 0
+    assert discord(framed) >= -1e-12
+    assert total_uncertainty(framed) >= -1e-12
+
+
+class TestConditioning:
+    def test_paper_evidence_conditioned_on_chinese_school(self):
+        m = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+        conditioned = condition(m, {"hu", "si"})
+        assert conditioned[{"hu", "si"}] == 1
+
+    def test_conditioning_on_focal_singleton(self):
+        m = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+        conditioned = condition(m, {"ca"})
+        assert conditioned.definite_value() == "ca"
+
+    def test_conditioning_on_implausible_set_conflicts(self):
+        m = MassFunction({"ca": 1})
+        with pytest.raises(TotalConflictError):
+            condition(m, {"hu"})
+
+    def test_conditioning_is_idempotent(self):
+        m = MassFunction({"ca": "1/2", ("hu", "si"): "1/3", OMEGA: "1/6"})
+        once = condition(m, {"hu", "si"})
+        twice = condition(once, {"hu", "si"})
+        assert once == twice
+
+
+@given(m=mass_functions())
+def test_conditioning_never_lowers_belief_inside_constraint(m):
+    constraint = frozenset(UNIVERSE[:2])
+    try:
+        conditioned = condition(m, constraint)
+    except TotalConflictError:
+        return
+    assert conditioned.bel(constraint) == 1

@@ -1,0 +1,92 @@
+"""Tests for probability transforms and decision rules."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TransformError
+from repro.ds.frame import OMEGA, FrameOfDiscernment
+from repro.ds.mass import MassFunction
+from repro.ds.transforms import (
+    max_belief_decision,
+    max_pignistic_decision,
+    max_plausibility_decision,
+    pignistic,
+    plausibility_transform,
+)
+from tests.conftest import mass_functions
+
+
+class TestPignistic:
+    def test_splits_set_mass_evenly(self):
+        m = MassFunction({"ca": "1/2", ("hu", "si"): "1/2"})
+        betp = pignistic(m)
+        assert betp["ca"] == Fraction(1, 2)
+        assert betp["hu"] == Fraction(1, 4)
+        assert betp["si"] == Fraction(1, 4)
+
+    def test_is_probability_distribution(self):
+        m = MassFunction({"a": "1/3", ("b", "c"): "1/3", OMEGA: "1/3"})
+        framed = m.with_frame(FrameOfDiscernment("f", ["a", "b", "c"]))
+        betp = pignistic(framed)
+        assert sum(betp.values()) == 1
+
+    def test_omega_needs_frame(self):
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"})
+        with pytest.raises(TransformError, match="enumerated frame"):
+            pignistic(m)
+
+    def test_definite_value_is_sure(self):
+        betp = pignistic(MassFunction.definite("x"))
+        assert betp == {"x": Fraction(1)}
+
+
+class TestPlausibilityTransform:
+    def test_normalizes_singleton_plausibilities(self):
+        m = MassFunction({"a": "1/2", ("a", "b"): "1/2"})
+        transformed = plausibility_transform(m)
+        # Pls({a}) = 1, Pls({b}) = 1/2 -> normalized 2/3, 1/3.
+        assert transformed["a"] == Fraction(2, 3)
+        assert transformed["b"] == Fraction(1, 3)
+
+    def test_sums_to_one(self):
+        m = MassFunction({"a": "1/4", "b": "1/4", ("a", "b", "c"): "1/2"})
+        assert sum(plausibility_transform(m).values()) == 1
+
+
+class TestDecisions:
+    def test_max_belief(self):
+        m = MassFunction({"a": "2/5", "b": "3/5"})
+        assert max_belief_decision(m) == "b"
+
+    def test_max_plausibility_prefers_covered_value(self):
+        # Pls({b}) = 1/2 + 3/10 = 4/5 beats Pls({a}) = 1/2 + 1/5 = 7/10.
+        m = MassFunction({("a", "b"): "1/2", "b": "3/10", "a": "1/5"})
+        assert max_plausibility_decision(m) == "b"
+
+    def test_max_pignistic(self):
+        m = MassFunction({"a": "2/5", ("b", "c"): "3/5"})
+        # BetP: a=2/5, b=c=3/10 -> a wins.
+        assert max_pignistic_decision(m) == "a"
+
+    def test_deterministic_tie_break(self):
+        m = MassFunction({"a": "1/2", "b": "1/2"})
+        assert max_belief_decision(m) == max_belief_decision(m)
+
+
+@given(m=mass_functions())
+def test_pignistic_always_sums_to_one(m):
+    framed = m.with_frame(FrameOfDiscernment("u", ["a", "b", "c", "d", "e"]))
+    betp = pignistic(framed)
+    assert sum(betp.values()) == 1
+    assert all(p >= 0 for p in betp.values())
+
+
+@given(m=mass_functions())
+def test_pignistic_between_bel_and_pls(m):
+    """BetP(v) always lies inside [Bel({v}), Pls({v})]."""
+    framed = m.with_frame(FrameOfDiscernment("u", ["a", "b", "c", "d", "e"]))
+    betp = pignistic(framed)
+    for value, probability in betp.items():
+        assert framed.bel({value}) <= probability <= framed.pls({value})

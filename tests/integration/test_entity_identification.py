@@ -1,0 +1,202 @@
+"""Tests for entity identification (key and similarity matching)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EntityIdentificationError
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+from repro.integration.entity_identification import (
+    KeyMatcher,
+    SimilarityMatcher,
+    TupleMatching,
+    evidence_agreement,
+)
+from repro.datasets.restaurants import table_ra, table_rb
+
+
+class TestKeyMatcher:
+    def test_paper_matching(self):
+        matching = KeyMatcher().match(table_ra(), table_rb())
+        assert len(matching.pairs) == 5
+        assert matching.left_only == [("ashiana",)]
+        assert matching.right_only == []
+
+    def test_pairs_are_key_identical(self):
+        matching = KeyMatcher().match(table_ra(), table_rb())
+        for left_key, right_key in matching.pairs:
+            assert left_key == right_key
+
+    def test_key_attribute_mismatch_rejected(self):
+        schema_a = RelationSchema(
+            "A",
+            [
+                Attribute("k", TextDomain("k"), key=True),
+                Attribute("v", TextDomain("v")),
+            ],
+        )
+        schema_b = RelationSchema(
+            "B",
+            [
+                Attribute("j", TextDomain("j"), key=True),
+                Attribute("v", TextDomain("v")),
+            ],
+        )
+        a = ExtendedRelation(
+            schema_a, [ExtendedTuple(schema_a, {"k": "1", "v": "x"})]
+        )
+        b = ExtendedRelation(
+            schema_b, [ExtendedTuple(schema_b, {"j": "1", "v": "x"})]
+        )
+        with pytest.raises(EntityIdentificationError):
+            KeyMatcher().match(a, b)
+
+    def test_one_to_one_validation(self):
+        matching = TupleMatching(pairs=[(("a",), ("x",)), (("a",), ("y",))])
+        with pytest.raises(EntityIdentificationError):
+            matching.validate_one_to_one()
+
+
+@pytest.fixture
+def pair_schema():
+    return RelationSchema(
+        "P",
+        [
+            Attribute("id", TextDomain("id"), key=True),
+            Attribute("street", TextDomain("street")),
+            Attribute(
+                "colour",
+                EnumeratedDomain("colour", ["r", "g", "b"]),
+                uncertain=True,
+            ),
+        ],
+    )
+
+
+def _row(schema, id_, street, colour):
+    return ExtendedTuple(schema, {"id": id_, "street": street, "colour": colour})
+
+
+class TestEvidenceAgreement:
+    def test_equal_definite_values_agree_fully(self, pair_schema):
+        a = _row(pair_schema, "1", "main", "r")
+        b = _row(pair_schema, "2", "main", "r")
+        assert evidence_agreement(a, b, "street") == 1
+        assert evidence_agreement(a, b, "colour") == 1
+
+    def test_different_definite_values_agree_zero(self, pair_schema):
+        a = _row(pair_schema, "1", "main", "r")
+        b = _row(pair_schema, "2", "side", "g")
+        assert evidence_agreement(a, b, "street") == 0
+        assert evidence_agreement(a, b, "colour") == 0
+
+    def test_partial_overlap_is_nonconflict_mass(self, pair_schema):
+        a = _row(pair_schema, "1", "main", {"r": "1/2", "g": "1/2"})
+        b = _row(pair_schema, "2", "main", {"r": "1/2", "b": "1/2"})
+        # kappa = 1/2*1/2 (r,g miss) ... compute: conflicts are (r,b),(g,r),(g,b)
+        # = 3/4, agreement = 1/4.
+        assert evidence_agreement(a, b, "colour") == Fraction(1, 4)
+
+
+class TestSimilarityMatcher:
+    def test_matches_despite_different_keys(self, pair_schema):
+        left = ExtendedRelation(
+            pair_schema,
+            [
+                _row(pair_schema, "L1", "main", "r"),
+                _row(pair_schema, "L2", "side", "g"),
+            ],
+        )
+        right = ExtendedRelation(
+            pair_schema.with_name("Q"),
+            [
+                ExtendedTuple(
+                    pair_schema.with_name("Q"),
+                    {"id": "R1", "street": "main", "colour": "r"},
+                ),
+                ExtendedTuple(
+                    pair_schema.with_name("Q"),
+                    {"id": "R2", "street": "nowhere", "colour": "b"},
+                ),
+            ],
+        )
+        matcher = SimilarityMatcher({"street": 1, "colour": 1}, threshold="3/4")
+        matching = matcher.match(left, right)
+        assert matching.pairs == [(("L1",), ("R1",))]
+        assert (("L2",)) in matching.left_only
+        assert (("R2",)) in matching.right_only
+
+    def test_greedy_prefers_best_score(self, pair_schema):
+        left = ExtendedRelation(
+            pair_schema,
+            [_row(pair_schema, "L1", "main", {"r": "1/2", "g": "1/2"})],
+        )
+        right = ExtendedRelation(
+            pair_schema.with_name("Q"),
+            [
+                ExtendedTuple(
+                    pair_schema.with_name("Q"),
+                    {"id": "exact", "street": "main", "colour": {"r": "1/2", "g": "1/2"}},
+                ),
+                ExtendedTuple(
+                    pair_schema.with_name("Q"),
+                    {"id": "partial", "street": "main", "colour": "b"},
+                ),
+            ],
+        )
+        matcher = SimilarityMatcher({"street": 1, "colour": 1}, threshold="1/2")
+        matching = matcher.match(left, right)
+        assert matching.pairs[0][1] == ("exact",)
+
+    def test_one_to_one_enforced(self, pair_schema):
+        tuples = [_row(pair_schema, f"L{i}", "main", "r") for i in range(2)]
+        left = ExtendedRelation(pair_schema, tuples)
+        right_schema = pair_schema.with_name("Q")
+        right = ExtendedRelation(
+            right_schema,
+            [
+                ExtendedTuple(
+                    right_schema, {"id": "R1", "street": "main", "colour": "r"}
+                )
+            ],
+        )
+        matching = SimilarityMatcher({"street": 1, "colour": 1}).match(left, right)
+        assert len(matching.pairs) == 1
+        assert len(matching.left_only) == 1
+
+    def test_custom_comparator(self, pair_schema):
+        left = ExtendedRelation(pair_schema, [_row(pair_schema, "L1", "Main St", "r")])
+        right_schema = pair_schema.with_name("Q")
+        right = ExtendedRelation(
+            right_schema,
+            [
+                ExtendedTuple(
+                    right_schema, {"id": "R1", "street": "MAIN ST", "colour": "r"}
+                )
+            ],
+        )
+        def case_insensitive(a, b):
+            return 1 if a.value("street").definite_value().lower() == b.value(
+                "street"
+            ).definite_value().lower() else 0
+
+        matcher = SimilarityMatcher(
+            {"street": 1, "colour": 1},
+            threshold=1,
+            comparators={"street": case_insensitive},
+        )
+        assert len(matcher.match(left, right).pairs) == 1
+
+    def test_needs_weights(self):
+        with pytest.raises(EntityIdentificationError):
+            SimilarityMatcher({})
+
+    def test_unknown_attribute_rejected(self, pair_schema):
+        left = ExtendedRelation(pair_schema, [_row(pair_schema, "L1", "m", "r")])
+        matcher = SimilarityMatcher({"ghost": 1})
+        with pytest.raises(EntityIdentificationError):
+            matcher.match(left, left.with_name("Q"))

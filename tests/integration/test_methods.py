@@ -1,0 +1,161 @@
+"""Tests for attribute integration methods."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import IntegrationError, TotalConflictError
+from repro.ds.frame import OMEGA
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain
+from repro.model.evidence import EvidenceSet
+from repro.integration.methods import (
+    AverageMethod,
+    DisjunctiveMethod,
+    EvidentialMethod,
+    IntersectionMethod,
+    MaxMethod,
+    MinMethod,
+    MixtureMethod,
+    PreferLeftMethod,
+    PreferRightMethod,
+    get_method,
+)
+
+
+@pytest.fixture
+def colour_attr():
+    return Attribute(
+        "colour", EnumeratedDomain("colour", ["r", "g", "b"]), uncertain=True
+    )
+
+
+@pytest.fixture
+def score_attr():
+    return Attribute("score", NumericDomain("score", low=0, high=100))
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_method("evidential"), EvidentialMethod)
+        assert isinstance(get_method("average"), AverageMethod)
+
+    def test_instance_passthrough(self):
+        method = MixtureMethod()
+        assert get_method(method) is method
+
+    def test_unknown_name(self):
+        with pytest.raises(IntegrationError, match="unknown integration method"):
+            get_method("majority-vote")
+
+
+class TestEvidential(object):
+    def test_is_dempster(self, colour_attr):
+        a = EvidenceSet({"r": "1/2", ("r", "g"): "1/2"}, colour_attr.domain)
+        b = EvidenceSet({"r": "1/2", ("r", "g"): "1/2"}, colour_attr.domain)
+        combined = EvidentialMethod().combine(a, b, colour_attr)
+        assert combined == a.combine(b)
+
+
+class TestPreference:
+    def test_prefer_left(self, colour_attr):
+        a = EvidenceSet.definite("r", colour_attr.domain)
+        b = EvidenceSet.definite("g", colour_attr.domain)
+        assert PreferLeftMethod().combine(a, b, colour_attr) is a
+        assert PreferRightMethod().combine(a, b, colour_attr) is b
+
+
+class TestAggregates:
+    def test_average(self, score_attr):
+        a = EvidenceSet.definite(10, score_attr.domain)
+        b = EvidenceSet.definite(20, score_attr.domain)
+        result = AverageMethod().combine(a, b, score_attr)
+        assert result.definite_value() == 15
+
+    def test_average_fractional(self, score_attr):
+        a = EvidenceSet.definite(10, score_attr.domain)
+        b = EvidenceSet.definite(15, score_attr.domain)
+        result = AverageMethod().combine(a, b, score_attr)
+        assert result.definite_value() == Fraction(25, 2)
+
+    def test_average_on_integral_domain_spreads(self):
+        attr = Attribute("n", NumericDomain("n", integral=True))
+        a = EvidenceSet.definite(1, attr.domain)
+        b = EvidenceSet.definite(2, attr.domain)
+        result = AverageMethod().combine(a, b, attr)
+        # 1.5 is not in the domain: the honest value is the pair {1, 2}.
+        assert result.mass({1, 2}) == 1
+
+    def test_min_max(self, score_attr):
+        a = EvidenceSet.definite(10, score_attr.domain)
+        b = EvidenceSet.definite(20, score_attr.domain)
+        assert MinMethod().combine(a, b, score_attr).definite_value() == 10
+        assert MaxMethod().combine(a, b, score_attr).definite_value() == 20
+
+    def test_uncertain_input_rejected(self, score_attr):
+        uncertain = EvidenceSet({frozenset({10, 20}): 1}, score_attr.domain)
+        definite = EvidenceSet.definite(10, score_attr.domain)
+        with pytest.raises(Exception):
+            AverageMethod().combine(uncertain, definite, score_attr)
+
+    def test_non_numeric_rejected(self, colour_attr):
+        a = EvidenceSet.definite("r", colour_attr.domain)
+        with pytest.raises(IntegrationError, match="numeric"):
+            AverageMethod().combine(a, a, colour_attr)
+
+
+class TestIntersection:
+    def test_partial_value_combination(self, colour_attr):
+        a = EvidenceSet({("r", "g"): 1}, colour_attr.domain)
+        b = EvidenceSet({("g", "b"): 1}, colour_attr.domain)
+        result = IntersectionMethod().combine(a, b, colour_attr)
+        assert result.definite_value() == "g"
+
+    def test_discards_probabilities(self, colour_attr):
+        """DeMichiel keeps only the candidate sets: the cores intersect."""
+        a = EvidenceSet({"r": "9/10", "g": "1/10"}, colour_attr.domain)
+        b = EvidenceSet({"r": "1/10", "g": "9/10"}, colour_attr.domain)
+        result = IntersectionMethod().combine(a, b, colour_attr)
+        assert result.mass({"r", "g"}) == 1
+
+    def test_disjoint_cores_conflict(self, colour_attr):
+        a = EvidenceSet.definite("r", colour_attr.domain)
+        b = EvidenceSet.definite("g", colour_attr.domain)
+        with pytest.raises(TotalConflictError):
+            IntersectionMethod().combine(a, b, colour_attr)
+
+    def test_omega_core_is_identity(self, colour_attr):
+        a = EvidenceSet.vacuous(colour_attr.domain)
+        b = EvidenceSet({("r", "g"): 1}, colour_attr.domain)
+        result = IntersectionMethod().combine(a, b, colour_attr)
+        assert result.mass({"r", "g"}) == 1
+
+
+class TestMixture:
+    def test_retains_inconsistency(self, colour_attr):
+        """Unlike Dempster, a value excluded by one source survives."""
+        a = EvidenceSet.definite("r", colour_attr.domain)
+        b = EvidenceSet.definite("g", colour_attr.domain)
+        result = MixtureMethod().combine(a, b, colour_attr)
+        assert result.mass({"r"}) == Fraction(1, 2)
+        assert result.mass({"g"}) == Fraction(1, 2)
+
+    def test_average_of_masses(self, colour_attr):
+        a = EvidenceSet({"r": "1/2", "g": "1/2"}, colour_attr.domain)
+        b = EvidenceSet({"r": 1}, colour_attr.domain)
+        result = MixtureMethod().combine(a, b, colour_attr)
+        assert result.mass({"r"}) == Fraction(3, 4)
+
+
+class TestDisjunctive:
+    def test_union_of_possibilities(self, colour_attr):
+        a = EvidenceSet.definite("r", colour_attr.domain)
+        b = EvidenceSet.definite("g", colour_attr.domain)
+        result = DisjunctiveMethod().combine(a, b, colour_attr)
+        assert result.mass({"r", "g"}) == 1
+
+    def test_omega_absorbs(self, colour_attr):
+        a = EvidenceSet.vacuous(colour_attr.domain)
+        b = EvidenceSet.definite("g", colour_attr.domain)
+        result = DisjunctiveMethod().combine(a, b, colour_attr)
+        assert result.is_vacuous()

@@ -1,0 +1,174 @@
+"""Tests for attributes and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, TextDomain
+from repro.model.schema import RelationSchema
+
+
+def _text(name, key=False, uncertain=False):
+    return Attribute(name, TextDomain(name), key=key, uncertain=uncertain)
+
+
+class TestAttribute:
+    def test_display_name_prefixes_uncertain(self):
+        speciality = Attribute(
+            "speciality", EnumeratedDomain("speciality", ["si"]), uncertain=True
+        )
+        assert speciality.display_name == "yspeciality"
+        assert speciality.name == "speciality"
+
+    def test_certain_display_name_unchanged(self):
+        assert _text("rname").display_name == "rname"
+
+    def test_key_cannot_be_uncertain(self):
+        with pytest.raises(SchemaError, match="cannot be uncertain"):
+            Attribute("k", TextDomain("k"), key=True, uncertain=True)
+
+    def test_needs_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("a", "not a domain")
+
+    def test_needs_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", TextDomain("t"))
+
+    def test_renamed(self):
+        a = _text("old", uncertain=True)
+        b = a.renamed("new")
+        assert b.name == "new"
+        assert b.uncertain
+
+    def test_as_key_roundtrip(self):
+        a = _text("a")
+        assert a.as_key().key
+        assert not a.as_key().as_nonkey().key
+
+    def test_compatibility(self):
+        assert _text("a").compatible_with(_text("a"))
+        assert not _text("a").compatible_with(_text("b"))
+        assert not _text("a").compatible_with(_text("a", key=True))
+        assert not _text("a").compatible_with(_text("a", uncertain=True))
+
+    def test_equality_and_hash(self):
+        assert _text("a") == _text("a")
+        assert hash(_text("a")) == hash(_text("a"))
+
+
+class TestSchemaBasics:
+    def test_construction(self):
+        schema = RelationSchema("R", [_text("k", key=True), _text("v")])
+        assert schema.names == ("k", "v")
+        assert schema.key_names == ("k",)
+        assert schema.nonkey_names == ("v",)
+
+    def test_uncertain_names(self):
+        schema = RelationSchema(
+            "R", [_text("k", key=True), _text("u", uncertain=True), _text("c")]
+        )
+        assert schema.uncertain_names == ("u",)
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("R", [_text("a", key=True), _text("a")])
+
+    def test_key_required(self):
+        with pytest.raises(SchemaError, match="key attribute"):
+            RelationSchema("R", [_text("a")])
+
+    def test_attribute_lookup(self):
+        schema = RelationSchema("R", [_text("k", key=True)])
+        assert schema.attribute("k").name == "k"
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.attribute("missing")
+
+    def test_contains(self):
+        schema = RelationSchema("R", [_text("k", key=True)])
+        assert "k" in schema
+        assert "x" not in schema
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+
+class TestUnionCompatibility:
+    def test_same_attributes_any_order(self):
+        a = RelationSchema("A", [_text("k", key=True), _text("v")])
+        b = RelationSchema("B", [_text("v"), _text("k", key=True)])
+        assert a.union_compatible(b)
+
+    def test_different_names_incompatible(self):
+        a = RelationSchema("A", [_text("k", key=True), _text("v")])
+        b = RelationSchema("B", [_text("k", key=True), _text("w")])
+        assert not a.union_compatible(b)
+
+    def test_different_keys_incompatible(self):
+        a = RelationSchema("A", [_text("k", key=True), _text("v")])
+        b = RelationSchema("B", [_text("k"), _text("v", key=True)])
+        assert not a.union_compatible(b)
+
+    def test_require_raises(self):
+        a = RelationSchema("A", [_text("k", key=True)])
+        b = RelationSchema("B", [_text("j", key=True)])
+        with pytest.raises(SchemaError, match="not\\s+union-compatible"):
+            a.require_union_compatible(b)
+
+
+class TestProjection:
+    def test_keeps_requested_order(self):
+        schema = RelationSchema(
+            "R", [_text("k", key=True), _text("a"), _text("b")]
+        )
+        projected = schema.project(["b", "k"])
+        assert projected.names == ("b", "k")
+
+    def test_must_retain_keys(self):
+        schema = RelationSchema("R", [_text("k", key=True), _text("a")])
+        with pytest.raises(SchemaError, match="retain key"):
+            schema.project(["a"])
+
+    def test_unknown_attribute_rejected(self):
+        schema = RelationSchema("R", [_text("k", key=True)])
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.project(["k", "ghost"])
+
+    def test_duplicates_rejected(self):
+        schema = RelationSchema("R", [_text("k", key=True), _text("a")])
+        with pytest.raises(SchemaError, match="twice"):
+            schema.project(["k", "a", "a"])
+
+
+class TestRenameAndConcat:
+    def test_rename(self):
+        schema = RelationSchema("R", [_text("k", key=True), _text("a")])
+        renamed = schema.rename_attributes({"a": "b"})
+        assert renamed.names == ("k", "b")
+
+    def test_rename_unknown_rejected(self):
+        schema = RelationSchema("R", [_text("k", key=True)])
+        with pytest.raises(SchemaError):
+            schema.rename_attributes({"ghost": "x"})
+
+    def test_concat_disjoint(self):
+        a = RelationSchema("A", [_text("k", key=True), _text("x")])
+        b = RelationSchema("B", [_text("j", key=True), _text("y")])
+        product = a.concat(b)
+        assert product.names == ("k", "x", "j", "y")
+        assert set(product.key_names) == {"k", "j"}
+
+    def test_concat_prefixes_clashes(self):
+        a = RelationSchema("A", [_text("k", key=True), _text("x")])
+        b = RelationSchema("B", [_text("k", key=True), _text("y")])
+        product = a.concat(b)
+        assert "A_k" in product
+        assert "B_k" in product
+        assert set(product.key_names) == {"A_k", "B_k"}
+
+    def test_concat_name(self):
+        a = RelationSchema("A", [_text("k", key=True)])
+        b = RelationSchema("B", [_text("j", key=True)])
+        assert a.concat(b).name == "A_x_B"
+        assert a.concat(b, "P").name == "P"

@@ -1,0 +1,121 @@
+"""Tests for attribute domains."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.model.domain import (
+    AnyDomain,
+    BooleanDomain,
+    EnumeratedDomain,
+    NumericDomain,
+    TextDomain,
+)
+
+
+class TestEnumeratedDomain:
+    def test_membership(self):
+        rating = EnumeratedDomain("rating", ["ex", "gd", "avg"])
+        assert rating.contains("ex")
+        assert not rating.contains("terrible")
+
+    def test_is_enumerable_with_frame(self):
+        rating = EnumeratedDomain("rating", ["ex", "gd"])
+        assert rating.is_enumerable
+        assert rating.frame().values == frozenset({"ex", "gd"})
+
+    def test_validate_raises(self):
+        rating = EnumeratedDomain("rating", ["ex"])
+        with pytest.raises(DomainError, match="outside domain"):
+            rating.validate("bad")
+
+    def test_validate_passthrough(self):
+        rating = EnumeratedDomain("rating", ["ex"])
+        assert rating.validate("ex") == "ex"
+
+    def test_len_and_iter(self):
+        d = EnumeratedDomain("d", ["b", "a"])
+        assert len(d) == 2
+        assert list(d) == sorted(list(d))
+
+    def test_equality_by_name_and_values(self):
+        a = EnumeratedDomain("d", ["x", "y"])
+        b = EnumeratedDomain("d", ["y", "x"])
+        c = EnumeratedDomain("d", ["x"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            EnumeratedDomain("d", [])
+
+
+class TestBooleanDomain:
+    def test_values(self):
+        b = BooleanDomain()
+        assert b.contains(True)
+        assert b.contains(False)
+        assert not b.contains("true")
+
+
+class TestNumericDomain:
+    def test_unbounded(self):
+        d = NumericDomain("n")
+        assert d.contains(5)
+        assert d.contains(-3.5)
+        assert not d.contains("5")
+
+    def test_bounds(self):
+        d = NumericDomain("n", low=0, high=10)
+        assert d.contains(0)
+        assert d.contains(10)
+        assert not d.contains(-1)
+        assert not d.contains(11)
+
+    def test_integral(self):
+        d = NumericDomain("n", integral=True)
+        assert d.contains(5)
+        assert not d.contains(5.5)
+
+    def test_bool_is_not_a_number(self):
+        assert not NumericDomain("n").contains(True)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(DomainError):
+            NumericDomain("n", low=10, high=0)
+
+    def test_not_enumerable(self):
+        d = NumericDomain("n")
+        assert not d.is_enumerable
+        assert d.frame() is None
+
+
+class TestTextDomain:
+    def test_any_string(self):
+        d = TextDomain("t")
+        assert d.contains("hello")
+        assert not d.contains(5)
+
+    def test_pattern(self):
+        phone = TextDomain("phone", pattern=r"\d{3}-\d{4}")
+        assert phone.contains("371-2155")
+        assert not phone.contains("3712155")
+        assert not phone.contains("371-21556")
+
+    def test_equality_includes_pattern(self):
+        a = TextDomain("t", pattern=r"\d+")
+        b = TextDomain("t", pattern=r"\d+")
+        c = TextDomain("t")
+        assert a == b
+        assert a != c
+
+
+class TestAnyDomain:
+    def test_accepts_hashables(self):
+        d = AnyDomain()
+        assert d.contains("x")
+        assert d.contains(5)
+        assert d.contains(("a", 1))
+
+    def test_rejects_unhashable(self):
+        assert not AnyDomain().contains(["list"])

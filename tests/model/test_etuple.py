@@ -1,0 +1,183 @@
+"""Tests for extended tuples."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import RelationError, SchemaError
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.evidence import EvidenceSet
+from repro.model.membership import CERTAIN, TupleMembership
+from repro.model.schema import RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "R",
+        [
+            Attribute("rname", TextDomain("rname"), key=True),
+            Attribute("bldg_no", NumericDomain("bldg_no", integral=True)),
+            Attribute(
+                "rating",
+                EnumeratedDomain("rating", ["ex", "gd", "avg"]),
+                uncertain=True,
+            ),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_basic(self, schema):
+        t = ExtendedTuple(
+            schema,
+            {"rname": "wok", "bldg_no": 600, "rating": "[gd^0.25, avg^0.75]"},
+        )
+        assert t.key() == ("wok",)
+        assert t.membership == CERTAIN
+        assert t.evidence("rating").mass({"gd"}) == Fraction(1, 4)
+
+    def test_membership_pair_accepted(self, schema):
+        t = ExtendedTuple(
+            schema,
+            {"rname": "wok", "bldg_no": 600, "rating": "ex"},
+            ("1/2", "3/4"),
+        )
+        assert t.membership == TupleMembership("1/2", "3/4")
+
+    def test_bad_membership_rejected(self, schema):
+        with pytest.raises(RelationError):
+            ExtendedTuple(
+                schema,
+                {"rname": "wok", "bldg_no": 600, "rating": "ex"},
+                "not a membership",
+            )
+
+    def test_missing_attribute_rejected(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            ExtendedTuple(schema, {"rname": "wok", "rating": "ex"})
+
+    def test_unknown_attribute_rejected(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            ExtendedTuple(
+                schema,
+                {"rname": "wok", "bldg_no": 600, "rating": "ex", "ghost": 1},
+            )
+
+    def test_key_must_be_definite(self, schema):
+        with pytest.raises(Exception):
+            ExtendedTuple(
+                schema,
+                {
+                    "rname": EvidenceSet({"wok": "1/2", "wok2": "1/2"}),
+                    "bldg_no": 600,
+                    "rating": "ex",
+                },
+            )
+
+    def test_key_accepts_definite_evidence(self, schema):
+        t = ExtendedTuple(
+            schema,
+            {"rname": EvidenceSet.definite("wok"), "bldg_no": 600, "rating": "ex"},
+        )
+        assert t.value("rname") == "wok"
+
+    def test_key_domain_validated(self, schema):
+        with pytest.raises(Exception):
+            ExtendedTuple(schema, {"rname": 42, "bldg_no": 600, "rating": "ex"})
+
+    def test_certain_attribute_rejects_uncertainty(self, schema):
+        with pytest.raises(RelationError, match="certain"):
+            ExtendedTuple(
+                schema,
+                {
+                    "rname": "wok",
+                    "bldg_no": EvidenceSet({frozenset({600, 601}): 1}),
+                    "rating": "ex",
+                },
+            )
+
+    def test_scalar_wrapped_definite(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        assert t.evidence("bldg_no").is_definite()
+        assert t.evidence("rating").definite_value() == "ex"
+
+    def test_uncertain_value_validated_against_domain(self, schema):
+        with pytest.raises(Exception):
+            ExtendedTuple(
+                schema,
+                {"rname": "wok", "bldg_no": 600, "rating": "[terrible^1]"},
+            )
+
+
+class TestAccessors:
+    def test_value_and_getitem(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        assert t["rname"] == "wok"
+        assert t.value("bldg_no").definite_value() == 600
+
+    def test_unknown_access_rejected(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        with pytest.raises(SchemaError):
+            t.value("ghost")
+
+    def test_items_in_schema_order(self, schema):
+        t = ExtendedTuple(schema, {"rating": "ex", "bldg_no": 600, "rname": "wok"})
+        assert [name for name, _ in t.items()] == ["rname", "bldg_no", "rating"]
+
+    def test_evidence_wraps_key(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        assert t.evidence("rname").definite_value() == "wok"
+
+
+class TestDerivations:
+    def test_with_membership(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        revised = t.with_membership(("1/2", "1/2"))
+        assert revised.membership == TupleMembership("1/2", "1/2")
+        assert t.membership == CERTAIN  # original untouched
+
+    def test_with_values(self, schema):
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        changed = t.with_values({"rating": "gd"})
+        assert changed.evidence("rating").definite_value() == "gd"
+        assert changed.key() == t.key()
+
+    def test_project(self, schema):
+        t = ExtendedTuple(
+            schema,
+            {"rname": "wok", "bldg_no": 600, "rating": "ex"},
+            ("1/2", 1),
+        )
+        projected_schema = schema.project(["rname", "rating"])
+        p = t.project(projected_schema)
+        assert p.key() == ("wok",)
+        assert p.membership == TupleMembership("1/2", 1)
+        with pytest.raises(SchemaError):
+            p.value("bldg_no")
+
+    def test_renamed(self, schema):
+        renamed_schema = schema.rename_attributes({"rating": "stars"})
+        t = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        r = t.renamed(renamed_schema, {"rating": "stars"})
+        assert r.evidence("stars").definite_value() == "ex"
+
+
+class TestEquality:
+    def test_equal_tuples(self, schema):
+        a = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        b = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_membership_matters(self, schema):
+        a = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        b = a.with_membership(("1/2", 1))
+        assert a != b
+
+    def test_value_matters(self, schema):
+        a = ExtendedTuple(schema, {"rname": "wok", "bldg_no": 600, "rating": "ex"})
+        b = a.with_values({"rating": "gd"})
+        assert a != b

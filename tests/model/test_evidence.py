@@ -1,0 +1,137 @@
+"""Tests for evidence sets (domain-aware uncertain attribute values)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import DomainError, MassFunctionError
+from repro.ds.frame import OMEGA
+from repro.ds.mass import MassFunction
+from repro.model.domain import EnumeratedDomain, NumericDomain, TextDomain
+from repro.model.evidence import EvidenceSet
+
+
+@pytest.fixture
+def speciality():
+    return EnumeratedDomain("speciality", ["am", "hu", "si", "ca", "mu", "it", "ta"])
+
+
+class TestConstruction:
+    def test_from_bracket_notation(self, speciality):
+        es = EvidenceSet("[si^0.5, hu^0.25, Ω^0.25]", speciality)
+        assert es.mass({"si"}) == Fraction(1, 2)
+        assert es.domain == speciality
+
+    def test_from_mapping(self, speciality):
+        es = EvidenceSet({"si": 1}, speciality)
+        assert es.is_definite()
+
+    def test_from_mass_function(self, speciality):
+        es = EvidenceSet(MassFunction({"si": 1}), speciality)
+        assert es.definite_value() == "si"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(MassFunctionError):
+            EvidenceSet(42)
+
+    def test_enumerable_domain_attaches_frame(self, speciality):
+        es = EvidenceSet({"si": 1}, speciality)
+        assert es.mass_function.frame == speciality.frame()
+
+    def test_enumerable_domain_validates_values(self, speciality):
+        with pytest.raises(Exception):
+            EvidenceSet({"sushi": 1}, speciality)
+
+    def test_open_domain_validates_values(self):
+        numeric = NumericDomain("score", low=0, high=10)
+        EvidenceSet({frozenset({3, 4}): 1}, numeric)  # fine
+        with pytest.raises(DomainError):
+            EvidenceSet({frozenset({42}): 1}, numeric)
+
+    def test_open_domain_allows_omega(self):
+        numeric = NumericDomain("score")
+        es = EvidenceSet({OMEGA: 1}, numeric)
+        assert es.is_vacuous()
+
+    def test_domainless(self):
+        es = EvidenceSet({"anything": 1})
+        assert es.domain is None
+
+
+class TestConstructors:
+    def test_definite(self, speciality):
+        es = EvidenceSet.definite("si", speciality)
+        assert es.is_definite()
+        assert es.definite_value() == "si"
+
+    def test_vacuous(self, speciality):
+        es = EvidenceSet.vacuous(speciality)
+        assert es.is_vacuous()
+        assert es.ignorance() == 1
+
+    def test_from_counts(self, speciality):
+        es = EvidenceSet.from_counts({"si": 2, "hu": 4}, speciality)
+        assert es.mass({"si"}) == Fraction(1, 3)
+
+    def test_parse(self, speciality):
+        es = EvidenceSet.parse("[mu^0.8, ta^0.2]", speciality)
+        assert es.mass({"ta"}) == Fraction(1, 5)
+
+
+class TestMeasures:
+    def test_bel_pls(self, speciality):
+        es = EvidenceSet("[si^0.5, hu^0.25, Ω^0.25]", speciality)
+        assert es.bel({"si"}) == Fraction(1, 2)
+        assert es.pls({"si"}) == Fraction(3, 4)
+
+    def test_framed_omega_in_bel(self, speciality):
+        es = EvidenceSet("[si^0.5, Ω^0.5]", speciality)
+        # With the enumerated frame, the full value set includes OMEGA.
+        assert es.bel(speciality.frame().values) == 1
+
+
+class TestCombination:
+    def test_paper_garden_speciality(self, speciality):
+        a = EvidenceSet("[si^1/2, hu^1/4, Ω^1/4]", speciality)
+        b = EvidenceSet("[si^1/2, hu^3/10, Ω^1/5]", speciality)
+        combined = a.combine(b)
+        assert combined.mass({"si"}) == Fraction(19, 29)
+        assert combined.mass({"hu"}) == Fraction(8, 29)
+        assert combined.ignorance() == Fraction(2, 29)
+
+    def test_mismatched_domains_rejected(self, speciality):
+        other = EnumeratedDomain("rating", ["ex", "gd"])
+        a = EvidenceSet({"si": 1}, speciality)
+        b = EvidenceSet({"ex": 1}, other)
+        with pytest.raises(Exception):
+            a.combine(b)
+
+    def test_domainless_combines_with_domained(self, speciality):
+        a = EvidenceSet({"si": 1})
+        b = EvidenceSet({"si": "1/2", "hu": "1/2"}, speciality)
+        combined = b.combine(a)
+        assert combined.definite_value() == "si"
+        assert combined.domain == speciality
+
+
+class TestConversionsAndEquality:
+    def test_float_round_trip(self, speciality):
+        es = EvidenceSet("[si^0.5, hu^0.5]", speciality)
+        assert es.to_float().to_exact() == es
+
+    def test_format(self, speciality):
+        es = EvidenceSet("[si^0.5, hu^0.25, Ω^0.25]", speciality)
+        assert es.format() == "[hu^0.25, si^0.5, Ω^0.25]"
+
+    def test_equality_ignores_domain_object_identity(self, speciality):
+        a = EvidenceSet({"si": 1}, speciality)
+        b = EvidenceSet(
+            {"si": 1},
+            EnumeratedDomain("speciality", ["am", "hu", "si", "ca", "mu", "it", "ta"]),
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_contains_notation(self, speciality):
+        es = EvidenceSet({"si": 1}, speciality)
+        assert "[si^1]" in repr(es)

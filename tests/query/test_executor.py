@@ -1,0 +1,128 @@
+"""End-to-end query execution tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.storage import Database
+from repro.query import execute, explain
+from repro.algebra import And, IsPredicate, select, union
+from repro.datasets.restaurants import (
+    expected_table2,
+    expected_table4,
+    table_ra,
+    table_rb,
+    table_rm_a,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("tourist_bureau")
+    database.add(table_ra())
+    database.add(table_rb())
+    database.add(table_rm_a())
+    return database
+
+
+class TestPaperQueriesViaSql:
+    def test_table2_as_sql(self, db):
+        result = execute("SELECT * FROM RA WHERE speciality IS {si}", db)
+        assert result.same_tuples(expected_table2())
+
+    def test_table3_as_sql(self, db):
+        result = execute(
+            "SELECT * FROM RA WHERE speciality IS {mu} AND rating IS {ex}", db
+        )
+        assert sorted(t.key()[0] for t in result) == ["ashiana", "mehl"]
+        assert result.get("mehl").membership.as_tuple() == (
+            Fraction(8, 25),
+            Fraction(8, 25),
+        )
+
+    def test_table4_as_sql(self, db):
+        result = execute("RA UNION RB BY (rname)", db)
+        assert result.same_tuples(expected_table4())
+
+    def test_table5_as_sql(self, db):
+        result = execute("SELECT rname, phone, speciality, rating FROM RA", db)
+        from repro.datasets.restaurants import expected_table5
+
+        assert result.same_tuples(expected_table5())
+
+
+class TestGeneralExecution:
+    def test_threshold_filters(self, db):
+        loose = execute("SELECT * FROM RA WHERE rating IS {ex}", db)
+        tight = execute("SELECT * FROM RA WHERE rating IS {ex} WITH SN = 1", db)
+        assert len(tight) < len(loose)
+        assert sorted(t.key()[0] for t in tight) == ["ashiana", "country"]
+
+    def test_theta_query(self, db):
+        result = execute("SELECT * FROM RA WHERE bldg_no >= 600", db)
+        assert sorted(t.key()[0] for t in result) == ["garden", "mehl", "wok"]
+
+    def test_string_literal(self, db):
+        result = execute("SELECT * FROM RA WHERE rname = 'wok'", db)
+        assert [t.key()[0] for t in result] == ["wok"]
+
+    def test_evidence_literal_comparison(self, db):
+        result = execute("SELECT * FROM RA WHERE bldg_no < [{600}^1]", db)
+        assert sorted(t.key()[0] for t in result) == ["ashiana", "country", "olive"]
+
+    def test_join_execution(self, db):
+        result = execute(
+            "SELECT * FROM RA JOIN RM_A ON RA.rname = RM_A.rname", db
+        )
+        assert len(result) == len(table_rm_a())
+
+    def test_query_on_union_subquery(self, db):
+        result = execute(
+            "SELECT * FROM (RA UNION RB) WHERE rating IS {gd} WITH SN > 0.5",
+            db,
+        )
+        # Integrated garden has gd^6/7; wok gd^1; olive gd^0.8.
+        assert sorted(t.key()[0] for t in result) == ["garden", "olive", "wok"]
+
+    def test_or_extension(self, db):
+        result = execute(
+            "SELECT * FROM RA WHERE speciality IS {it} OR speciality IS {am}",
+            db,
+        )
+        assert sorted(t.key()[0] for t in result) == ["country", "olive"]
+
+    def test_not_extension(self, db):
+        result = execute(
+            "SELECT * FROM RA WHERE NOT speciality IS {si} WITH SN = 1", db
+        )
+        keys = sorted(t.key()[0] for t in result)
+        assert "wok" not in keys
+        assert "country" in keys
+
+    def test_matches_direct_algebra(self, db):
+        via_sql = execute(
+            "SELECT * FROM RA WHERE speciality IS {mu} AND rating IS {ex}", db
+        )
+        direct = select(
+            table_ra(),
+            And(IsPredicate("speciality", {"mu"}), IsPredicate("rating", {"ex"})),
+        )
+        assert via_sql.same_tuples(direct)
+
+    def test_database_query_helper(self, db):
+        result = db.query("SELECT * FROM RA WHERE rname = 'olive'")
+        assert len(result) == 1
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, db):
+        text = explain(
+            "SELECT rname, rating FROM RA WHERE rating IS {ex} WITH SN > 0.5",
+            db,
+        )
+        assert "Scan RA" in text
+        assert "Select" in text
+        assert "Project" in text
+
+    def test_database_explain_helper(self, db):
+        assert "Union" in db.explain("RA UNION RB")

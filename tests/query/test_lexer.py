@@ -1,0 +1,96 @@
+"""Tests for the query lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.query.lexer import tokenize
+from repro.query.tokens import (
+    KIND_EOF,
+    KIND_EVIDENCE,
+    KIND_IDENT,
+    KIND_KEYWORD,
+    KIND_NUMBER,
+    KIND_STRING,
+    KIND_SYMBOL,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert values("select SELECT SeLeCt") == ["SELECT", "SELECT", "SELECT"]
+
+    def test_identifiers_keep_case(self):
+        assert values("RA ra Ra") == ["RA", "ra", "Ra"]
+
+    def test_eof_always_present(self):
+        assert kinds("")[-1] == KIND_EOF
+        assert kinds("SELECT")[-1] == KIND_EOF
+
+    def test_numbers(self):
+        tokens = tokenize("42 0.5 1/3")
+        assert [t.kind for t in tokens[:-1]] == [KIND_NUMBER] * 3
+        assert [t.value for t in tokens[:-1]] == ["42", "0.5", "1/3"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("\"double\" 'single'")
+        assert [t.value for t in tokens[:-1]] == ["double", "single"]
+        assert all(t.kind == KIND_STRING for t in tokens[:-1])
+
+    def test_string_escapes(self):
+        (token, _) = tokenize(r'"a\"b"')
+        assert token.value == 'a"b'
+
+    def test_symbols(self):
+        assert values("( ) { } , ; * = < > <= >= .") == [
+            "(", ")", "{", "}", ",", ";", "*", "=", "<", ">", "<=", ">=", ".",
+        ]
+
+    def test_multichar_symbols_win(self):
+        assert values("<=") == ["<="]
+        assert values("< =") == ["<", "="]
+
+    def test_comments_skipped(self):
+        assert values("SELECT -- a comment\n rname") == ["SELECT", "rname"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT rname")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestEvidenceLiterals:
+    def test_captured_raw(self):
+        tokens = tokenize("WHERE rating = [ex^0.5, gd^0.5]")
+        evidence = [t for t in tokens if t.kind == KIND_EVIDENCE]
+        assert len(evidence) == 1
+        assert evidence[0].value == "[ex^0.5, gd^0.5]"
+
+    def test_nested_brackets(self):
+        tokens = tokenize("[a^1] [b^0.5, c^0.5]")
+        assert [t.value for t in tokens[:-1]] == ["[a^1]", "[b^0.5, c^0.5]"]
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("[a^1")
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(LexError) as exc_info:
+            tokenize("SELECT @")
+        assert exc_info.value.position == 7
+
+    def test_whole_statement(self):
+        text = "SELECT rname, phone FROM RA WHERE speciality IS {si} WITH SN > 0.5;"
+        token_values = values(text)
+        assert token_values[0] == "SELECT"
+        assert "{" in token_values and "}" in token_values
+        assert token_values[-1] == ";"

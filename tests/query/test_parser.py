@@ -1,0 +1,148 @@
+"""Tests for the query parser (AST construction)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import ast
+from repro.query.parser import parse
+
+
+class TestSelect:
+    def test_minimal(self):
+        statement = parse("SELECT rname FROM RA")
+        assert statement.projection == ("rname",)
+        assert statement.source == ast.RelationSource("RA")
+        assert statement.condition is None
+        assert statement.thresholds == ()
+
+    def test_star_projection(self):
+        assert parse("SELECT * FROM RA").projection is None
+
+    def test_multiple_columns(self):
+        statement = parse("SELECT rname, phone, rating FROM RA")
+        assert statement.projection == ("rname", "phone", "rating")
+
+    def test_is_condition(self):
+        statement = parse("SELECT * FROM RA WHERE speciality IS {si}")
+        condition = statement.condition
+        assert isinstance(condition, ast.IsCondition)
+        assert condition.attribute == ast.NameRef("speciality")
+        assert condition.values == ("si",)
+
+    def test_is_condition_multiple_values(self):
+        statement = parse("SELECT * FROM RA WHERE speciality IS {hu, si}")
+        assert statement.condition.values == ("hu", "si")
+
+    def test_compare_condition(self):
+        statement = parse("SELECT * FROM RA WHERE bldg_no >= 600")
+        condition = statement.condition
+        assert isinstance(condition, ast.CompareCondition)
+        assert condition.op == ">="
+        assert condition.right == ast.ValueLiteral(600)
+
+    def test_equality_alias(self):
+        statement = parse("SELECT * FROM RA WHERE rname == 'wok'")
+        assert statement.condition.op == "="
+
+    def test_and_or_not_precedence(self):
+        statement = parse(
+            "SELECT * FROM R WHERE a IS {x} AND b IS {y} OR NOT c IS {z}"
+        )
+        condition = statement.condition
+        assert isinstance(condition, ast.OrCondition)
+        assert isinstance(condition.parts[0], ast.AndCondition)
+        assert isinstance(condition.parts[1], ast.NotCondition)
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM R WHERE a IS {x} AND (b IS {y} OR c IS {z})")
+        condition = statement.condition
+        assert isinstance(condition, ast.AndCondition)
+        assert isinstance(condition.parts[1], ast.OrCondition)
+
+    def test_dotted_names(self):
+        statement = parse("SELECT * FROM RA JOIN RM ON RA.rname = RM.rname")
+        join = statement.source
+        assert isinstance(join, ast.JoinSource)
+        assert join.condition.left == ast.NameRef("rname", "RA")
+
+    def test_evidence_literal_operand(self):
+        statement = parse("SELECT * FROM R WHERE rating >= [gd^1]")
+        assert statement.condition.right == ast.EvidenceLiteral("[gd^1]")
+
+    def test_thresholds(self):
+        statement = parse("SELECT * FROM R WITH SN > 0.5 AND SP >= 0.9")
+        assert statement.thresholds == (
+            ast.ThresholdTerm("sn", ">", Fraction(1, 2)),
+            ast.ThresholdTerm("sp", ">=", Fraction(9, 10)),
+        )
+
+    def test_rational_threshold(self):
+        statement = parse("SELECT * FROM R WITH SN >= 1/3")
+        assert statement.thresholds[0].bound == Fraction(1, 3)
+
+    def test_trailing_semicolon(self):
+        assert parse("SELECT * FROM R;").projection is None
+
+
+class TestUnionAndSources:
+    def test_union(self):
+        statement = parse("RA UNION RB")
+        assert isinstance(statement, ast.UnionStatement)
+        assert statement.left == ast.RelationSource("RA")
+        assert statement.keys is None
+
+    def test_union_by(self):
+        statement = parse("RA UNION RB BY (rname)")
+        assert statement.keys == ("rname",)
+
+    def test_union_by_composite(self):
+        statement = parse("RM_A UNION RM_B BY (rname, mname)")
+        assert statement.keys == ("rname", "mname")
+
+    def test_union_of_subqueries(self):
+        statement = parse("(SELECT * FROM RA) UNION (SELECT * FROM RB)")
+        assert isinstance(statement.left, ast.SubquerySource)
+
+    def test_bare_relation_is_select_star(self):
+        statement = parse("RA")
+        assert isinstance(statement, ast.SelectStatement)
+        assert statement.projection is None
+
+    def test_join_chain(self):
+        statement = parse("SELECT * FROM A JOIN B ON A.k = B.k JOIN C ON B.k = C.k")
+        outer = statement.source
+        assert isinstance(outer, ast.JoinSource)
+        assert isinstance(outer.left, ast.JoinSource)
+
+    def test_subquery_source(self):
+        statement = parse("SELECT rname FROM (SELECT * FROM RA WHERE a IS {x})")
+        assert isinstance(statement.source, ast.SubquerySource)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM RA",
+            "SELECT * RA",
+            "SELECT * FROM",
+            "SELECT * FROM RA WHERE",
+            "SELECT * FROM RA WHERE speciality IS",
+            "SELECT * FROM RA WHERE speciality IS {}",
+            "SELECT * FROM RA WITH 0.5 > SN",
+            "SELECT * FROM RA WITH SN > high",
+            "SELECT * FROM RA trailing",
+            "RA UNION",
+            "SELECT * FROM RA JOIN RB",
+            "SELECT * FROM RA WHERE 5 IS {x}",
+        ],
+    )
+    def test_malformed_statements(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_select_union_needs_parentheses(self):
+        with pytest.raises(ParseError, match="parenthes"):
+            parse("SELECT * FROM RA UNION RB")

@@ -1,0 +1,118 @@
+"""Unit tests for the logical plan nodes themselves."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Database
+from repro.algebra.predicates import IsPredicate
+from repro.algebra.thresholds import SN_POSITIVE, sn_at_least
+from repro.query.plans import (
+    IntersectPlan,
+    ProductPlan,
+    ProjectPlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+from repro.datasets.restaurants import table_ra, table_rb, table_rm_a
+
+
+@pytest.fixture
+def db():
+    database = Database("t")
+    database.add(table_ra())
+    database.add(table_rb())
+    database.add(table_rm_a())
+    return database
+
+
+@pytest.fixture
+def scan_ra():
+    return ScanPlan("RA", table_ra().schema)
+
+
+class TestScan:
+    def test_schema_and_label(self, scan_ra):
+        assert scan_ra.schema().name == "RA"
+        assert scan_ra.label() == "Scan RA"
+        assert scan_ra.children() == ()
+
+    def test_execute(self, db, scan_ra):
+        assert scan_ra.execute(db).same_tuples(table_ra())
+
+
+class TestSelectPlan:
+    def test_predicate_select(self, db, scan_ra):
+        plan = SelectPlan(scan_ra, IsPredicate("speciality", {"si"}))
+        result = plan.execute(db)
+        assert sorted(t.key()[0] for t in result) == ["garden", "wok"]
+        assert plan.schema() == scan_ra.schema()
+
+    def test_threshold_only_select(self, db, scan_ra):
+        plan = SelectPlan(scan_ra, None, sn_at_least(1))
+        result = plan.execute(db)
+        # mehl has sn = 1/2 -> filtered; the five certain tuples remain.
+        assert len(result) == 5
+        assert result.get("mehl") is None
+
+    def test_label_mentions_parts(self, scan_ra):
+        plan = SelectPlan(scan_ra, IsPredicate("rating", {"ex"}), SN_POSITIVE)
+        assert "rating is {ex}" in plan.label()
+        assert "sn > 0" in plan.label()
+
+    def test_describe_indents_children(self, scan_ra):
+        plan = SelectPlan(scan_ra, None)
+        lines = plan.describe().splitlines()
+        assert lines[0].startswith("Select")
+        assert lines[1].startswith("  Scan")
+
+
+class TestProjectPlan:
+    def test_schema_computed_at_build(self, scan_ra):
+        plan = ProjectPlan(scan_ra, ("rname", "rating"))
+        assert plan.schema().names == ("rname", "rating")
+
+    def test_invalid_projection_fails_at_build(self, scan_ra):
+        with pytest.raises(SchemaError):
+            ProjectPlan(scan_ra, ("rating",))  # drops the key
+
+    def test_execute(self, db, scan_ra):
+        plan = ProjectPlan(scan_ra, ("rname", "rating"))
+        assert plan.execute(db).schema.names == ("rname", "rating")
+
+
+class TestBinaryPlans:
+    def test_union_requires_compatibility(self, scan_ra):
+        rm = ScanPlan("RM_A", table_rm_a().schema)
+        with pytest.raises(SchemaError):
+            UnionPlan(scan_ra, rm)
+        with pytest.raises(SchemaError):
+            IntersectPlan(scan_ra, rm)
+
+    def test_union_execute(self, db, scan_ra):
+        rb = ScanPlan("RB", table_rb().schema)
+        result = UnionPlan(scan_ra, rb).execute(db)
+        assert len(result) == 6
+
+    def test_intersect_execute(self, db, scan_ra):
+        rb = ScanPlan("RB", table_rb().schema)
+        result = IntersectPlan(scan_ra, rb).execute(db)
+        assert len(result) == 5
+
+    def test_labels_show_keys(self, scan_ra):
+        rb = ScanPlan("RB", table_rb().schema)
+        assert UnionPlan(scan_ra, rb).label() == "Union by (rname)"
+        assert IntersectPlan(scan_ra, rb).label() == "Intersect by (rname)"
+
+    def test_product_schema_and_execute(self, db, scan_ra):
+        rm = ScanPlan("RM_A", table_rm_a().schema)
+        plan = ProductPlan(scan_ra, rm)
+        assert "RA_rname" in plan.schema()
+        result = plan.execute(db)
+        assert len(result) == len(table_ra()) * len(table_rm_a())
+        assert plan.label() == "Product"
+
+    def test_children(self, scan_ra):
+        rb = ScanPlan("RB", table_rb().schema)
+        plan = UnionPlan(scan_ra, rb)
+        assert plan.children() == (scan_ra, rb)

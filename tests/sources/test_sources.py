@@ -1,0 +1,202 @@
+"""Tests for evidence acquisition: voting, classification, history."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import IntegrationError
+from repro.ds.frame import OMEGA
+from repro.sources.voting import Ballot, VotePanel
+from repro.sources.classification import ClassificationRule, Classifier
+from repro.sources.history import Observation, evidence_from_history
+from repro.datasets.restaurants import (
+    best_dish_domain,
+    rating_domain,
+    speciality_domain,
+)
+
+
+class TestBallot:
+    def test_value_ballot(self):
+        ballot = Ballot.for_value("d1")
+        assert ballot.choice == frozenset({"d1"})
+        assert ballot.weight == 1
+
+    def test_set_ballot(self):
+        ballot = Ballot.for_set({"d35", "d36"})
+        assert ballot.choice == frozenset({"d35", "d36"})
+
+    def test_abstention(self):
+        assert Ballot.abstain().choice is OMEGA
+
+    def test_weighted(self):
+        assert Ballot.for_value("x", weight="3/2").weight == Fraction(3, 2)
+
+    def test_bad_weight(self):
+        with pytest.raises(IntegrationError):
+            Ballot.for_value("x", weight=0)
+
+    def test_empty_set_ballot(self):
+        with pytest.raises(IntegrationError):
+            Ballot.for_set(set())
+
+
+class TestVotePanel:
+    def test_paper_section12_best_dish(self):
+        """Votes 3/2/1 -> ybest_dish = [d1^0.5, d2^0.33, d3^0.17]."""
+        panel = VotePanel(best_dish_domain())
+        panel.cast("d1", count=3)
+        panel.cast("d2", count=2)
+        panel.cast("d3", count=1)
+        evidence = panel.to_evidence()
+        assert evidence.mass({"d1"}) == Fraction(1, 2)
+        assert evidence.mass({"d2"}) == Fraction(1, 3)
+        assert evidence.mass({"d3"}) == Fraction(1, 6)
+
+    def test_paper_section12_rating(self):
+        """Votes 2 excellent / 4 good -> [ex^0.33, gd^0.67]."""
+        panel = VotePanel(rating_domain())
+        panel.cast("ex", count=2)
+        panel.cast("gd", count=4)
+        evidence = panel.to_evidence()
+        assert evidence.mass({"ex"}) == Fraction(1, 3)
+        assert evidence.mass({"gd"}) == Fraction(2, 3)
+
+    def test_undecided_votes_form_set_focal_elements(self):
+        """Three reviewers torn between d35 and d36, three for d31:
+        garden's [d31^0.5, {d35,d36}^0.5]."""
+        panel = VotePanel(best_dish_domain())
+        panel.cast("d31", count=3)
+        panel.cast_set({"d35", "d36"}, count=3)
+        evidence = panel.to_evidence()
+        assert evidence.mass({"d31"}) == Fraction(1, 2)
+        assert evidence.mass({"d35", "d36"}) == Fraction(1, 2)
+
+    def test_abstentions_become_ignorance(self):
+        panel = VotePanel(rating_domain())
+        panel.cast("ex", count=5)
+        panel.cast_abstention()
+        assert panel.to_evidence().ignorance() == Fraction(1, 6)
+
+    def test_domain_validation(self):
+        panel = VotePanel(rating_domain())
+        with pytest.raises(IntegrationError, match="outside domain"):
+            panel.cast("amazing")
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(IntegrationError):
+            VotePanel(rating_domain()).to_evidence()
+
+    def test_tally_and_total(self):
+        panel = VotePanel(rating_domain())
+        panel.cast("ex", count=2)
+        panel.cast_abstention()
+        assert panel.total_votes == 3
+        assert panel.tally()[frozenset({"ex"})] == 2
+
+    def test_weighted_ballot(self):
+        panel = VotePanel(rating_domain())
+        panel.cast_ballot(Ballot.for_value("ex", weight=2))
+        panel.cast_ballot(Ballot.for_value("gd", weight=1))
+        evidence = panel.to_evidence()
+        assert evidence.mass({"ex"}) == Fraction(2, 3)
+
+
+class TestClassifier:
+    @pytest.fixture
+    def classifier(self):
+        return Classifier(
+            speciality_domain(),
+            [
+                ClassificationRule("dim sum", {"ca"}),
+                ClassificationRule("pepper", {"hu", "si"}),
+                ClassificationRule("pasta", {"it"}),
+            ],
+        )
+
+    def test_first_match_wins(self, classifier):
+        assert classifier.classify("Dim Sum with pepper") == frozenset({"ca"})
+
+    def test_unmatched_is_none(self, classifier):
+        assert classifier.classify("Mystery Special") is None
+
+    def test_menu_classification_section21_shape(self):
+        """Half cantonese, a third ambiguous hunan/sichuan, rest unknown:
+        the wok example's [ca^1/2, {hu,si}^1/3, OMEGA^1/6]."""
+        classifier = Classifier(
+            speciality_domain(),
+            [
+                ClassificationRule("dim sum", {"ca"}),
+                ClassificationRule("pepper", {"hu", "si"}),
+            ],
+        )
+        menu = (
+            ["dim sum %d" % i for i in range(3)]
+            + ["pepper dish %d" % i for i in range(2)]
+            + ["mystery"]
+        )
+        evidence = classifier.classify_items(menu)
+        assert evidence.mass({"ca"}) == Fraction(1, 2)
+        assert evidence.mass({"hu", "si"}) == Fraction(1, 3)
+        assert evidence.ignorance() == Fraction(1, 6)
+
+    def test_empty_menu_rejected(self, classifier):
+        with pytest.raises(IntegrationError):
+            classifier.classify_items([])
+
+    def test_rule_category_validated(self):
+        with pytest.raises(IntegrationError, match="outside"):
+            Classifier(
+                speciality_domain(), [ClassificationRule("sushi", {"japanese"})]
+            )
+
+    def test_rule_needs_keyword_and_categories(self):
+        with pytest.raises(IntegrationError):
+            ClassificationRule("", {"ca"})
+        with pytest.raises(IntegrationError):
+            ClassificationRule("x", set())
+
+
+class TestHistory:
+    def test_decay_weighting(self):
+        history = [
+            Observation("gd", 1),
+            Observation("gd", 2),
+            Observation("ex", 3),
+        ]
+        evidence = evidence_from_history(history, rating_domain(), decay="1/2")
+        # weights: gd 1/4 + 1/2, ex 1 -> normalized ex 4/7.
+        assert evidence.mass({"ex"}) == Fraction(4, 7)
+        assert evidence.mass({"gd"}) == Fraction(3, 7)
+
+    def test_no_decay_equals_vote_counting(self):
+        history = [Observation("ex", i) for i in range(2)] + [
+            Observation("gd", i) for i in range(4)
+        ]
+        evidence = evidence_from_history(history, rating_domain(), decay=1)
+        panel = VotePanel(rating_domain())
+        panel.cast("ex", count=2)
+        panel.cast("gd", count=4)
+        assert evidence == panel.to_evidence()
+
+    def test_set_observation(self):
+        history = [Observation({"ex", "gd"}, 1)]
+        evidence = evidence_from_history(history, rating_domain())
+        assert evidence.mass({"ex", "gd"}) == 1
+
+    def test_unknown_observation_is_ignorance(self):
+        history = [Observation(None, 1), Observation("ex", 1)]
+        evidence = evidence_from_history(history, rating_domain())
+        assert evidence.ignorance() == Fraction(1, 2)
+
+    def test_domain_validated(self):
+        with pytest.raises(IntegrationError, match="outside domain"):
+            evidence_from_history([Observation("bad", 1)], rating_domain())
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(IntegrationError):
+            evidence_from_history([], rating_domain())
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(IntegrationError):
+            evidence_from_history([Observation("ex", 1)], rating_domain(), decay=0)

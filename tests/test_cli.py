@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage.serialization import load_database
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+@pytest.fixture
+def demo_db(tmp_path):
+    path = tmp_path / "restaurants.json"
+    status, _ = run_cli("demo", str(path))
+    assert status == 0
+    return path
+
+
+class TestDemo:
+    def test_writes_six_relations(self, tmp_path):
+        path = tmp_path / "db.json"
+        status, output = run_cli("demo", str(path))
+        assert status == 0
+        assert "6 relations" in output
+        db = load_database(path)
+        assert db.names() == ("M_A", "M_B", "RA", "RB", "RM_A", "RM_B")
+
+    def test_integrated_flag(self, tmp_path):
+        path = tmp_path / "db.json"
+        status, _ = run_cli("demo", str(path), "--integrated")
+        assert status == 0
+        db = load_database(path)
+        assert {"R", "M", "RM"} <= set(db.names())
+        assert len(db.get("R")) == 6
+
+    def test_output_is_valid_json(self, tmp_path):
+        path = tmp_path / "db.json"
+        run_cli("demo", str(path))
+        json.loads(path.read_text())
+
+
+class TestQuery:
+    def test_select(self, demo_db):
+        status, output = run_cli(
+            "query", str(demo_db), "SELECT * FROM RA WHERE speciality IS {si}"
+        )
+        assert status == 0
+        assert "garden" in output
+        assert "wok" in output
+        assert "olive" not in output
+
+    def test_union_matches_table4_digits(self, demo_db):
+        status, output = run_cli("query", str(demo_db), "RA UNION RB BY (rname)")
+        assert status == 0
+        assert "0.655" in output
+        assert "0.857" in output
+
+    def test_explain(self, demo_db):
+        status, output = run_cli(
+            "query", str(demo_db), "RA UNION RB", "--explain"
+        )
+        assert status == 0
+        assert "Union" in output
+        assert "Scan RA" in output
+
+    def test_fraction_style(self, demo_db):
+        status, output = run_cli(
+            "query", str(demo_db), "RA UNION RB", "--style", "fraction"
+        )
+        assert status == 0
+        assert "19/29" in output
+
+    def test_save_result(self, demo_db, tmp_path):
+        destination = tmp_path / "out.json"
+        status, output = run_cli(
+            "query",
+            str(demo_db),
+            "RA UNION RB",
+            "--save",
+            "R",
+            str(destination),
+        )
+        assert status == 0
+        saved = load_database(destination)
+        assert len(saved.get("R")) == 6
+
+    def test_bad_query_is_clean_error(self, demo_db, capsys):
+        status, _ = run_cli("query", str(demo_db), "SELECT FROM nothing")
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_relation_is_clean_error(self, demo_db, capsys):
+        status, _ = run_cli("query", str(demo_db), "SELECT * FROM GHOST")
+        assert status == 1
+        assert "no relation" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        status, _ = run_cli("query", str(tmp_path / "absent.json"), "RA")
+        assert status == 1
+
+
+class TestShow:
+    def test_catalog(self, demo_db):
+        status, output = run_cli("show", str(demo_db))
+        assert status == 0
+        assert "6 relation(s)" in output
+        assert "RA" in output
+        assert "key=(rname)" in output
+
+    def test_single_relation(self, demo_db):
+        status, output = run_cli("show", str(demo_db), "RA")
+        assert status == 0
+        assert "yspeciality" in output
+        assert "ashiana" in output
+
+    def test_unknown_relation(self, demo_db, capsys):
+        status, _ = run_cli("show", str(demo_db), "GHOST")
+        assert status == 1

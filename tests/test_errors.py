@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy contract.
+
+Callers rely on two guarantees: every library failure derives from
+ReproError (one except clause catches all), and the layer-specific
+subclass relationships hold (e.g. catching QueryError catches lex,
+parse and plan failures alike).
+"""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.MassFunctionError,
+    errors.NotationError,
+    errors.TotalConflictError,
+    errors.TransformError,
+    errors.DomainError,
+    errors.SchemaError,
+    errors.MembershipError,
+    errors.RelationError,
+    errors.PredicateError,
+    errors.OperationError,
+    errors.QueryError,
+    errors.LexError,
+    errors.ParseError,
+    errors.PlanError,
+    errors.IntegrationError,
+    errors.EntityIdentificationError,
+    errors.SerializationError,
+    errors.CatalogError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_everything_is_a_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_query_layer_hierarchy():
+    assert issubclass(errors.LexError, errors.QueryError)
+    assert issubclass(errors.ParseError, errors.QueryError)
+    assert issubclass(errors.PlanError, errors.QueryError)
+
+
+def test_integration_layer_hierarchy():
+    assert issubclass(errors.EntityIdentificationError, errors.IntegrationError)
+
+
+def test_lex_error_carries_position():
+    error = errors.LexError("bad char", 7)
+    assert error.position == 7
+    assert "offset 7" in str(error)
+
+
+def test_total_conflict_default_message():
+    assert "kappa = 1" in str(errors.TotalConflictError())
+
+
+def test_one_clause_catches_the_library():
+    """The practical contract: a single except arm suffices."""
+    from repro.ds import MassFunction
+
+    with pytest.raises(errors.ReproError):
+        MassFunction({"a": "1/2"})  # masses don't sum to one
+    with pytest.raises(errors.ReproError):
+        from repro.storage import Database
+
+        Database().get("missing")

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run to completion and print
+its headline results."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "Integrated (Table 4 of the paper)" in output
+    assert "0.655" in output  # garden's integrated speciality mass
+    assert "ashiana" in output
+
+
+def test_restaurant_integration(capsys):
+    output = run_example("restaurant_integration.py", capsys)
+    assert "Conflict report:" in output
+    assert "Integrated relation" in output
+    assert "Sichuan candidates" in output
+
+
+def test_news_agencies_sql(capsys):
+    output = run_example("news_agencies_sql.py", capsys)
+    assert "Table 4" in output
+    assert "EXPLAIN" in output
+    assert "Scan R" in output
+
+
+def test_conflict_study(capsys):
+    output = run_example("conflict_study.py", capsys)
+    assert "mean kappa" in output
+    # The sweep prints six conflict levels.
+    assert output.count("|") >= 6 * 6
+
+
+def test_federation(capsys):
+    output = run_example("federation.py", capsys)
+    assert "Three-way federated relation" in output
+    assert "Decision view" in output
+    assert "(+) campus:" in output

@@ -1,0 +1,96 @@
+"""Session engine: plan/result caching and shared-subplan batching.
+
+Measures the three wins the :class:`repro.session.Session` engine adds
+over one-shot execution:
+
+* repeated identical queries -- the second execution is a result-cache
+  hit (plan fingerprinting) instead of a full re-run;
+* cold-cache overhead -- fingerprinting + cache bookkeeping must not
+  meaningfully slow a first execution;
+* batched ``collect_all`` of expressions sharing an expensive union
+  prefix -- the shared subplan executes once, not once per expression.
+"""
+
+import pytest
+
+from repro.algebra.predicates import attr
+from repro.session import Session
+from repro.storage import Database
+from benchmarks.conftest import synthetic_workload
+
+QUERY = (
+    "SELECT L_id, R_id, L_category FROM L JOIN R ON L.label = R.label "
+    "WHERE L.category IS {c0, c1}"
+)
+
+
+def _category_projection(expr, category):
+    return expr.select(attr("category").is_({category})).project(
+        "id", "category"
+    )
+
+
+@pytest.fixture(scope="module")
+def db():
+    left, right = synthetic_workload(200)
+    database = Database("bench")
+    database.add(left.with_name("L"))
+    database.add(right.with_name("R"))
+    return database
+
+
+def test_repeated_query_uncached(benchmark, db):
+    """Baseline: a fresh session per run -- every execution is cold."""
+
+    def run():
+        return Session(db).execute(QUERY)
+
+    result = benchmark(run)
+    assert len(result) > 0
+
+
+def test_repeated_query_cached(benchmark, db):
+    """One session: repeated runs are result-cache hits."""
+    session = Session(db)
+    warm = session.execute(QUERY)
+
+    result = benchmark(session.execute, QUERY)
+    assert result.same_tuples(warm)
+    assert session.stats().result_cache_hits > 0
+    assert session.stats().plan_cache_hits > 0
+
+
+def test_batch_unshared(benchmark, db):
+    """Baseline: four union-prefixed queries, fresh session each batch."""
+
+    def run():
+        session = Session(db)
+        union = session.rel("L").union("R", on_conflict="vacuous")
+        return session.collect_all(
+            _category_projection(union, f"c{i}") for i in range(4)
+        )
+
+    results = benchmark(run)
+    assert len(results) == 4
+
+
+def test_batch_shared_subplan(benchmark, db):
+    """One session: the union prefix executes once per catalog version."""
+    session = Session(db)
+    union = session.rel("L").union("R", on_conflict="vacuous")
+    expressions = [_category_projection(union, f"c{i}") for i in range(4)]
+    warm = session.collect_all(expressions)
+
+    results = benchmark(session.collect_all, expressions)
+    assert [len(r) for r in results] == [len(r) for r in warm]
+    assert session.stats().subplan_cache_hits > 0
+
+
+def test_invalidation_correctness(db):
+    """Not a timing: replacing a relation must drop cached results."""
+    session = Session(db)
+    before = session.execute(QUERY)
+    db.add(db.get("L"), replace=True)
+    after = session.execute(QUERY)
+    assert session.stats().invalidations == 1
+    assert after.same_tuples(before)

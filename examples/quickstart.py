@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
 """Quickstart: resolve attribute conflicts between two databases.
 
-This walks the paper's core loop in ~40 lines of API:
+This walks the paper's core loop with the fluent lazy API:
 
 1. load the two news agencies' restaurant relations (Table 1),
 2. integrate them with the extended union (Dempster's rule, Table 4),
-3. query the integrated relation with graded membership answers.
+3. query with composable expressions -- nothing runs until collect(),
+   and the session caches plans and results across queries.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, format_relation, table_ra, table_rb, union
+from repro import Database, attr, format_relation, sn_at_least, table_ra, table_rb
 
 
 def main() -> None:
@@ -18,34 +19,54 @@ def main() -> None:
     # are *evidence sets*: mass assignments over sets of domain values
     # derived from reviewer votes; each tuple carries an (sn, sp)
     # membership pair.
-    ra = table_ra()
-    rb = table_rb()
-    print(format_relation(ra, title="R_A (Minnesota Daily)"))
+    db = Database("tourist_bureau")
+    db.add(table_ra())
+    db.add(table_rb())
+    print(format_relation(db.get("RA"), title="R_A (Minnesota Daily)"))
     print()
-    print(format_relation(rb, title="R_B (Star Tribune)"))
+    print(format_relation(db.get("RB"), title="R_B (Star Tribune)"))
     print()
 
     # Attribute-value conflict resolution = the extended union: tuples
     # matched on the key have every attribute (and the membership)
-    # pooled with Dempster's rule of combination.
-    integrated = union(ra, rb, name="R")
-    print(format_relation(integrated, title="Integrated (Table 4 of the paper)"))
+    # pooled with Dempster's rule of combination.  `union` here is an
+    # expression -- lazy until collected.
+    integrated = db.rel("RA").union(db.rel("RB"))
+    print(
+        format_relation(
+            integrated.collect(), title="Integrated (Table 4 of the paper)"
+        )
+    )
     print()
 
     # Query processing returns answers with a full range of certainty --
     # one result set, graded by the revised (sn, sp), instead of
-    # DeMichiel's separate true/may-be sets.
-    db = Database("tourist_bureau")
-    db.add(integrated)
-    excellent = db.query(
-        "SELECT rname, rating FROM R WHERE rating IS {ex} WITH SN >= 0.5"
+    # DeMichiel's separate true/may-be sets.  The chain below reuses the
+    # union subplan just collected: the session caches subtree results
+    # by plan fingerprint.
+    excellent = (
+        integrated
+        .select(attr("rating").is_({"ex"}), sn_at_least("1/2"))
+        .project("rname", "rating")
     )
+    print("Optimized plan:")
+    print(excellent.explain())
+    print()
     print("Restaurants rated excellent with sn >= 0.5:")
-    for row in excellent:
+    for row in excellent.collect():
         print(
             f"  {row.key()[0]:<10} rating={row.evidence('rating').format()} "
             f"(sn,sp)={row.membership.format(style='decimal')}"
         )
+    print()
+
+    # The SQL front end lowers into the identical plans (and shares the
+    # same caches -- note the subplan hits in the session stats).
+    same = db.query(
+        "SELECT rname, rating FROM (RA UNION RB) WHERE rating IS {ex} WITH SN >= 0.5"
+    )
+    assert same.same_tuples(excellent.collect())
+    print(f"session: {db.session().stats().summary()}")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,9 @@ Package map
 ``repro.ds``           Dempster-Shafer substrate (mass, Bel/Pls, combination)
 ``repro.model``        extended relational model (domains ... relations)
 ``repro.algebra``      the five extended operations + Theorem 1 checks
-``repro.query``        SQL-like language, planner, executor
+``repro.expr``         lazy fluent expression builder (RelExpr)
+``repro.session``      the caching query engine behind both front ends
+``repro.query``        SQL-like language, planner, plan IR, fingerprints
 ``repro.integration``  the Figure 1 framework (preprocess, match, merge)
 ``repro.sources``      evidence from summaries (votes, classification, history)
 ``repro.baselines``    Dayal / DeMichiel / Tseng / PDM comparators
@@ -27,8 +29,26 @@ Package map
 
 Quickstart
 ----------
->>> from repro import Database, table_ra, table_rb, union
+Build queries fluently; nothing runs until ``collect()``, and the
+session behind the database caches plans and results for you:
+
+>>> from repro import Database, attr, sn_at_least, table_ra, table_rb
 >>> db = Database("tourist_bureau")
+>>> db.add(table_ra())
+>>> db.add(table_rb())
+>>> result = (
+...     db.rel("RA").union(db.rel("RB"))
+...     .select(attr("rating").is_({"ex"}), sn_at_least("1/2"))
+...     .project("rname", "rating")
+...     .collect()
+... )
+>>> sorted(t.key()[0] for t in result)
+['ashiana', 'country', 'mehl']
+
+The SQL-like string front end lowers into the identical plans (same
+optimizer, same caches); the eager ``algebra.*`` functions still work
+and are now thin wrappers over single-node expressions:
+
 >>> db.add(union(table_ra(), table_rb(), name="R"))
 >>> result = db.query("SELECT rname, rating FROM R WHERE rating IS {ex} WITH SN >= 0.5")
 >>> sorted(t.key()[0] for t in result)
@@ -103,8 +123,11 @@ from repro.algebra import (
     union_with_report,
 )
 from repro.algebra import intersection
+from repro.algebra.thresholds import sn_at_least, sn_greater, sp_at_least, sp_greater
 from repro.analysis import decide, relation_quality
+from repro.expr import RelExpr
 from repro.integration import Federation, IntegrationPipeline, TupleMerger
+from repro.session import Session, SessionStats
 from repro.storage import Database, format_relation
 from repro.datasets import (
     SyntheticConfig,
@@ -179,7 +202,15 @@ __all__ = [
     "rename",
     "SN_POSITIVE",
     "SN_CERTAIN",
+    "sn_greater",
+    "sn_at_least",
+    "sp_greater",
+    "sp_at_least",
     "intersection",
+    # lazy expressions / session engine
+    "RelExpr",
+    "Session",
+    "SessionStats",
     # integration / analysis / storage / datasets
     "IntegrationPipeline",
     "TupleMerger",

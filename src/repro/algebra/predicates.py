@@ -130,6 +130,10 @@ class AttributeOperand(Operand):
         """Build the is-predicate ``name is {values}``."""
         return IsPredicate(self._name, values)
 
+    def is_(self, values: Iterable) -> "IsPredicate":
+        """Alias for :meth:`is_in`, matching the SQL ``IS {...}`` spelling."""
+        return IsPredicate(self._name, values)
+
     def __repr__(self) -> str:
         return f"attr({self._name!r})"
 

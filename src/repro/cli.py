@@ -16,6 +16,13 @@ Three subcommands, all operating on the JSON database format of
 ``repro show DB [RELATION]``
     Print the catalog, or one relation as a table.
 
+``repro repl DB``
+    Interactive query loop over one database file, running through a
+    caching :class:`repro.session.Session`: repeated queries hit the
+    plan/result caches.  ``:explain Q`` prints the optimized plan,
+    ``:stats`` the session counters, ``:tables`` the catalog, and
+    ``:quit`` (or EOF) exits.
+
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
 """
@@ -75,6 +82,17 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs=2,
         metavar=("NAME", "OUT"),
         help="store the result relation under NAME into database file OUT",
+    )
+
+    repl = commands.add_parser(
+        "repl", help="interactive query loop (cached session) over a database file"
+    )
+    repl.add_argument("database", help="database JSON file")
+    repl.add_argument(
+        "--style",
+        choices=["decimal", "fraction", "auto"],
+        default="decimal",
+        help="mass rendering style",
     )
 
     show = commands.add_parser("show", help="inspect a database file")
@@ -144,6 +162,45 @@ def _command_query(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_repl(args: argparse.Namespace, out) -> int:
+    from repro.session import Session
+
+    db = load_database(args.database)
+    session = Session(db)
+    print(
+        f"database {db.name!r}: {', '.join(db.names())} -- "
+        f":explain Q / :stats / :tables / :quit",
+        file=out,
+    )
+    for line in sys.stdin:
+        text = line.strip()
+        if not text:
+            continue
+        if text in (":quit", ":q", ":exit"):
+            break
+        try:
+            if text == ":stats":
+                print(session.stats().summary(), file=out)
+            elif text == ":tables":
+                for relation in db:
+                    keys = ", ".join(relation.schema.key_names)
+                    print(
+                        f"  {relation.name:<12} {len(relation):>4} tuples  "
+                        f"key=({keys})",
+                        file=out,
+                    )
+            elif text.startswith(":explain"):
+                print(session.explain(text[len(":explain"):].strip()), file=out)
+            elif text.startswith(":"):
+                print(f"unknown command {text.split()[0]!r}", file=out)
+            else:
+                result = session.execute(text)
+                print(format_relation(result, style=args.style), file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+    return 0
+
+
 def _command_show(args: argparse.Namespace, out) -> int:
     db = load_database(args.database)
     if args.relation is None:
@@ -167,6 +224,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "demo": _command_demo,
         "query": _command_query,
+        "repl": _command_repl,
         "show": _command_show,
     }
     try:

@@ -1,0 +1,358 @@
+"""Lazy relational expressions over the extended algebra.
+
+:class:`RelExpr` is a fluent, immutable builder for composite queries::
+
+    db.rel("RA").select(attr("rating").is_({"ex"})).project("rname").collect()
+
+Nothing executes until :meth:`RelExpr.collect`.  Each chained call adds
+one unbound operation node; at collection time the chain is *lowered*
+into exactly the logical plan nodes the SQL parser emits
+(:mod:`repro.query.plans`), optimized by the same planner, fingerprinted
+and executed by the owning :class:`repro.session.Session` -- so an
+expression and the equivalent query string share one plan cache and one
+result cache.
+
+Expressions are immutable and therefore freely shareable::
+
+    base = db.rel("RA").select(attr("speciality").is_({"si"}))
+    names = base.project("rname")          # base is unchanged
+    merged = base.union(db.rel("RB"))      # reuses the same prefix
+
+When several expressions share a prefix, ``Session.collect_all`` (or
+any repeated ``collect``) evaluates the shared subplan once.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import PlanError
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+from repro.algebra.predicates import Predicate, attr, lit  # noqa: F401 (re-export)
+from repro.algebra.thresholds import SN_POSITIVE, MembershipThreshold
+from repro.query.fingerprint import (
+    literal_key,
+    merge_key,
+    product_key,
+    project_key,
+    rename_key,
+    scan_key,
+    select_key,
+)
+from repro.query.plans import (
+    IntersectPlan,
+    LiteralPlan,
+    Plan,
+    ProductPlan,
+    ProjectPlan,
+    RenamePlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+
+
+def _resolve_threshold(threshold: MembershipThreshold | None) -> MembershipThreshold:
+    """Conjoin a user threshold with the implicit ``sn > 0``.
+
+    Mirrors the SQL binder (``WITH`` terms are conjoined onto
+    ``SN_POSITIVE``), so equivalent expressions and query strings
+    produce byte-identical plan fingerprints.
+    """
+    if threshold is None:
+        return SN_POSITIVE
+    if not isinstance(threshold, MembershipThreshold):
+        raise PlanError(f"expected a MembershipThreshold, got {threshold!r}")
+    if threshold is SN_POSITIVE:
+        return SN_POSITIVE
+    return SN_POSITIVE & threshold
+
+
+# ---------------------------------------------------------------------------
+# Unbound operation nodes
+# ---------------------------------------------------------------------------
+
+
+class _Node:
+    """An unbound operation in an expression chain.
+
+    ``key()`` is the canonical, catalog-independent rendering used as
+    the session's plan-cache key; ``lower(database)`` binds the node
+    into the shared plan IR.
+    """
+
+    __slots__ = ()
+
+    def key(self) -> str:
+        raise NotImplementedError
+
+    def lower(self, database) -> Plan:
+        raise NotImplementedError
+
+
+class _Rel(_Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def key(self) -> str:
+        return scan_key(self.name)
+
+    def lower(self, database) -> Plan:
+        return ScanPlan(self.name, database.get(self.name).schema)
+
+
+class _Literal(_Node):
+    __slots__ = ("plan",)
+
+    def __init__(self, relation: ExtendedRelation):
+        # One LiteralPlan per node: the token stays stable across
+        # repeated collects, so caching still works for ad-hoc relations.
+        self.plan = LiteralPlan(relation)
+
+    def key(self) -> str:
+        return literal_key(self.plan.relation.name, self.plan.token)
+
+    def lower(self, database) -> Plan:
+        return self.plan
+
+
+class _Select(_Node):
+    __slots__ = ("child", "predicate", "threshold")
+
+    def __init__(
+        self,
+        child: _Node,
+        predicate: Predicate | None,
+        threshold: MembershipThreshold,
+    ):
+        self.child = child
+        self.predicate = predicate
+        self.threshold = threshold
+
+    def key(self) -> str:
+        return select_key(self.predicate, self.threshold, self.child.key())
+
+    def lower(self, database) -> Plan:
+        return SelectPlan(self.child.lower(database), self.predicate, self.threshold)
+
+
+class _Project(_Node):
+    __slots__ = ("child", "names")
+
+    def __init__(self, child: _Node, names: tuple[str, ...]):
+        self.child = child
+        self.names = names
+
+    def key(self) -> str:
+        return project_key(self.names, self.child.key())
+
+    def lower(self, database) -> Plan:
+        try:
+            return ProjectPlan(self.child.lower(database), self.names)
+        except PlanError:
+            raise
+        except Exception as exc:
+            raise PlanError(str(exc)) from exc
+
+
+class _Rename(_Node):
+    __slots__ = ("child", "mapping")
+
+    def __init__(self, child: _Node, mapping: dict[str, str]):
+        self.child = child
+        self.mapping = mapping
+
+    def key(self) -> str:
+        return rename_key(self.mapping, self.child.key())
+
+    def lower(self, database) -> Plan:
+        return RenamePlan(self.child.lower(database), self.mapping)
+
+
+class _Union(_Node):
+    __slots__ = ("left", "right", "on_conflict")
+
+    def __init__(self, left: _Node, right: _Node, on_conflict: str):
+        self.left = left
+        self.right = right
+        self.on_conflict = on_conflict
+
+    def key(self) -> str:
+        return merge_key(
+            "union", self.on_conflict, self.left.key(), self.right.key()
+        )
+
+    def lower(self, database) -> Plan:
+        return UnionPlan(
+            self.left.lower(database), self.right.lower(database), self.on_conflict
+        )
+
+
+class _Intersect(_Node):
+    __slots__ = ("left", "right", "on_conflict")
+
+    def __init__(self, left: _Node, right: _Node, on_conflict: str):
+        self.left = left
+        self.right = right
+        self.on_conflict = on_conflict
+
+    def key(self) -> str:
+        return merge_key(
+            "intersect", self.on_conflict, self.left.key(), self.right.key()
+        )
+
+    def lower(self, database) -> Plan:
+        return IntersectPlan(
+            self.left.lower(database), self.right.lower(database), self.on_conflict
+        )
+
+
+class _Product(_Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+
+    def key(self) -> str:
+        return product_key(self.left.key(), self.right.key())
+
+    def lower(self, database) -> Plan:
+        return ProductPlan(self.left.lower(database), self.right.lower(database))
+
+
+# ---------------------------------------------------------------------------
+# The fluent builder
+# ---------------------------------------------------------------------------
+
+
+class RelExpr:
+    """An immutable, lazily-evaluated relational expression.
+
+    Build instances with :meth:`repro.storage.Database.rel` or
+    :meth:`repro.session.Session.rel`; every method returns a *new*
+    expression, leaving the receiver untouched.
+    """
+
+    __slots__ = ("_session", "_node")
+
+    def __init__(self, session, node: _Node):
+        self._session = session
+        self._node = node
+
+    # -- operations ---------------------------------------------------------
+
+    def select(
+        self,
+        predicate: Predicate | None = None,
+        threshold: MembershipThreshold | None = None,
+    ) -> "RelExpr":
+        """Extended selection: condition ``P`` and/or threshold ``Q``.
+
+        *threshold* is conjoined with the implicit ``sn > 0``.
+        """
+        if predicate is not None and not isinstance(predicate, Predicate):
+            raise PlanError(f"expected a Predicate, got {predicate!r}")
+        return RelExpr(
+            self._session,
+            _Select(self._node, predicate, _resolve_threshold(threshold)),
+        )
+
+    #: ``where`` reads naturally after ``rel``; same operation as ``select``.
+    where = select
+
+    def with_support(self, threshold: MembershipThreshold) -> "RelExpr":
+        """A pure membership-threshold filter (no condition ``P``)."""
+        return self.select(None, threshold)
+
+    def project(self, *names: str) -> "RelExpr":
+        """Extended projection onto *names* (keys must be retained)."""
+        if len(names) == 1 and not isinstance(names[0], str):
+            names = tuple(names[0])
+        return RelExpr(self._session, _Project(self._node, tuple(names)))
+
+    def rename(self, mapping: Mapping[str, str]) -> "RelExpr":
+        """Rename attributes via ``{old: new}``."""
+        return RelExpr(self._session, _Rename(self._node, dict(mapping)))
+
+    def union(self, other, on_conflict: str = "raise") -> "RelExpr":
+        """Extended union with *other* (conflict resolution by key)."""
+        return RelExpr(
+            self._session,
+            _Union(self._node, self._coerce(other), on_conflict),
+        )
+
+    def intersect(self, other, on_conflict: str = "raise") -> "RelExpr":
+        """Extended intersection with *other* (consensus extension)."""
+        return RelExpr(
+            self._session,
+            _Intersect(self._node, self._coerce(other), on_conflict),
+        )
+
+    def product(self, other) -> "RelExpr":
+        """Extended cartesian product with *other*."""
+        return RelExpr(self._session, _Product(self._node, self._coerce(other)))
+
+    def join(self, other, on: Predicate) -> "RelExpr":
+        """Extended join: product then selection on *on* (Section 3.5).
+
+        The join condition references the *product* schema, where
+        clashing attribute names carry relation prefixes (``RA_rname``).
+        """
+        if not isinstance(on, Predicate):
+            raise PlanError(f"join condition must be a Predicate, got {on!r}")
+        paired = _Product(self._node, self._coerce(other))
+        return RelExpr(self._session, _Select(paired, on, SN_POSITIVE))
+
+    def _coerce(self, other) -> _Node:
+        if isinstance(other, RelExpr):
+            return other._node
+        if isinstance(other, str):
+            return self._session.rel(other)._node
+        if isinstance(other, ExtendedRelation):
+            return _Literal(other)
+        raise PlanError(
+            f"cannot combine an expression with {other!r} "
+            "(expected a RelExpr, a relation name, or an ExtendedRelation)"
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    @property
+    def session(self):
+        """The owning session (catalog, cache, stats)."""
+        return self._session
+
+    def key(self) -> str:
+        """The canonical, catalog-independent rendering of the chain."""
+        return self._node.key()
+
+    def lower(self, database) -> Plan:
+        """Bind into the shared plan IR (unoptimized)."""
+        return self._node.lower(database)
+
+    def plan(self) -> Plan:
+        """The optimized logical plan (bound against the catalog)."""
+        return self._session.plan(self)
+
+    def schema(self) -> RelationSchema:
+        """The expression's output schema (binds, does not execute)."""
+        return self.plan().schema()
+
+    def fingerprint(self) -> str:
+        """The canonical fingerprint of the optimized plan."""
+        return self._session.fingerprint(self)
+
+    def explain(self) -> str:
+        """The optimized plan as indented text."""
+        return self._session.explain(self)
+
+    def collect(self) -> ExtendedRelation:
+        """Execute (through the session's plan/result cache)."""
+        return self._session.execute(self)
+
+    def __repr__(self) -> str:
+        return f"RelExpr({self._node.key()})"

@@ -31,6 +31,17 @@ Pipeline: :func:`parse` -> :func:`repro.query.planner.build_plan` ->
 from repro.query.lexer import tokenize
 from repro.query.parser import parse
 from repro.query.planner import build_plan, optimize
-from repro.query.executor import execute, explain
+from repro.query.executor import compile_text, execute, explain
+from repro.query.fingerprint import fingerprint, plan_key
 
-__all__ = ["tokenize", "parse", "build_plan", "optimize", "execute", "explain"]
+__all__ = [
+    "tokenize",
+    "parse",
+    "build_plan",
+    "optimize",
+    "compile_text",
+    "execute",
+    "explain",
+    "fingerprint",
+    "plan_key",
+]

@@ -1,10 +1,23 @@
-"""Front door of the query layer: text in, extended relation out."""
+"""Front door of the query layer: text in, extended relation out.
+
+Both functions lower the query text into the same plan IR the fluent
+expression builder (:mod:`repro.expr`) produces; :func:`compile_text`
+exposes that lowering so engines like :class:`repro.session.Session`
+can cache and share the resulting plans.
+"""
 
 from __future__ import annotations
 
 from repro.model.relation import ExtendedRelation
 from repro.query.parser import parse
 from repro.query.planner import build_plan, optimize
+from repro.query.plans import Plan
+
+
+def compile_text(text: str, database, optimized: bool = True) -> Plan:
+    """Parse and bind *text* into a (by default optimized) logical plan."""
+    plan = build_plan(parse(text), database)
+    return optimize(plan) if optimized else plan
 
 
 def execute(text: str, database) -> ExtendedRelation:
@@ -17,11 +30,9 @@ def execute(text: str, database) -> ExtendedRelation:
     >>> sorted(t.key()[0] for t in result)
     ['garden', 'wok']
     """
-    plan = optimize(build_plan(parse(text), database))
-    return plan.execute(database)
+    return compile_text(text, database).execute(database)
 
 
 def explain(text: str, database) -> str:
     """The optimized logical plan of a query, as indented text."""
-    plan = optimize(build_plan(parse(text), database))
-    return plan.describe()
+    return compile_text(text, database).describe()

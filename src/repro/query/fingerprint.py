@@ -1,0 +1,115 @@
+"""Canonical plan fingerprints.
+
+A fingerprint is a digest of a plan's *canonical form*: a deterministic
+s-expression rendering in which every node spells out its operation,
+its bound arguments (predicates, thresholds, projections, renamings)
+and its children.  Two plans have equal fingerprints iff they describe
+the same computation over the same catalog names, regardless of whether
+they came from the SQL front end or the fluent expression builder --
+this is what lets :class:`repro.session.Session` cache and share
+results across both entry points.
+
+The per-operation ``*_key`` helpers are the single source of that
+grammar: :func:`plan_key` renders bound plan nodes with them, and the
+unbound expression nodes in :mod:`repro.expr` render their cache keys
+with the same helpers, so the two spellings cannot drift apart.
+
+Predicates render via their ``repr``, which is deterministic by
+construction (is-predicate value sets are sorted); thresholds render
+via their ``description``.  :class:`~repro.query.plans.LiteralPlan`
+leaves carry a process-unique token so ad-hoc relations never alias a
+cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import PlanError
+from repro.query.plans import (
+    IntersectPlan,
+    LiteralPlan,
+    Plan,
+    ProductPlan,
+    ProjectPlan,
+    RenamePlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+
+
+# -- the canonical grammar, one helper per operation ------------------------
+
+
+def scan_key(name: str) -> str:
+    return f"(scan {name})"
+
+
+def literal_key(name: str, token: int) -> str:
+    return f"(literal {name} #{token})"
+
+
+def select_key(predicate, threshold, child: str) -> str:
+    rendered = repr(predicate) if predicate is not None else "-"
+    return f"(select p={rendered} q=[{threshold.description}] {child})"
+
+
+def project_key(names: tuple[str, ...], child: str) -> str:
+    return f"(project {tuple(names)!r} {child})"
+
+
+def rename_key(mapping, child: str) -> str:
+    pairs = ",".join(f"{old}->{new}" for old, new in sorted(mapping.items()))
+    return f"(rename [{pairs}] {child})"
+
+
+def merge_key(operation: str, on_conflict: str, left: str, right: str) -> str:
+    """Shared shape of the two key-matched merges (union / intersect)."""
+    return f"({operation} conflict={on_conflict} {left} {right})"
+
+
+def product_key(left: str, right: str) -> str:
+    return f"(product {left} {right})"
+
+
+# -- rendering bound plans ---------------------------------------------------
+
+
+def plan_key(plan: Plan) -> str:
+    """The canonical s-expression of *plan* (human-readable cache key).
+
+    >>> from repro.storage import Database
+    >>> from repro.datasets.restaurants import table_ra
+    >>> from repro.query.parser import parse
+    >>> from repro.query.planner import build_plan
+    >>> db = Database(); db.add(table_ra())
+    >>> plan_key(build_plan(parse("SELECT rname FROM RA"), db))
+    "(project ('rname',) (scan RA))"
+    """
+    if isinstance(plan, ScanPlan):
+        return scan_key(plan.name)
+    if isinstance(plan, LiteralPlan):
+        return literal_key(plan.relation.name, plan.token)
+    if isinstance(plan, SelectPlan):
+        return select_key(plan.predicate, plan.threshold, plan_key(plan.child))
+    if isinstance(plan, ProjectPlan):
+        return project_key(plan.names, plan_key(plan.child))
+    if isinstance(plan, RenamePlan):
+        return rename_key(plan.mapping, plan_key(plan.child))
+    if isinstance(plan, UnionPlan):
+        return merge_key(
+            "union", plan.on_conflict, plan_key(plan.left), plan_key(plan.right)
+        )
+    if isinstance(plan, IntersectPlan):
+        return merge_key(
+            "intersect", plan.on_conflict, plan_key(plan.left), plan_key(plan.right)
+        )
+    if isinstance(plan, ProductPlan):
+        return product_key(plan_key(plan.left), plan_key(plan.right))
+    raise PlanError(f"cannot fingerprint plan node {plan!r}")
+
+
+def fingerprint(plan: Plan) -> str:
+    """A short stable digest of :func:`plan_key` (sha256, 16 hex chars)."""
+    return hashlib.sha256(plan_key(plan).encode("utf-8")).hexdigest()[:16]

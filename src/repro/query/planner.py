@@ -52,6 +52,7 @@ from repro.query.plans import (
     Plan,
     ProductPlan,
     ProjectPlan,
+    RenamePlan,
     ScanPlan,
     SelectPlan,
     UnionPlan,
@@ -252,7 +253,7 @@ def _rewrite(plan: Plan) -> tuple[Plan, bool]:
         left, left_changed = _rewrite(plan.left)
         right, right_changed = _rewrite(plan.right)
         if left_changed or right_changed:
-            return UnionPlan(left, right), True
+            return UnionPlan(left, right, plan.on_conflict), True
         return plan, False
     if isinstance(plan, IntersectPlan):
         # No pushdown through an intersection either: it Dempster-merges
@@ -260,7 +261,14 @@ def _rewrite(plan: Plan) -> tuple[Plan, bool]:
         left, left_changed = _rewrite(plan.left)
         right, right_changed = _rewrite(plan.right)
         if left_changed or right_changed:
-            return IntersectPlan(left, right), True
+            return IntersectPlan(left, right, plan.on_conflict), True
+        return plan, False
+    if isinstance(plan, RenamePlan):
+        # No rewrites across a rename: it is pure plumbing and rare
+        # enough that translating predicates through it is not worth it.
+        child, changed = _rewrite(plan.child)
+        if changed:
+            return RenamePlan(child, plan.mapping), True
         return plan, False
     if isinstance(plan, ProductPlan):
         left, left_changed = _rewrite(plan.left)

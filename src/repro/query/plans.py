@@ -6,28 +6,39 @@ errors surface before execution.  Execution maps nodes 1:1 onto the
 algebra operations:
 
 * :class:`ScanPlan` -> catalog lookup
+* :class:`LiteralPlan` -> an in-memory relation (no catalog involved)
 * :class:`SelectPlan` -> :func:`repro.algebra.select` (a ``None``
   predicate means a pure membership-threshold filter)
 * :class:`ProjectPlan` -> :func:`repro.algebra.project`
 * :class:`UnionPlan` -> :func:`repro.algebra.union`
 * :class:`ProductPlan` -> :func:`repro.algebra.product`
+* :class:`RenamePlan` -> :func:`repro.algebra.rename`
 
 (the extended join is represented as Select over Product, mirroring its
 definition in Section 3.5).
+
+Every node separates *recursion* from *evaluation*: :meth:`Plan.execute`
+walks the tree, while :meth:`Plan.apply` evaluates one node given its
+children's results.  Engines that want to share work between plans (see
+:class:`repro.session.Session`) recurse themselves, memoize subtree
+results by fingerprint, and call ``apply`` per node.
 """
 
 from __future__ import annotations
+
+import itertools
 
 from abc import ABC, abstractmethod
 
 from repro.model.relation import ExtendedRelation
 from repro.model.schema import RelationSchema
 from repro.algebra.predicates import Predicate
-from repro.algebra.select import select as algebra_select
-from repro.algebra.project import project as algebra_project
-from repro.algebra.product import product as algebra_product
-from repro.algebra.union import union as algebra_union
-from repro.algebra.intersection import intersection as algebra_intersection
+from repro.algebra.select import select_eager
+from repro.algebra.project import project_eager
+from repro.algebra.product import product_eager
+from repro.algebra.union import union_with_report
+from repro.algebra.intersection import intersection_with_report
+from repro.algebra.rename import rename_eager
 from repro.algebra.thresholds import SN_POSITIVE, MembershipThreshold
 
 
@@ -39,8 +50,10 @@ class Plan(ABC):
         """The node's output schema."""
 
     @abstractmethod
-    def execute(self, database) -> ExtendedRelation:
-        """Evaluate the node against a database catalog."""
+    def apply(
+        self, inputs: tuple[ExtendedRelation, ...], database
+    ) -> ExtendedRelation:
+        """Evaluate this node alone, given its children's results."""
 
     @abstractmethod
     def children(self) -> tuple["Plan", ...]:
@@ -49,6 +62,11 @@ class Plan(ABC):
     @abstractmethod
     def label(self) -> str:
         """One-line description of this node."""
+
+    def execute(self, database) -> ExtendedRelation:
+        """Evaluate the whole subtree against a database catalog."""
+        inputs = tuple(child.execute(database) for child in self.children())
+        return self.apply(inputs, database)
 
     def describe(self, indent: int = 0) -> str:
         """The plan subtree as indented text (for ``EXPLAIN``)."""
@@ -73,7 +91,7 @@ class ScanPlan(Plan):
     def schema(self) -> RelationSchema:
         return self._schema
 
-    def execute(self, database) -> ExtendedRelation:
+    def apply(self, inputs, database) -> ExtendedRelation:
         return database.get(self._name)
 
     def children(self) -> tuple[Plan, ...]:
@@ -81,6 +99,44 @@ class ScanPlan(Plan):
 
     def label(self) -> str:
         return f"Scan {self._name}"
+
+
+class LiteralPlan(Plan):
+    """An in-memory relation used directly as a plan leaf.
+
+    This is how the eager ``algebra.*`` wrappers phrase a single
+    operation as a one-node plan, and how expressions mix catalog
+    relations with ad-hoc ones.  Each instance carries a process-unique
+    token so two literals never alias in a plan/result cache.
+    """
+
+    _counter = itertools.count(1)
+
+    def __init__(self, relation: ExtendedRelation):
+        self._relation = relation
+        self._token = next(LiteralPlan._counter)
+
+    @property
+    def relation(self) -> ExtendedRelation:
+        """The wrapped relation."""
+        return self._relation
+
+    @property
+    def token(self) -> int:
+        """Process-unique identity token (cache-key salt)."""
+        return self._token
+
+    def schema(self) -> RelationSchema:
+        return self._relation.schema
+
+    def apply(self, inputs, database) -> ExtendedRelation:
+        return self._relation
+
+    def children(self) -> tuple[Plan, ...]:
+        return ()
+
+    def label(self) -> str:
+        return f"Literal {self._relation.name} ({len(self._relation)} tuples)"
 
 
 class SelectPlan(Plan):
@@ -114,10 +170,10 @@ class SelectPlan(Plan):
     def schema(self) -> RelationSchema:
         return self._child.schema()
 
-    def execute(self, database) -> ExtendedRelation:
-        relation = self._child.execute(database)
+    def apply(self, inputs, database) -> ExtendedRelation:
+        (relation,) = inputs
         if self._predicate is not None:
-            return algebra_select(relation, self._predicate, self._threshold)
+            return select_eager(relation, self._predicate, self._threshold)
         kept = [
             etuple
             for etuple in relation
@@ -154,8 +210,8 @@ class ProjectPlan(Plan):
     def schema(self) -> RelationSchema:
         return self._schema
 
-    def execute(self, database) -> ExtendedRelation:
-        return algebra_project(self._child.execute(database), self._names)
+    def apply(self, inputs, database) -> ExtendedRelation:
+        return project_eager(inputs[0], self._names)
 
     def children(self) -> tuple[Plan, ...]:
         return (self._child,)
@@ -164,13 +220,48 @@ class ProjectPlan(Plan):
         return f"Project [{', '.join(self._names)}]"
 
 
+class RenamePlan(Plan):
+    """Attribute renaming (plumbing; touches no values or memberships)."""
+
+    def __init__(self, child: Plan, mapping: dict[str, str]):
+        self._child = child
+        self._mapping = dict(mapping)
+        self._schema = child.schema().rename_attributes(self._mapping)
+
+    @property
+    def mapping(self) -> dict[str, str]:
+        """The ``{old: new}`` attribute renaming."""
+        return dict(self._mapping)
+
+    @property
+    def child(self) -> Plan:
+        """The input plan."""
+        return self._child
+
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def apply(self, inputs, database) -> ExtendedRelation:
+        return rename_eager(inputs[0], self._mapping)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self._child,)
+
+    def label(self) -> str:
+        pairs = ", ".join(
+            f"{old}->{new}" for old, new in sorted(self._mapping.items())
+        )
+        return f"Rename [{pairs}]"
+
+
 class UnionPlan(Plan):
     """Extended union (attribute-value conflict resolution)."""
 
-    def __init__(self, left: Plan, right: Plan):
+    def __init__(self, left: Plan, right: Plan, on_conflict: str = "raise"):
         left.schema().require_union_compatible(right.schema())
         self._left = left
         self._right = right
+        self._on_conflict = on_conflict
 
     @property
     def left(self) -> Plan:
@@ -182,13 +273,19 @@ class UnionPlan(Plan):
         """Right input."""
         return self._right
 
+    @property
+    def on_conflict(self) -> str:
+        """Total-conflict policy (``raise`` / ``vacuous`` / ``drop``)."""
+        return self._on_conflict
+
     def schema(self) -> RelationSchema:
         return self._left.schema()
 
-    def execute(self, database) -> ExtendedRelation:
-        return algebra_union(
-            self._left.execute(database), self._right.execute(database)
+    def apply(self, inputs, database) -> ExtendedRelation:
+        merged, _ = union_with_report(
+            inputs[0], inputs[1], on_conflict=self._on_conflict
         )
+        return merged
 
     def children(self) -> tuple[Plan, ...]:
         return (self._left, self._right)
@@ -202,10 +299,11 @@ class IntersectPlan(Plan):
     """Extended intersection (consensus extension): Dempster-merge of
     the key-matched tuples only."""
 
-    def __init__(self, left: Plan, right: Plan):
+    def __init__(self, left: Plan, right: Plan, on_conflict: str = "raise"):
         left.schema().require_union_compatible(right.schema())
         self._left = left
         self._right = right
+        self._on_conflict = on_conflict
 
     @property
     def left(self) -> Plan:
@@ -217,13 +315,19 @@ class IntersectPlan(Plan):
         """Right input."""
         return self._right
 
+    @property
+    def on_conflict(self) -> str:
+        """Total-conflict policy (``raise`` / ``vacuous`` / ``drop``)."""
+        return self._on_conflict
+
     def schema(self) -> RelationSchema:
         return self._left.schema()
 
-    def execute(self, database) -> ExtendedRelation:
-        return algebra_intersection(
-            self._left.execute(database), self._right.execute(database)
+    def apply(self, inputs, database) -> ExtendedRelation:
+        merged, _ = intersection_with_report(
+            inputs[0], inputs[1], on_conflict=self._on_conflict
         )
+        return merged
 
     def children(self) -> tuple[Plan, ...]:
         return (self._left, self._right)
@@ -254,10 +358,8 @@ class ProductPlan(Plan):
     def schema(self) -> RelationSchema:
         return self._schema
 
-    def execute(self, database) -> ExtendedRelation:
-        return algebra_product(
-            self._left.execute(database), self._right.execute(database)
-        )
+    def apply(self, inputs, database) -> ExtendedRelation:
+        return product_eager(inputs[0], inputs[1])
 
     def children(self) -> tuple[Plan, ...]:
         return (self._left, self._right)

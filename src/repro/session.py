@@ -1,0 +1,226 @@
+"""The unified query engine: one cache, two front ends.
+
+A :class:`Session` owns everything between "query" and "result" for a
+:class:`repro.storage.Database`:
+
+* **catalog resolution + planning** -- query strings and fluent
+  :class:`repro.expr.RelExpr` chains lower into the identical plan IR
+  (:mod:`repro.query.plans`) and pass through the same optimizer;
+* **a plan cache** keyed on the canonical source (query text or
+  expression key), so repeated queries skip parse/bind/optimize;
+* **a result cache** keyed on canonical plan fingerprints
+  (:mod:`repro.query.fingerprint`), memoized *per subtree*: two queries
+  sharing a prefix -- or one query collected twice -- evaluate the
+  shared subplan once;
+* **invalidation** -- the caches drop automatically whenever the
+  database catalog changes (``add(..., replace=True)``, ``drop``, ...),
+  tracked through :attr:`repro.storage.Database.version`.
+
+Example::
+
+    session = db.session()
+    fluent = session.rel("RA").select(attr("rating").is_({"ex"}))
+    sql = "SELECT * FROM RA WHERE rating IS {ex}"
+    assert session.fingerprint(fluent) == session.fingerprint(sql)
+    session.execute(sql)        # executes
+    fluent.collect()            # result-cache hit: same fingerprint
+    session.stats().result_cache_hits
+    1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.expr import RelExpr, _Literal, _Rel
+from repro.model.relation import ExtendedRelation
+from repro.query.executor import compile_text
+from repro.query.fingerprint import fingerprint as plan_fingerprint
+from repro.query.fingerprint import plan_key
+from repro.query.planner import optimize
+from repro.query.plans import Plan
+
+
+@dataclass
+class SessionStats:
+    """Counters a :class:`Session` accumulates (see :meth:`Session.stats`)."""
+
+    queries: int = 0
+    plans_built: int = 0
+    plan_cache_hits: int = 0
+    result_cache_hits: int = 0
+    subplan_cache_hits: int = 0
+    node_executions: int = 0
+    invalidations: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.queries} queries: {self.plans_built} plans built "
+            f"({self.plan_cache_hits} plan hits), "
+            f"{self.result_cache_hits} result hits, "
+            f"{self.subplan_cache_hits} subplan hits, "
+            f"{self.node_executions} nodes executed, "
+            f"{self.invalidations} invalidations"
+        )
+
+
+@dataclass
+class _Compiled:
+    plan: Plan
+    fingerprint: str
+
+
+class Session:
+    """A caching query engine bound to one database.
+
+    Accepts *queries* in three shapes everywhere: a query-language
+    string, a :class:`repro.expr.RelExpr`, or an already-built
+    :class:`repro.query.plans.Plan`.
+    """
+
+    def __init__(self, database, max_cache_entries: int = 256):
+        self._db = database
+        self._max_entries = int(max_cache_entries)
+        self._plans: dict[str, _Compiled] = {}
+        self._results: dict[str, ExtendedRelation] = {}
+        self._stats = SessionStats()
+        self._epoch = database.version
+
+    @property
+    def database(self):
+        """The catalog this session plans and executes against."""
+        return self._db
+
+    # -- expression entry points --------------------------------------------
+
+    def rel(self, name: str) -> RelExpr:
+        """A lazy expression scanning the catalog relation *name*.
+
+        The name is resolved eagerly so typos fail here, with the
+        catalog's "did you mean" hint, rather than at collect time.
+        """
+        self._db.get(name)
+        return RelExpr(self, _Rel(name))
+
+    def from_relation(self, relation: ExtendedRelation) -> RelExpr:
+        """A lazy expression over an ad-hoc (non-catalog) relation."""
+        return RelExpr(self, _Literal(relation))
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, query) -> Plan:
+        """The optimized logical plan of *query* (cached)."""
+        self._sync()
+        return self._compile(query).plan
+
+    def fingerprint(self, query) -> str:
+        """The canonical fingerprint of *query*'s optimized plan."""
+        self._sync()
+        return self._compile(query).fingerprint
+
+    def explain(self, query) -> str:
+        """The optimized logical plan of *query*, as indented text."""
+        self._sync()
+        return self._compile(query).plan.describe()
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, query) -> ExtendedRelation:
+        """Plan (or reuse) and run *query* through the result cache."""
+        self._sync()
+        self._stats.queries += 1
+        compiled = self._compile(query)
+        return self._run(compiled.plan, root=True)
+
+    def collect_all(self, queries) -> list[ExtendedRelation]:
+        """Execute many queries, sharing results of common subplans.
+
+        Subtree results are memoized by fingerprint, so a prefix shared
+        between any two queries in the batch (or with anything executed
+        earlier in this session) is evaluated only once.
+        """
+        self._sync()
+        results = []
+        for query in queries:
+            self._stats.queries += 1
+            results.append(self._run(self._compile(query).plan, root=True))
+        return results
+
+    # -- cache management ---------------------------------------------------
+
+    def stats(self) -> SessionStats:
+        """The accumulated counters (live object, not a copy)."""
+        return self._stats
+
+    def cache_info(self) -> dict[str, int]:
+        """Current cache sizes, for quick inspection."""
+        return {"plans": len(self._plans), "results": len(self._results)}
+
+    def clear_cache(self) -> None:
+        """Drop both caches (stats are kept)."""
+        self._plans.clear()
+        self._results.clear()
+
+    # -- internals ----------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Invalidate the caches when the catalog has changed."""
+        if self._db.version != self._epoch:
+            self.clear_cache()
+            self._epoch = self._db.version
+            self._stats.invalidations += 1
+
+    def _compile(self, query) -> _Compiled:
+        if isinstance(query, str):
+            source_key = f"sql::{query}"
+        elif isinstance(query, RelExpr):
+            source_key = f"expr::{query.key()}"
+        elif isinstance(query, Plan):
+            # Raw plans are caller-managed; fingerprint but don't cache.
+            return _Compiled(query, plan_fingerprint(query))
+        else:
+            raise PlanError(
+                f"cannot plan {query!r} (expected a query string, a "
+                "RelExpr, or a Plan)"
+            )
+        cached = self._plans.get(source_key)
+        if cached is not None:
+            self._stats.plan_cache_hits += 1
+            return cached
+        if isinstance(query, str):
+            plan = compile_text(query, self._db)
+        else:
+            plan = optimize(query.lower(self._db))
+        compiled = _Compiled(plan, plan_fingerprint(plan))
+        self._stats.plans_built += 1
+        self._remember(self._plans, source_key, compiled)
+        return compiled
+
+    def _run(self, plan: Plan, root: bool = False) -> ExtendedRelation:
+        key = plan_key(plan)
+        cached = self._results.get(key)
+        if cached is not None:
+            if root:
+                self._stats.result_cache_hits += 1
+            else:
+                self._stats.subplan_cache_hits += 1
+            return cached
+        inputs = tuple(self._run(child) for child in plan.children())
+        result = plan.apply(inputs, self._db)
+        self._stats.node_executions += 1
+        self._remember(self._results, key, result)
+        return result
+
+    def _remember(self, cache: dict, key, value) -> None:
+        """Insert with FIFO eviction at the cache-size cap."""
+        if len(cache) >= self._max_entries:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self._db.name!r}, {len(self._plans)} cached plans, "
+            f"{len(self._results)} cached results)"
+        )

@@ -1,20 +1,38 @@
 """An in-memory database of extended relations.
 
-:class:`Database` is the catalog the query executor resolves relation
+:class:`Database` is the catalog the query engine resolves relation
 names against, and the convenient front door for interactive use::
 
     db = Database("tourist_bureau")
     db.add(table_ra())
     db.add(table_rb())
+
+    # string front end
     result = db.query("SELECT rname FROM RA WHERE speciality IS {si}")
+
+    # fluent front end -- same plans, same cache
+    result = db.rel("RA").select(attr("speciality").is_({"si"})).collect()
+
+Both front ends run through the database's default
+:class:`repro.session.Session`.  The catalog keeps a monotonically
+increasing :attr:`version` so sessions can invalidate their plan/result
+caches whenever a relation is added, replaced or dropped.
 """
 
 from __future__ import annotations
+
+import difflib
 
 from collections.abc import Iterator
 
 from repro.errors import CatalogError
 from repro.model.relation import ExtendedRelation
+
+
+def _did_you_mean(name: str, known) -> str:
+    """A ``did you mean`` suffix for near-miss relation names ('' if none)."""
+    matches = difflib.get_close_matches(name, list(known), n=1, cutoff=0.6)
+    return f" -- did you mean {matches[0]!r}?" if matches else ""
 
 
 class Database:
@@ -23,22 +41,50 @@ class Database:
     def __init__(self, name: str = "db"):
         self._name = str(name)
         self._relations: dict[str, ExtendedRelation] = {}
+        self._version = 0
+        self._session = None
 
     @property
     def name(self) -> str:
         """The database name."""
         return self._name
 
+    @property
+    def version(self) -> int:
+        """Catalog version; bumped by mutations that can change the
+        meaning of an existing query (replacing or dropping a relation
+        -- adding a brand-new name cannot alter any cached result).
+
+        Sessions compare this against the version they last planned
+        for and drop their caches on mismatch.
+        """
+        return self._version
+
     def add(self, relation: ExtendedRelation, replace: bool = False) -> None:
         """Register *relation* under its schema name.
 
-        Raises :class:`CatalogError` on duplicates unless *replace*.
+        The schema name must be a non-empty identifier (it has to be
+        addressable from the query language).  Raises
+        :class:`CatalogError` on duplicates unless *replace*.
         """
         name = relation.name
+        if not isinstance(name, str) or not name.isidentifier():
+            raise CatalogError(
+                f"relation name {name!r} is not a valid identifier; "
+                f"rename it (e.g. relation.with_name('R')) before adding"
+            )
         if name in self._relations and not replace:
             raise CatalogError(
                 f"relation {name!r} already exists in database {self._name!r}"
             )
+        self._install(relation)
+
+    def _install(self, relation: ExtendedRelation) -> None:
+        """Insert without name validation (deserialization trusts saved
+        files, which may predate the identifier rule)."""
+        name = relation.name
+        if name in self._relations:
+            self._version += 1
         self._relations[name] = relation
 
     def get(self, name: str) -> ExtendedRelation:
@@ -49,16 +95,18 @@ class Database:
             known = ", ".join(sorted(self._relations)) or "(none)"
             raise CatalogError(
                 f"no relation {name!r} in database {self._name!r} "
-                f"(known: {known})"
+                f"(known: {known}){_did_you_mean(name, self._relations)}"
             ) from None
 
     def drop(self, name: str) -> None:
         """Remove the relation registered under *name*."""
         if name not in self._relations:
             raise CatalogError(
-                f"cannot drop unknown relation {name!r} from {self._name!r}"
+                f"cannot drop unknown relation {name!r} from "
+                f"{self._name!r}{_did_you_mean(name, self._relations)}"
             )
         del self._relations[name]
+        self._version += 1
 
     def names(self) -> tuple[str, ...]:
         """All registered relation names, sorted."""
@@ -77,20 +125,42 @@ class Database:
     def __len__(self) -> int:
         return len(self._relations)
 
+    # -- the query engine ---------------------------------------------------
+
+    def session(self):
+        """The database's default :class:`repro.session.Session`.
+
+        Created lazily and reused: ``db.query``, ``db.explain`` and
+        ``db.rel`` all share its plan/result caches.  Build separate
+        ``Session(db)`` instances for independently-cached workloads.
+        """
+        if self._session is None:
+            from repro.session import Session
+
+            self._session = Session(self)
+        return self._session
+
+    def rel(self, name: str):
+        """A lazy fluent expression over the relation *name*.
+
+        >>> from repro.datasets.restaurants import table_ra
+        >>> db = Database(); db.add(table_ra())
+        >>> db.rel("RA").project("rname", "rating").schema().names
+        ('rname', 'rating')
+        """
+        return self.session().rel(name)
+
     def query(self, text: str) -> ExtendedRelation:
         """Parse, plan and execute a query against this database.
 
-        See :mod:`repro.query` for the language.
+        Runs through the default session, so repeated queries hit its
+        caches.  See :mod:`repro.query` for the language.
         """
-        from repro.query import execute
-
-        return execute(text, self)
+        return self.session().execute(text)
 
     def explain(self, text: str) -> str:
         """The optimized logical plan of a query, rendered as text."""
-        from repro.query import explain
-
-        return explain(text, self)
+        return self.session().explain(text)
 
     def __repr__(self) -> str:
         return f"Database({self._name!r}, {len(self._relations)} relations)"

@@ -260,7 +260,10 @@ def database_from_json(document: dict) -> Database:
         )
     database = Database(document.get("name", "db"))
     for entry in document.get("relations", []):
-        database.add(relation_from_json(entry))
+        # Bypass the identifier check: files saved before the rule
+        # existed must stay loadable (their relations remain reachable
+        # via get/show even when the query language cannot name them).
+        database._install(relation_from_json(entry))
     return database
 
 

@@ -123,3 +123,47 @@ class TestShow:
     def test_unknown_relation(self, demo_db, capsys):
         status, _ = run_cli("show", str(demo_db), "GHOST")
         assert status == 1
+
+
+class TestRepl:
+    def run_repl(self, monkeypatch, db_path, script):
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        return run_cli("repl", str(db_path))
+
+    def test_query_loop(self, demo_db, monkeypatch):
+        status, output = self.run_repl(
+            monkeypatch,
+            demo_db,
+            "SELECT rname FROM RA WHERE speciality IS {si}\n:quit\n",
+        )
+        assert status == 0
+        assert "garden" in output
+        assert "wok" in output
+
+    def test_explain_and_stats(self, demo_db, monkeypatch):
+        script = (
+            "SELECT rname FROM RA\n"
+            "SELECT rname FROM RA\n"
+            ":explain SELECT rname FROM RA\n"
+            ":stats\n"
+            ":quit\n"
+        )
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0
+        assert "Scan RA" in output
+        # The second run of the identical query is a result-cache hit.
+        assert "1 result hits" in output
+
+    def test_tables_lists_catalog(self, demo_db, monkeypatch):
+        status, output = self.run_repl(monkeypatch, demo_db, ":tables\n:quit\n")
+        assert status == 0
+        assert "RA" in output
+        assert "key=(rname)" in output
+
+    def test_errors_stay_in_loop(self, demo_db, monkeypatch):
+        script = ":bogus\nSELECT * FROM GHOST\nSELECT rname FROM RA\n"
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0  # EOF exits cleanly
+        assert "unknown command" in output
+        assert "no relation" in output
+        assert "ashiana" in output

@@ -1,0 +1,176 @@
+"""The Session engine: caching, fingerprints, invalidation, batching."""
+
+import pytest
+
+from repro.errors import CatalogError, PlanError
+from repro.algebra import attr
+from repro.session import Session
+from repro.storage import Database
+from repro.datasets.restaurants import table_ra, table_rb, table_rm_a
+
+
+SQL = "SELECT rname FROM RA WHERE rating IS {ex}"
+
+
+def fluent(db):
+    return db.rel("RA").select(attr("rating").is_({"ex"})).project("rname")
+
+
+@pytest.fixture
+def db():
+    database = Database("tourist_bureau")
+    database.add(table_ra())
+    database.add(table_rb())
+    return database
+
+
+@pytest.fixture
+def session(db):
+    return db.session()
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self, session):
+        assert session.fingerprint(SQL) == session.fingerprint(SQL)
+
+    def test_sql_and_fluent_agree(self, db, session):
+        assert fluent(db).fingerprint() == session.fingerprint(SQL)
+
+    def test_stable_across_sessions(self, db):
+        other = Session(db)
+        assert other.fingerprint(SQL) == db.session().fingerprint(SQL)
+
+    def test_different_queries_differ(self, session):
+        assert session.fingerprint(SQL) != session.fingerprint(
+            "SELECT rname FROM RA WHERE rating IS {gd}"
+        )
+
+    def test_accepts_raw_plans(self, db, session):
+        plan = session.plan(SQL)
+        assert session.fingerprint(plan) == session.fingerprint(SQL)
+
+    def test_rejects_junk(self, session):
+        with pytest.raises(PlanError):
+            session.fingerprint(42)
+
+
+class TestResultCache:
+    def test_repeated_collect_hits_cache(self, db, session):
+        expr = fluent(db)
+        first = expr.collect()
+        second = expr.collect()
+        assert first is second
+        assert session.stats().result_cache_hits == 1
+        assert session.stats().plan_cache_hits >= 1
+
+    def test_sql_and_fluent_share_results(self, db, session):
+        via_sql = session.execute(SQL)
+        via_expr = fluent(db).collect()
+        assert via_expr is via_sql
+        assert session.stats().result_cache_hits == 1
+
+    def test_equivalent_expressions_share_plans(self, db, session):
+        fluent(db).collect()
+        fluent(db).collect()  # a distinct RelExpr with the same key
+        assert session.stats().result_cache_hits == 1
+
+    def test_eviction_keeps_cache_bounded(self, db):
+        tight = Session(db, max_cache_entries=2)
+        for condition in ("rating IS {ex}", "rating IS {gd}", "speciality IS {si}"):
+            tight.execute(f"SELECT rname FROM RA WHERE {condition}")
+        assert tight.cache_info()["results"] <= 2
+        assert tight.cache_info()["plans"] <= 2
+
+    def test_clear_cache(self, db, session):
+        session.execute(SQL)
+        session.clear_cache()
+        assert session.cache_info() == {"plans": 0, "results": 0}
+        session.execute(SQL)
+        assert session.stats().result_cache_hits == 0
+
+
+class TestInvalidation:
+    def test_replace_invalidates(self, db, session):
+        expr = fluent(db)
+        before = expr.collect()
+        db.add(table_ra(), replace=True)
+        after = expr.collect()
+        assert after is not before
+        assert after.same_tuples(before)
+        assert session.stats().invalidations == 1
+
+    def test_drop_invalidates(self, db, session):
+        session.execute(SQL)
+        db.drop("RB")
+        session.execute(SQL)
+        assert session.stats().invalidations == 1
+        assert session.stats().result_cache_hits == 0
+
+    def test_pure_add_preserves_cache(self, db, session):
+        session.execute(SQL)
+        db.add(table_rm_a())  # a brand-new name cannot change any result
+        session.execute(SQL)
+        assert session.stats().invalidations == 0
+        assert session.stats().result_cache_hits == 1
+
+    def test_version_counts_catalog_changes(self, db):
+        version = db.version
+        db.add(table_ra(), replace=True)
+        db.drop("RB")
+        assert db.version == version + 2
+        db.add(table_rm_a())
+        assert db.version == version + 2  # pure add: no bump
+
+
+class TestCollectAll:
+    def test_shares_common_subplans(self, db, session):
+        union = db.rel("RA").union(db.rel("RB"))
+        expressions = [
+            union.select(attr("rating").is_({value})) for value in ("ex", "gd")
+        ]
+        results = session.collect_all(expressions)
+        assert len(results) == 2
+        # The union subtree (plus its two scans) ran once, then was reused.
+        assert session.stats().subplan_cache_hits >= 1
+
+    def test_mixes_strings_and_expressions(self, db, session):
+        results = session.collect_all([SQL, fluent(db)])
+        assert results[0] is results[1]
+
+    def test_results_in_input_order(self, db, session):
+        ex = db.rel("RA").select(attr("rating").is_({"ex"}))
+        gd = db.rel("RA").select(attr("rating").is_({"gd"}))
+        first, second = session.collect_all([ex, gd])
+        assert first.same_tuples(ex.collect())
+        assert second.same_tuples(gd.collect())
+
+
+class TestExplain:
+    def test_explain_string_and_expression_agree(self, db, session):
+        assert session.explain(SQL) == fluent(db).explain()
+
+    def test_database_explain_delegates(self, db):
+        assert "Scan RA" in db.explain(SQL)
+
+
+class TestCatalogHygiene:
+    def test_add_rejects_non_identifier_names(self, db):
+        # A space and a leading digit: addressable neither from the
+        # query language nor from db.rel().
+        with pytest.raises(CatalogError, match="not a valid identifier"):
+            db.add(table_ra().with_name("bad name"))
+        with pytest.raises(CatalogError, match="not a valid identifier"):
+            db.add(table_ra().with_name("1RA"))
+
+    def test_get_suggests_near_miss(self, db):
+        with pytest.raises(CatalogError, match="did you mean 'RA'"):
+            db.get("RAA")
+
+    def test_drop_suggests_near_miss(self, db):
+        with pytest.raises(CatalogError, match="did you mean 'RB'"):
+            db.drop("RBB")
+
+    def test_no_hint_for_distant_names(self, db):
+        with pytest.raises(CatalogError) as excinfo:
+            db.get("completely_unrelated")
+        assert "did you mean" not in str(excinfo.value)

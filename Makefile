@@ -1,19 +1,23 @@
 # Tier-1 verify and friends, each as one command.
 #
-#   make test    run the test suite (tier-1 gate)
-#   make bench   run the benchmark harness (timings + assertions)
-#   make lint    ruff check (skipped with a notice when ruff is absent)
+#   make test          run the test suite (tier-1 gate)
+#   make bench         run the benchmark harness (timings + assertions)
+#   make bench-stream  incremental-vs-recompute ingestion benchmark
+#   make lint          ruff check (skipped with a notice when ruff is absent)
 
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test bench lint quickstart
+.PHONY: test bench bench-stream lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
+
+bench-stream:
+	$(PYTHON) -m pytest benchmarks/bench_stream_ingest.py -q
 
 lint:
 	@$(PYTHON) -m ruff check src tests benchmarks examples 2>/dev/null \

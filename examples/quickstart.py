@@ -6,12 +6,24 @@ This walks the paper's core loop with the fluent lazy API:
 1. load the two news agencies' restaurant relations (Table 1),
 2. integrate them with the extended union (Dempster's rule, Table 4),
 3. query with composable expressions -- nothing runs until collect(),
-   and the session caches plans and results across queries.
+   and the session caches plans and results across queries,
+4. stream the same evidence incrementally: a StreamEngine folds
+   per-source events into the integrated relation exactly (Dempster's
+   rule is associative), publishes on flush, and re-collects
+   subscribed queries.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, attr, format_relation, sn_at_least, table_ra, table_rb
+from repro import (
+    Database,
+    StreamEngine,
+    attr,
+    format_relation,
+    sn_at_least,
+    table_ra,
+    table_rb,
+)
 
 
 def main() -> None:
@@ -67,6 +79,31 @@ def main() -> None:
     )
     assert same.same_tuples(excellent.collect())
     print(f"session: {db.session().stats().summary()}")
+    print()
+
+    # Streaming integration: the same result, built incrementally.
+    # Each upsert folds one tuple of evidence into the entity's cached
+    # combined state (a single Dempster combination); flush() publishes
+    # the integrated relation into the catalog and re-collects any
+    # subscribed queries.
+    engine = StreamEngine(db.get("RA").schema, name="R_LIVE", database=db)
+    for etuple in table_ra():
+        engine.upsert("daily", etuple)
+    engine.flush()
+
+    watching = db.session().subscribe(
+        "SELECT rname, rating FROM R_LIVE WHERE rating IS {ex} WITH SN >= 0.5"
+    )
+    print(f"subscribed after source 1: {len(watching.result)} excellent")
+
+    for etuple in table_rb():
+        engine.upsert("tribune", etuple)
+    delta = engine.flush()  # publishes + refreshes the subscription
+    print(f"after source 2, {delta.summary()}")
+    print(f"subscription now sees {len(watching.result)} excellent")
+    assert engine.relation.same_tuples(integrated.collect())
+    assert watching.result.same_tuples(excellent.collect())
+    print(f"stream: {engine.stats().summary()}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ Package map
 ``repro.session``      the caching query engine behind both front ends
 ``repro.query``        SQL-like language, planner, plan IR, fingerprints
 ``repro.integration``  the Figure 1 framework (preprocess, match, merge)
+``repro.stream``       streaming integration (incremental delta-merges)
 ``repro.sources``      evidence from summaries (votes, classification, history)
 ``repro.baselines``    Dayal / DeMichiel / Tseng / PDM comparators
 ``repro.storage``      database catalog, JSON serialization, table rendering
@@ -71,6 +72,7 @@ from repro.errors import (
     ReproError,
     SchemaError,
     SerializationError,
+    StreamError,
     TotalConflictError,
 )
 from repro.ds import (
@@ -127,8 +129,9 @@ from repro.algebra.thresholds import sn_at_least, sn_greater, sp_at_least, sp_gr
 from repro.analysis import decide, relation_quality
 from repro.expr import RelExpr
 from repro.integration import Federation, IntegrationPipeline, TupleMerger
-from repro.session import Session, SessionStats
+from repro.session import Session, SessionStats, Subscription
 from repro.storage import Database, format_relation
+from repro.stream import BatchDelta, ChangeLog, StreamEngine
 from repro.datasets import (
     SyntheticConfig,
     synthetic_pair,
@@ -154,6 +157,7 @@ __all__ = [
     "ParseError",
     "PlanError",
     "IntegrationError",
+    "StreamError",
     "SerializationError",
     "CatalogError",
     # evidence
@@ -211,6 +215,11 @@ __all__ = [
     "RelExpr",
     "Session",
     "SessionStats",
+    "Subscription",
+    # streaming integration
+    "StreamEngine",
+    "ChangeLog",
+    "BatchDelta",
     # integration / analysis / storage / datasets
     "IntegrationPipeline",
     "TupleMerger",

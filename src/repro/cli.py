@@ -23,6 +23,13 @@ Three subcommands, all operating on the JSON database format of
     ``:stats`` the session counters, ``:tables`` the catalog, and
     ``:quit`` (or EOF) exits.
 
+``repro stream DB EVENTS --schema REL``
+    Replay a JSONL event file (see :mod:`repro.stream.connectors`)
+    through a :class:`repro.stream.StreamEngine` using REL's schema,
+    publish the integrated relation into the catalog, and report
+    throughput plus the per-batch changelog.  ``--save OUT`` persists
+    the resulting database, ``--show`` prints the integrated table.
+
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
 """
@@ -89,6 +96,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     repl.add_argument("database", help="database JSON file")
     repl.add_argument(
+        "--style",
+        choices=["decimal", "fraction", "auto"],
+        default="decimal",
+        help="mass rendering style",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a JSONL event file into an integrated relation",
+    )
+    stream.add_argument("database", help="database JSON file")
+    stream.add_argument("events", help="JSONL event file")
+    stream.add_argument(
+        "--schema",
+        required=True,
+        metavar="RELATION",
+        help="catalog relation whose schema the stream speaks",
+    )
+    stream.add_argument(
+        "--name",
+        default="integrated",
+        help="name of the integrated relation (default: integrated)",
+    )
+    stream.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="auto-flush every N events (default: only explicit flushes)",
+    )
+    stream.add_argument(
+        "--on-conflict",
+        choices=["raise", "vacuous", "drop"],
+        default="vacuous",
+        help="total-conflict policy (default: vacuous)",
+    )
+    stream.add_argument(
+        "--save",
+        metavar="OUT",
+        help="write the database (with the integrated relation) to OUT",
+    )
+    stream.add_argument(
+        "--show",
+        action="store_true",
+        help="print the integrated relation after the replay",
+    )
+    stream.add_argument(
         "--style",
         choices=["decimal", "fraction", "auto"],
         default="decimal",
@@ -201,6 +255,44 @@ def _command_repl(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace, out) -> int:
+    import time
+
+    from repro.integration.merging import TupleMerger
+    from repro.stream import StreamEngine, read_events, replay
+
+    db = load_database(args.database)
+    schema = db.get(args.schema).schema
+    engine = StreamEngine(
+        schema,
+        name=args.name,
+        merger=TupleMerger(on_conflict=args.on_conflict),
+        database=db,
+        batch_size=args.batch,
+    )
+    started = time.perf_counter()
+    report = replay(engine, read_events(args.events))
+    elapsed = time.perf_counter() - started
+    throughput = report.events / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"replayed {report.summary()} in {elapsed:.3f}s "
+        f"({throughput:,.0f} events/s)",
+        file=out,
+    )
+    print(
+        f"integrated {args.name!r}: {len(engine.relation)} tuples from "
+        f"{len(engine.sources())} source(s), watermark {engine.watermark}",
+        file=out,
+    )
+    print(engine.changelog.summary(), file=out)
+    if args.show:
+        print(format_relation(engine.relation, style=args.style), file=out)
+    if args.save:
+        save_database(db, args.save)
+        print(f"saved database to {args.save}", file=out)
+    return 0
+
+
 def _command_show(args: argparse.Namespace, out) -> int:
     db = load_database(args.database)
     if args.relation is None:
@@ -226,6 +318,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "query": _command_query,
         "repl": _command_repl,
         "show": _command_show,
+        "stream": _command_stream,
     }
     try:
         return handlers[args.command](args, out)

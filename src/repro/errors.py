@@ -146,6 +146,15 @@ class EntityIdentificationError(IntegrationError):
     """Tuple matching failed (e.g. ambiguous or contradictory matches)."""
 
 
+class StreamError(IntegrationError):
+    """A streaming-integration event was invalid or could not be applied.
+
+    Raised by :mod:`repro.stream` for malformed events (an upsert with
+    ``sn = 0`` violating CWA_ER, a retraction of an unknown tuple, an
+    unknown source, ...).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Storage layer
 # ---------------------------------------------------------------------------

@@ -8,18 +8,24 @@ agree).  :class:`Federation` packages that fold:
 
 * sources register with a name, a relation and an optional reliability
   (discounted before merging, per :mod:`repro.ds.discounting`);
-* :meth:`Federation.integrate` folds the merger left-to-right and
-  accumulates every pairwise merge report into a combined digest.
+* :meth:`Federation.integrate` folds the merger as a balanced tree --
+  adjacent sources pair up, then the halves pair up, and so on -- and
+  accumulates every pairwise merge report into a combined digest.  The
+  tree fold keeps intermediate relations small (each merge combines
+  results of similar depth rather than dragging one ever-growing
+  accumulator through every step); by associativity the result equals
+  the left-to-right fold on the conflict-free path, which the
+  permutation tests verify.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import IntegrationError
+from repro.errors import IntegrationError, TotalConflictError
 from repro.model.relation import ExtendedRelation
 from repro.integration.merging import MergeReport, TupleMerger
-from repro.integration.pipeline import _discount_relation
+from repro.integration.pipeline import _discount_relation, coerce_reliability
 
 
 @dataclass(frozen=True)
@@ -79,23 +85,24 @@ class Federation:
         """Register a source; *reliability* in [0, 1] discounts it."""
         if any(source.name == name for source in self._sources):
             raise IntegrationError(f"duplicate source name {name!r}")
-        from repro.ds.mass import coerce_mass_value
-
-        r = coerce_mass_value(reliability)
-        if not 0 <= r <= 1:
-            raise IntegrationError(
-                f"reliability must lie in [0, 1], got {reliability!r}"
-            )
-        self._sources.append(FederationSource(name, relation, r))
+        self._sources.append(
+            FederationSource(name, relation, coerce_reliability(reliability))
+        )
 
     def integrate(
         self, name: str = "federated"
     ) -> tuple[ExtendedRelation, FederationReport]:
-        """Fold the merger over all sources (at least one required)."""
+        """Tree-fold the merger over all sources (at least one required).
+
+        A :class:`TotalConflictError` raised mid-fold is re-raised with
+        the labels of the two operands being merged, so the
+        administrator learns *which* sources (or merged groups of
+        sources) were irreconcilable.
+        """
         if not self._sources:
             raise IntegrationError("a federation needs at least one source")
         report = FederationReport()
-        prepared = [
+        layer = [
             (
                 source.name,
                 source.relation
@@ -104,15 +111,28 @@ class Federation:
             )
             for source in self._sources
         ]
-        first_name, accumulated = prepared[0]
-        for source_name, relation in prepared[1:]:
-            accumulated, step_report = self._merger.merge(
-                accumulated, relation, name=name
-            )
-            report.steps.append((source_name, step_report))
-        if len(prepared) == 1:
-            accumulated = accumulated.with_name(name)
-        return accumulated, report
+        if len(layer) == 1:
+            return layer[0][1].with_name(name), report
+        while len(layer) > 1:
+            merged_layer = []
+            for i in range(0, len(layer) - 1, 2):
+                left_label, left_relation = layer[i]
+                right_label, right_relation = layer[i + 1]
+                try:
+                    merged, step_report = self._merger.merge(
+                        left_relation, right_relation, name=name
+                    )
+                except TotalConflictError as exc:
+                    raise TotalConflictError(
+                        f"{exc} (while merging source(s) {left_label!r} "
+                        f"with {right_label!r})"
+                    ) from exc
+                report.steps.append((right_label, step_report))
+                merged_layer.append((f"{left_label}+{right_label}", merged))
+            if len(layer) % 2:
+                merged_layer.append(layer[-1])
+            layer = merged_layer
+        return layer[0][1], report
 
     def integrate_entity(self, key: tuple, name: str = "federated"):
         """Merge only the tuples with the given *key*, on demand.

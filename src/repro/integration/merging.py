@@ -103,6 +103,11 @@ class TupleMerger:
         """The integration method applied to *attribute_name*."""
         return self._methods.get(attribute_name, self._default)
 
+    @property
+    def on_conflict(self) -> str:
+        """The total-conflict policy (``raise`` / ``vacuous`` / ``drop``)."""
+        return self._on_conflict
+
     def merge(
         self,
         left: ExtendedRelation,
@@ -148,6 +153,69 @@ class TupleMerger:
             report.right_only.append(key)
             merged.append(rebuilt(right.get(key)))
         return ExtendedRelation(schema, merged, on_unsupported="drop"), report
+
+    def merge_pair(
+        self,
+        left: ExtendedTuple,
+        right: ExtendedTuple,
+        schema=None,
+        report: MergeReport | None = None,
+    ) -> ExtendedTuple | None:
+        """Combine two tuples known to denote the same entity.
+
+        This is the single-entity core of :meth:`merge`, exposed so
+        engines that maintain per-entity state (the streaming engine,
+        federated point queries) can pay for exactly one Dempster
+        combination per arrival instead of a relation-level merge.
+
+        Returns the merged tuple, or ``None`` when the pair hit a total
+        conflict and the ``on_conflict`` policy dropped it.  Conflicts
+        are appended to *report* when one is given.
+        """
+        if left.key() != right.key():
+            raise IntegrationError(
+                f"merge_pair needs tuples of the same entity, got keys "
+                f"{left.key()!r} and {right.key()!r}"
+            )
+        if schema is None:
+            schema = left.schema
+        if report is None:
+            report = MergeReport()
+        return self._merge_pair(left, right, schema, report)
+
+    def merge_entity(
+        self,
+        tuples,
+        schema=None,
+        report: MergeReport | None = None,
+    ) -> ExtendedTuple | None:
+        """Fold one entity's matched tuples (any number of sources).
+
+        Dempster's rule is associative, so the left-to-right fold equals
+        any other combination order on the conflict-free path.  Returns
+        ``None`` when a total conflict dropped the entity under the
+        configured policy.
+        """
+        items = list(tuples)
+        if not items:
+            raise IntegrationError("merge_entity needs at least one tuple")
+        if schema is None:
+            schema = items[0].schema
+        if report is None:
+            report = MergeReport()
+        accumulated = ExtendedTuple(
+            schema, dict(items[0].items()), items[0].membership
+        )
+        for nxt in items[1:]:
+            if nxt.key() != accumulated.key():
+                raise IntegrationError(
+                    f"merge_entity needs tuples of one entity, got keys "
+                    f"{accumulated.key()!r} and {nxt.key()!r}"
+                )
+            accumulated = self._merge_pair(accumulated, nxt, schema, report)
+            if accumulated is None:
+                return None
+        return accumulated
 
     def _merge_pair(self, l_tuple, r_tuple, schema, report):
         key = l_tuple.key()

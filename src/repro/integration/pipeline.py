@@ -42,39 +42,61 @@ class IntegrationResult:
     matching: TupleMatching
 
 
-def _discount_relation(relation: ExtendedRelation, reliability) -> ExtendedRelation:
-    """Discount every evidence set of a relation by *reliability*.
+def coerce_reliability(value, error_class=IntegrationError):
+    """Coerce a source-reliability factor and require it in [0, 1].
 
-    Tuple membership is discounted as well: with reliability ``r``,
-    ``sn' = r * sn`` and ``sp' = 1 - r * (1 - sp)`` -- mass moves from
-    both committed hypotheses toward ignorance.
+    The one validation shared by the batch paths (pipeline, federation)
+    and the streaming engine; *error_class* picks the layer's exception.
+    """
+    from repro.ds.mass import coerce_mass_value
+
+    reliability = coerce_mass_value(value)
+    if not 0 <= reliability <= 1:
+        raise error_class(f"reliability must lie in [0, 1], got {value!r}")
+    return reliability
+
+
+def discount_tuple(etuple: ExtendedTuple, schema, reliability) -> ExtendedTuple:
+    """Discount one tuple's evidence and membership by *reliability*.
+
+    With reliability ``r``, every uncertain attribute's mass function is
+    discounted (see :mod:`repro.ds.discounting`) and the membership pair
+    becomes ``sn' = r * sn`` and ``sp' = 1 - r * (1 - sp)`` -- mass moves
+    from both committed hypotheses toward ignorance.
     """
     from repro.ds.mass import coerce_mass_value
     from repro.model.membership import TupleMembership
 
     reliability = coerce_mass_value(reliability)
-
-    def transform(etuple: ExtendedTuple) -> ExtendedTuple:
-        values: dict[str, object] = {}
-        for name, value in etuple.items():
-            if isinstance(value, EvidenceSet):
-                attribute = relation.schema.attribute(name)
-                if attribute.uncertain:
-                    values[name] = EvidenceSet(
-                        discount(value.mass_function, reliability), value.domain
-                    )
-                else:
-                    values[name] = value
+    values: dict[str, object] = {}
+    for name, value in etuple.items():
+        if isinstance(value, EvidenceSet):
+            attribute = schema.attribute(name)
+            if attribute.uncertain:
+                values[name] = EvidenceSet(
+                    discount(value.mass_function, reliability), value.domain
+                )
             else:
                 values[name] = value
-        tm = etuple.membership
-        membership = TupleMembership(
-            reliability * tm.sn, 1 - reliability * (1 - tm.sp)
-        )
-        return ExtendedTuple(etuple.schema, values, membership)
+        else:
+            values[name] = value
+    tm = etuple.membership
+    membership = TupleMembership(
+        reliability * tm.sn, 1 - reliability * (1 - tm.sp)
+    )
+    return ExtendedTuple(etuple.schema, values, membership)
 
+
+def _discount_relation(relation: ExtendedRelation, reliability) -> ExtendedRelation:
+    """Discount every evidence set of a relation by *reliability*.
+
+    Tuples whose discounted membership loses all necessary support
+    (``sn' = 0``) are dropped, per CWA_ER.
+    """
     return ExtendedRelation(
-        relation.schema, [transform(t) for t in relation], on_unsupported="drop"
+        relation.schema,
+        [discount_tuple(t, relation.schema, reliability) for t in relation],
+        on_unsupported="drop",
     )
 
 
@@ -113,18 +135,13 @@ class IntegrationPipeline:
         self._matcher = matcher if matcher is not None else KeyMatcher()
         self._merger = merger if merger is not None else TupleMerger()
         if reliabilities is not None:
-            from repro.ds.mass import coerce_mass_value
-
             if len(reliabilities) != 2:
                 raise IntegrationError(
                     "reliabilities must be a (left, right) pair"
                 )
-            reliabilities = tuple(coerce_mass_value(r) for r in reliabilities)
-            for r in reliabilities:
-                if not 0 <= r <= 1:
-                    raise IntegrationError(
-                        f"reliability must lie in [0, 1], got {r!r}"
-                    )
+            reliabilities = tuple(
+                coerce_reliability(r) for r in reliabilities
+            )
         self._reliabilities = reliabilities
 
     def run(

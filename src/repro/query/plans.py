@@ -76,6 +76,22 @@ class Plan(ABC):
         return "\n".join(lines)
 
 
+def scan_names(plan: "Plan") -> frozenset:
+    """The catalog relation names a plan subtree reads (its Scan leaves).
+
+    Literal leaves carry their own relation and depend on nothing in the
+    catalog.  Sessions use this set for targeted cache invalidation.
+    """
+    names = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ScanPlan):
+            names.add(node.name)
+        stack.extend(node.children())
+    return frozenset(names)
+
+
 class ScanPlan(Plan):
     """Read a named relation from the catalog."""
 

@@ -12,9 +12,16 @@ A :class:`Session` owns everything between "query" and "result" for a
   (:mod:`repro.query.fingerprint`), memoized *per subtree*: two queries
   sharing a prefix -- or one query collected twice -- evaluate the
   shared subplan once;
-* **invalidation** -- the caches drop automatically whenever the
-  database catalog changes (``add(..., replace=True)``, ``drop``, ...),
-  tracked through :attr:`repro.storage.Database.version`.
+* **targeted invalidation** -- when the catalog changes
+  (``add(..., replace=True)``, ``drop``, ...), only the cached plans and
+  results that *depend on a changed relation* are evicted, tracked
+  through :attr:`repro.storage.Database.version` and
+  :meth:`repro.storage.Database.changed_names_since`; caches over
+  untouched relations survive;
+* **subscriptions** -- :meth:`Session.subscribe` registers a standing
+  query that is re-collected after every catalog change affecting it
+  (the continuous-query hook the streaming engine drives on each
+  flush).
 
 Example::
 
@@ -30,16 +37,16 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import PlanError
+from repro.errors import PlanError, ReproError
 from repro.expr import RelExpr, _Literal, _Rel
 from repro.model.relation import ExtendedRelation
 from repro.query.executor import compile_text
 from repro.query.fingerprint import fingerprint as plan_fingerprint
 from repro.query.fingerprint import plan_key
 from repro.query.planner import optimize
-from repro.query.plans import Plan
+from repro.query.plans import Plan, scan_names
 
 
 @dataclass
@@ -53,6 +60,8 @@ class SessionStats:
     subplan_cache_hits: int = 0
     node_executions: int = 0
     invalidations: int = 0
+    entries_invalidated: int = 0
+    subscription_refreshes: int = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -70,6 +79,65 @@ class SessionStats:
 class _Compiled:
     plan: Plan
     fingerprint: str
+    relations: frozenset
+
+
+class Subscription:
+    """A standing query re-collected after relevant catalog changes.
+
+    Created by :meth:`Session.subscribe`.  :attr:`result` always holds
+    the latest collected relation; when a *callback* was given it is
+    invoked with each fresh result.  If the query itself fails (e.g.
+    the subscribed relation was dropped), the error is recorded on
+    :attr:`error` and the previous result is kept, so unrelated catalog
+    mutations never blow up in the mutator's stack; a raising
+    *callback* is recorded separately on :attr:`callback_error` (the
+    result is already fresh at that point, so no retry is needed).
+    """
+
+    def __init__(self, session: "Session", query, callback=None):
+        self._session = session
+        self.query = query
+        self.callback = callback
+        self.result: ExtendedRelation | None = None
+        self.error: Exception | None = None
+        self.callback_error: Exception | None = None
+        self.refreshes = 0
+        self.active = True
+
+    def refresh(self) -> ExtendedRelation | None:
+        """Re-collect the query now; returns the fresh result.
+
+        Exceptions are contained (see the class docstring): refreshes
+        run inside catalog mutators (``db.add``, a stream engine's
+        flush), which must not be broken by subscriber code.
+        """
+        try:
+            self.result = self._session.execute(self.query)
+        except ReproError as exc:
+            self.error = exc
+            return self.result
+        self.error = None
+        self.refreshes += 1
+        self._session._stats.subscription_refreshes += 1
+        if self.callback is not None:
+            try:
+                self.callback(self.result)
+                self.callback_error = None
+            except Exception as exc:  # noqa: BLE001 -- subscriber code
+                self.callback_error = exc
+        return self.result
+
+    def cancel(self) -> None:
+        """Deregister from the session; no further refreshes happen."""
+        self._session.unsubscribe(self)
+
+    def __repr__(self) -> str:
+        size = len(self.result) if self.result is not None else "-"
+        return (
+            f"Subscription({self.query!r}, {self.refreshes} refreshes, "
+            f"{size} tuples)"
+        )
 
 
 class Session:
@@ -85,6 +153,9 @@ class Session:
         self._max_entries = int(max_cache_entries)
         self._plans: dict[str, _Compiled] = {}
         self._results: dict[str, ExtendedRelation] = {}
+        self._result_deps: dict[str, frozenset] = {}
+        self._subscriptions: list[Subscription] = []
+        self._listening = False
         self._stats = SessionStats()
         self._epoch = database.version
 
@@ -148,6 +219,71 @@ class Session:
             results.append(self._run(self._compile(query).plan, root=True))
         return results
 
+    # -- subscriptions ------------------------------------------------------
+
+    def subscribe(self, query, callback=None, eager: bool = True) -> Subscription:
+        """Register a standing *query*, re-collected after catalog changes.
+
+        The query may be a string, a :class:`RelExpr` or a plan, exactly
+        as for :meth:`execute`.  After any catalog mutation that touches
+        a relation the query depends on (a streaming engine's flush, a
+        ``replace`` or ``drop``), the subscription re-executes and --
+        when a *callback* was given -- calls ``callback(result)``.  With
+        *eager* (the default) the query runs once immediately; with
+        ``eager=False`` it stays uncollected until the first catalog
+        change touching one of its relations.
+        """
+        subscription = Subscription(self, query, callback)
+        self._subscriptions.append(subscription)
+        if not self._listening:
+            self._db.add_listener(self._on_catalog_change)
+            self._listening = True
+        if eager:
+            subscription.refresh()
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Deregister *subscription*; stops listening when none remain."""
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+        subscription.active = False
+        if not self._subscriptions and self._listening:
+            self._db.remove_listener(self._on_catalog_change)
+            self._listening = False
+
+    def subscriptions(self) -> tuple[Subscription, ...]:
+        """The currently registered subscriptions."""
+        return tuple(self._subscriptions)
+
+    def _on_catalog_change(self, name: str) -> None:
+        """Database listener: refresh subscriptions the change affects.
+
+        *name* -- the relation just mutated -- is folded into the
+        changed set because a brand-new name is absent from
+        ``changed_names_since`` (it cannot stale a cache), yet it is
+        exactly what an ``eager=False`` subscription awaiting its
+        relation's first publish depends on.
+        """
+        changed = self._db.changed_names_since(self._epoch) | {name}
+        self._sync()
+        for subscription in list(self._subscriptions):
+            if subscription.error is not None:
+                # Broken by an earlier change (e.g. its relation was
+                # dropped): retry on any mutation, so a drop + re-add --
+                # which surfaces as a plain add with no changed names --
+                # recovers the subscription.
+                subscription.refresh()
+                continue
+            try:
+                dependencies = self._compile(subscription.query).relations
+            except ReproError as exc:
+                subscription.error = exc
+                continue
+            if dependencies & changed:
+                # Covers never-collected (eager=False) subscriptions
+                # too: they wait, untouched, until a dependency changes.
+                subscription.refresh()
+
     # -- cache management ---------------------------------------------------
 
     def stats(self) -> SessionStats:
@@ -162,15 +298,41 @@ class Session:
         """Drop both caches (stats are kept)."""
         self._plans.clear()
         self._results.clear()
+        self._result_deps.clear()
 
     # -- internals ----------------------------------------------------------
 
     def _sync(self) -> None:
-        """Invalidate the caches when the catalog has changed."""
-        if self._db.version != self._epoch:
+        """Evict cache entries stale against the current catalog.
+
+        Invalidation is *targeted*: only entries whose plan scans one of
+        the relations changed since this session's epoch are dropped.
+        Queries over untouched relations keep their cached plans and
+        results across the change.
+        """
+        if self._db.version == self._epoch:
+            return
+        changed = self._db.changed_names_since(self._epoch)
+        self._epoch = self._db.version
+        evicted = 0
+        if changed:
+            for source_key, compiled in list(self._plans.items()):
+                if compiled.relations & changed:
+                    del self._plans[source_key]
+                    evicted += 1
+            for result_key in list(self._results):
+                if self._result_deps.get(result_key, frozenset()) & changed:
+                    del self._results[result_key]
+                    self._result_deps.pop(result_key, None)
+                    evicted += 1
+        else:
+            # A version bump without change records (only possible with
+            # a hand-rolled catalog): fall back to a full flush.
+            evicted = len(self._plans) + len(self._results)
             self.clear_cache()
-            self._epoch = self._db.version
+        if evicted:
             self._stats.invalidations += 1
+            self._stats.entries_invalidated += evicted
 
     def _compile(self, query) -> _Compiled:
         if isinstance(query, str):
@@ -179,7 +341,7 @@ class Session:
             source_key = f"expr::{query.key()}"
         elif isinstance(query, Plan):
             # Raw plans are caller-managed; fingerprint but don't cache.
-            return _Compiled(query, plan_fingerprint(query))
+            return _Compiled(query, plan_fingerprint(query), scan_names(query))
         else:
             raise PlanError(
                 f"cannot plan {query!r} (expected a query string, a "
@@ -193,7 +355,7 @@ class Session:
             plan = compile_text(query, self._db)
         else:
             plan = optimize(query.lower(self._db))
-        compiled = _Compiled(plan, plan_fingerprint(plan))
+        compiled = _Compiled(plan, plan_fingerprint(plan), scan_names(plan))
         self._stats.plans_built += 1
         self._remember(self._plans, source_key, compiled)
         return compiled
@@ -211,12 +373,16 @@ class Session:
         result = plan.apply(inputs, self._db)
         self._stats.node_executions += 1
         self._remember(self._results, key, result)
+        self._result_deps[key] = scan_names(plan)
         return result
 
     def _remember(self, cache: dict, key, value) -> None:
         """Insert with FIFO eviction at the cache-size cap."""
         if len(cache) >= self._max_entries:
-            cache.pop(next(iter(cache)))
+            oldest = next(iter(cache))
+            cache.pop(oldest)
+            if cache is self._results:
+                self._result_deps.pop(oldest, None)
         cache[key] = value
 
     def __repr__(self) -> str:

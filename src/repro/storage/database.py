@@ -42,6 +42,8 @@ class Database:
         self._name = str(name)
         self._relations: dict[str, ExtendedRelation] = {}
         self._version = 0
+        self._changed: dict[str, int] = {}
+        self._listeners: list = []
         self._session = None
 
     @property
@@ -85,7 +87,44 @@ class Database:
         name = relation.name
         if name in self._relations:
             self._version += 1
+            self._changed[name] = self._version
         self._relations[name] = relation
+        self._notify(name)
+
+    def changed_names_since(self, version: int) -> frozenset:
+        """Names whose meaning changed after catalog *version*.
+
+        A name "changes meaning" when it is replaced or dropped; adding
+        a brand-new name does not (no existing query could have referred
+        to it).  Sessions use this for targeted invalidation: only
+        cached plans/results depending on one of these names are stale.
+        """
+        return frozenset(
+            name
+            for name, changed_at in self._changed.items()
+            if changed_at > version
+        )
+
+    def add_listener(self, callback) -> None:
+        """Call ``callback(name)`` after every catalog mutation of *name*.
+
+        Listeners fire on adds as well as replaces/drops: a brand-new
+        name never appears in :meth:`changed_names_since` (it cannot
+        stale any cache), so the mutated name is passed explicitly --
+        that is how a standing query learns its relation was first
+        published.  Exceptions propagate to the mutator.
+        """
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback) -> None:
+        """Stop notifying *callback* (no-op when unregistered)."""
+        if callback in self._listeners:
+            self._listeners.remove(callback)
+
+    def _notify(self, name: str) -> None:
+        for callback in tuple(self._listeners):
+            callback(name)
 
     def get(self, name: str) -> ExtendedRelation:
         """The relation registered under *name*."""
@@ -107,6 +146,8 @@ class Database:
             )
         del self._relations[name]
         self._version += 1
+        self._changed[name] = self._version
+        self._notify(name)
 
     def names(self) -> tuple[str, ...]:
         """All registered relation names, sorted."""

@@ -1,0 +1,64 @@
+"""Streaming integration: incremental evidence ingestion.
+
+The paper's central operator -- Dempster's rule -- is associative and
+commutative, so an integrated relation never needs recomputing from
+scratch when new evidence arrives.  This package turns the batch
+Figure-1 pipeline into a continuous one:
+
+``repro.stream.engine``
+    :class:`StreamEngine` -- per-source ``upsert``/``retract``/
+    reliability events folded exactly into per-entity merge state;
+    micro-batched ``flush()`` with watermark semantics, publishing into
+    a :class:`repro.storage.Database`.
+``repro.stream.state``
+    The resident :class:`MergeState` (per-entity, per-source cached
+    contributions + the combined fold).
+``repro.stream.changelog``
+    :class:`BatchDelta`/:class:`ChangeLog` -- the per-batch record of
+    inserted / updated / removed / conflicted entities.
+``repro.stream.connectors``
+    JSONL event encoding and :func:`replay` (the substrate of the
+    ``repro stream`` CLI subcommand).
+"""
+
+from repro.stream.changelog import BatchDelta, ChangeLog
+from repro.stream.connectors import (
+    Event,
+    FlushEvent,
+    ReliabilityEvent,
+    ReplayReport,
+    RetractEvent,
+    UpsertEvent,
+    apply_event,
+    event_from_json,
+    event_to_json,
+    read_events,
+    relation_to_events,
+    replay,
+    write_events,
+)
+from repro.stream.engine import StreamEngine, StreamStats
+from repro.stream.state import Contribution, EntityState, MergeState
+
+__all__ = [
+    "BatchDelta",
+    "ChangeLog",
+    "Contribution",
+    "EntityState",
+    "Event",
+    "FlushEvent",
+    "MergeState",
+    "ReliabilityEvent",
+    "ReplayReport",
+    "RetractEvent",
+    "StreamEngine",
+    "StreamStats",
+    "UpsertEvent",
+    "apply_event",
+    "event_from_json",
+    "event_to_json",
+    "read_events",
+    "relation_to_events",
+    "replay",
+    "write_events",
+]

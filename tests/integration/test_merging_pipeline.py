@@ -307,3 +307,40 @@ class TestPipeline:
     def test_pipeline_result_name(self):
         result = IntegrationPipeline().run(table_ra(), table_rb(), name="R")
         assert result.integrated.name == "R"
+
+
+class TestSingleEntityMerge:
+    """The reusable per-entity core exposed for incremental engines."""
+
+    def test_merge_pair_matches_relation_merge(self):
+        ra, rb = table_ra(), table_rb()
+        merger = TupleMerger()
+        merged_relation, _ = merger.merge(ra, rb, name="R")
+        pair = merger.merge_pair(ra.get(("wok",)), rb.get(("wok",)))
+        assert pair == merged_relation.get(("wok",))
+
+    def test_merge_entity_folds_many_sources(self):
+        ra, rb = table_ra(), table_rb()
+        merger = TupleMerger()
+        merged_relation, _ = merger.merge(ra, rb, name="R")
+        folded = merger.merge_entity([ra.get(("wok",)), rb.get(("wok",))])
+        assert folded == merged_relation.get(("wok",))
+
+    def test_merge_pair_rejects_different_entities(self):
+        ra = table_ra()
+        with pytest.raises(IntegrationError, match="same entity"):
+            TupleMerger().merge_pair(ra.get(("wok",)), ra.get(("garden",)))
+
+    def test_merge_entity_rejects_mixed_keys(self):
+        ra = table_ra()
+        with pytest.raises(IntegrationError, match="one entity"):
+            TupleMerger().merge_entity([ra.get(("wok",)), ra.get(("garden",))])
+
+    def test_merge_entity_needs_a_tuple(self):
+        with pytest.raises(IntegrationError, match="at least one"):
+            TupleMerger().merge_entity([])
+
+    def test_merge_entity_single_tuple_is_identity(self):
+        ra = table_ra()
+        folded = TupleMerger().merge_entity([ra.get(("wok",))])
+        assert folded == ra.get(("wok",))

@@ -1,0 +1,128 @@
+"""JSONL event encoding, decoding and replay."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra.union import union
+from repro.errors import StreamError
+from repro.datasets.restaurants import table_ra, table_rb
+from repro.stream import (
+    FlushEvent,
+    ReliabilityEvent,
+    RetractEvent,
+    StreamEngine,
+    UpsertEvent,
+    event_from_json,
+    event_to_json,
+    read_events,
+    relation_to_events,
+    replay,
+    write_events,
+)
+
+
+def round_trip(event):
+    return event_from_json(event_to_json(event))
+
+
+class TestEncoding:
+    def test_upsert_round_trip(self):
+        event = UpsertEvent(
+            "daily",
+            {"k": "wok", "v": "[a^1/4, b^3/4]"},
+            membership=(Fraction(1, 2), 1),
+        )
+        assert round_trip(event) == event
+
+    def test_fraction_scalars_stay_distinct_from_text(self):
+        event = UpsertEvent("daily", {"k": "1/2", "v": Fraction(1, 2)})
+        decoded = round_trip(event)
+        assert decoded.values["k"] == "1/2"
+        assert decoded.values["v"] == Fraction(1, 2)
+
+    def test_retract_round_trip(self):
+        assert round_trip(RetractEvent("daily", ("wok",))) == RetractEvent(
+            "daily", ("wok",)
+        )
+
+    def test_reliability_round_trip(self):
+        event = ReliabilityEvent("daily", 1)
+        assert round_trip(event) == event
+
+    def test_flush_round_trip(self):
+        assert round_trip(FlushEvent()) == FlushEvent()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(StreamError, match="unknown event op"):
+            event_from_json({"op": "compact"})
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(StreamError, match="malformed"):
+            event_from_json({"op": "upsert", "source": "daily"})
+
+
+class TestFiles:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = relation_to_events(table_ra(), "daily") + [FlushEvent()]
+        written = write_events(events, path)
+        assert written == len(events)
+        assert list(read_events(path)) == events
+
+    def test_bad_json_line_reports_position(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"op": "flush"}\nnot json\n')
+        with pytest.raises(StreamError, match=":2"):
+            list(read_events(path))
+
+
+class TestReplay:
+    def test_replay_reproduces_batch_union(self):
+        events = (
+            relation_to_events(table_ra(), "daily")
+            + [FlushEvent()]
+            + relation_to_events(table_rb(), "tribune")
+        )
+        engine = StreamEngine(table_ra().schema, name="R")
+        report = replay(engine, events)
+        assert report.upserts == len(table_ra()) + len(table_rb())
+        assert report.flushes == 2  # one explicit, one trailing
+        assert engine.relation.same_tuples(
+            union(table_ra(), table_rb(), name="R")
+        )
+
+    def test_replay_through_serialized_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events(
+            relation_to_events(table_ra(), "daily")
+            + relation_to_events(table_rb(), "tribune"),
+            path,
+        )
+        engine = StreamEngine(table_ra().schema, name="R")
+        replay(engine, read_events(path))
+        assert engine.relation.same_tuples(
+            union(table_ra(), table_rb(), name="R")
+        )
+
+    def test_replay_flushes_even_an_empty_stream(self):
+        engine = StreamEngine(table_ra().schema, name="R")
+        report = replay(engine, [])
+        assert report.events == 0
+        assert report.flushes == 1
+        assert len(engine.relation) == 0
+
+    def test_reliability_event_may_precede_the_sources_first_upsert(self):
+        from repro.integration import Federation
+
+        events = [ReliabilityEvent("tribune", Fraction(1, 2))]
+        events += relation_to_events(table_ra(), "daily")
+        events += relation_to_events(table_rb(), "tribune")
+        engine = StreamEngine(table_ra().schema, name="F")
+        report = replay(engine, events)
+        assert report.reliability_updates == 1
+        federation = Federation()
+        federation.add_source("tribune", table_rb(), reliability="1/2")
+        federation.add_source("daily", table_ra())
+        expected, _ = federation.integrate(name="F")
+        assert engine.relation.same_tuples(expected)

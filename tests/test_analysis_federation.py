@@ -242,3 +242,83 @@ class TestEntityLevelIntegration:
     def test_empty_federation_rejected(self):
         with pytest.raises(IntegrationError):
             Federation().integrate_entity(("x",))
+
+
+class TestFederationTreeFold:
+    def _conflicting_sources(self):
+        """Two relations with an irreconcilable attribute on key 't'."""
+        from repro.model.attribute import Attribute
+        from repro.model.domain import EnumeratedDomain, TextDomain
+        from repro.model.etuple import ExtendedTuple
+        from repro.model.relation import ExtendedRelation
+        from repro.model.schema import RelationSchema
+
+        schema = RelationSchema(
+            "S",
+            [
+                Attribute("k", TextDomain("k"), key=True),
+                Attribute(
+                    "v", EnumeratedDomain("v", ["a", "b", "c"]), uncertain=True
+                ),
+            ],
+        )
+
+        def one(name, focal):
+            return ExtendedRelation(
+                schema.with_name(name),
+                [ExtendedTuple(schema, {"k": "t", "v": {focal: 1}})],
+            )
+
+        return one("left", "a"), one("right", "b"), one("bystander", "a")
+
+    def test_total_conflict_error_names_the_source_pair(self):
+        from repro.errors import TotalConflictError
+
+        left, right, bystander = self._conflicting_sources()
+        federation = Federation()
+        federation.add_source("metro", left)
+        federation.add_source("herald", right)
+        with pytest.raises(TotalConflictError) as excinfo:
+            federation.integrate()
+        message = str(excinfo.value)
+        assert "'metro'" in message and "'herald'" in message
+
+    def test_conflict_labels_cover_merged_groups(self):
+        """With four sources the second round merges groups; the error
+        names the composite labels so the administrator can bisect."""
+        from repro.errors import TotalConflictError
+
+        left, right, bystander = self._conflicting_sources()
+        federation = Federation()
+        # Pairs (p, q) and (r, s) are internally consistent; the final
+        # group-vs-group merge is the one that conflicts.
+        federation.add_source("p", left)
+        federation.add_source("q", bystander)
+        federation.add_source("r", right)
+        federation.add_source("s", right.with_name("right2"))
+        with pytest.raises(TotalConflictError) as excinfo:
+            federation.integrate()
+        assert "'p+q'" in str(excinfo.value)
+        assert "'r+s'" in str(excinfo.value)
+
+    def test_five_source_tree_fold_equals_sequential_fold(self):
+        """The balanced tree fold must reproduce the left-to-right fold
+        exactly (associativity, exact arithmetic)."""
+        config = SyntheticConfig(
+            n_tuples=10, conflict=0.4, ignorance=1.0, seed=11
+        )
+        relations = {
+            name: synthetic_relation(config, name) for name in "ABCDE"
+        }
+        federation = Federation(TupleMerger(on_conflict="vacuous"))
+        for name, relation in relations.items():
+            federation.add_source(name, relation)
+        integrated, report = federation.integrate(name="F")
+        assert len(report.steps) == len(relations) - 1
+
+        merger = TupleMerger(on_conflict="vacuous")
+        names = list(relations)
+        accumulated = relations[names[0]]
+        for name in names[1:]:
+            accumulated, _ = merger.merge(accumulated, relations[name], name="F")
+        assert integrated.same_tuples(accumulated)

@@ -167,3 +167,68 @@ class TestRepl:
         assert "unknown command" in output
         assert "no relation" in output
         assert "ashiana" in output
+
+
+class TestStream:
+    @pytest.fixture
+    def events_file(self, tmp_path):
+        from repro.datasets.restaurants import table_ra, table_rb
+        from repro.stream import FlushEvent, relation_to_events, write_events
+
+        path = tmp_path / "events.jsonl"
+        write_events(
+            relation_to_events(table_ra(), "daily")
+            + [FlushEvent()]
+            + relation_to_events(table_rb(), "tribune"),
+            path,
+        )
+        return path
+
+    def test_replay_reports_throughput(self, demo_db, events_file):
+        status, output = run_cli(
+            "stream", str(demo_db), str(events_file), "--schema", "RA"
+        )
+        assert status == 0
+        assert "events/s" in output
+        assert "watermark 11" in output
+        assert "6 tuples" in output
+        assert "batch 1" in output and "batch 2" in output
+
+    def test_save_persists_integrated_relation(
+        self, demo_db, events_file, tmp_path
+    ):
+        out = tmp_path / "live.json"
+        status, output = run_cli(
+            "stream",
+            str(demo_db),
+            str(events_file),
+            "--schema",
+            "RA",
+            "--name",
+            "R_LIVE",
+            "--save",
+            str(out),
+        )
+        assert status == 0
+        db = load_database(out)
+        assert "R_LIVE" in db
+        assert len(db.get("R_LIVE")) == 6
+
+    def test_show_prints_table(self, demo_db, events_file):
+        status, output = run_cli(
+            "stream",
+            str(demo_db),
+            str(events_file),
+            "--schema",
+            "RA",
+            "--show",
+        )
+        assert status == 0
+        assert "ashiana" in output
+
+    def test_malformed_events_are_clean_errors(self, demo_db, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "teleport"}\n')
+        status, _ = run_cli("stream", str(demo_db), str(bad), "--schema", "RA")
+        assert status == 1
+        assert "unknown event op" in capsys.readouterr().err

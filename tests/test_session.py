@@ -101,10 +101,35 @@ class TestInvalidation:
 
     def test_drop_invalidates(self, db, session):
         session.execute(SQL)
-        db.drop("RB")
-        session.execute(SQL)
+        db.drop("RA")
+        with pytest.raises(CatalogError):
+            session.execute(SQL)
         assert session.stats().invalidations == 1
         assert session.stats().result_cache_hits == 0
+
+    def test_unrelated_drop_preserves_cache(self, db, session):
+        """Targeted invalidation: the query only reads RA, so dropping
+        RB must not evict its cached plan or result."""
+        session.execute(SQL)
+        db.drop("RB")
+        session.execute(SQL)
+        assert session.stats().invalidations == 0
+        assert session.stats().result_cache_hits == 1
+
+    def test_unrelated_replace_preserves_cache(self, db, session):
+        expr = fluent(db)
+        before = expr.collect()
+        db.add(table_rb(), replace=True)
+        after = expr.collect()
+        assert after is before
+        assert session.stats().invalidations == 0
+
+    def test_targeted_eviction_counts_entries(self, db, session):
+        session.execute(SQL)
+        db.add(table_ra(), replace=True)
+        session.execute(SQL)
+        assert session.stats().invalidations == 1
+        assert session.stats().entries_invalidated > 0
 
     def test_pure_add_preserves_cache(self, db, session):
         session.execute(SQL)
@@ -174,3 +199,86 @@ class TestCatalogHygiene:
         with pytest.raises(CatalogError) as excinfo:
             db.get("completely_unrelated")
         assert "did you mean" not in str(excinfo.value)
+
+
+class TestSubscriptions:
+    def test_eager_subscribe_collects_immediately(self, db, session):
+        subscription = session.subscribe(SQL)
+        assert subscription.result is not None
+        assert subscription.refreshes == 1
+
+    def test_refresh_on_dependent_replace(self, db, session):
+        seen = []
+        session.subscribe(SQL, callback=lambda result: seen.append(result))
+        db.add(table_ra(), replace=True)
+        assert len(seen) == 2
+
+    def test_no_refresh_on_unrelated_change(self, db, session):
+        subscription = session.subscribe(SQL)
+        db.add(table_rb(), replace=True)
+        db.add(table_rm_a())
+        assert subscription.refreshes == 1
+
+    def test_fluent_expression_subscription(self, db, session):
+        subscription = session.subscribe(fluent(db))
+        db.add(table_ra(), replace=True)
+        assert subscription.refreshes == 2
+
+    def test_cancel_stops_refreshes(self, db, session):
+        subscription = session.subscribe(SQL)
+        subscription.cancel()
+        db.add(table_ra(), replace=True)
+        assert subscription.refreshes == 1
+        assert not subscription.active
+
+    def test_drop_of_dependency_records_error(self, db, session):
+        subscription = session.subscribe(SQL)
+        before = subscription.result
+        db.drop("RA")  # must not blow up in the drop() call stack
+        assert subscription.error is not None
+        assert subscription.result is before
+
+    def test_stats_count_refreshes(self, db, session):
+        session.subscribe(SQL)
+        db.add(table_ra(), replace=True)
+        assert session.stats().subscription_refreshes == 2
+
+    def test_subscription_recovers_after_drop_and_readd(self, db, session):
+        subscription = session.subscribe(SQL)
+        db.drop("RA")
+        assert subscription.error is not None
+        db.add(table_ra())  # brand-new name again: must retry and heal
+        assert subscription.error is None
+        assert subscription.refreshes == 2
+        assert subscription.result.same_tuples(session.execute(SQL))
+
+    def test_non_eager_subscription_waits_for_its_dependency(self, db, session):
+        subscription = session.subscribe(SQL, eager=False)
+        assert subscription.result is None
+        db.add(table_rm_a())           # unrelated add: stays uncollected
+        db.add(table_rb(), replace=True)  # unrelated replace: still waiting
+        assert subscription.result is None
+        db.add(table_ra(), replace=True)  # the dependency: now collects
+        assert subscription.result is not None
+        assert subscription.refreshes == 1
+
+    def test_non_eager_subscription_sees_first_publish_of_its_relation(self):
+        """A standing query registered before its relation's first
+        publish (a StreamEngine pattern) must collect at that publish,
+        even though brand-new names never appear in changed_names_since."""
+        from repro.stream import StreamEngine
+
+        db = Database("live")
+        db.add(table_ra())
+        session = db.session()
+        engine = StreamEngine(table_ra().schema, name="R_LIVE", database=db)
+        subscription = session.subscribe(
+            "SELECT rname FROM R_LIVE", eager=False
+        )
+        assert subscription.result is None
+        for etuple in table_ra():
+            engine.upsert("daily", etuple)
+        engine.flush()
+        assert subscription.error is None
+        assert subscription.result is not None
+        assert len(subscription.result) == len(table_ra())

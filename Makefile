@@ -3,12 +3,13 @@
 #   make test          run the test suite (tier-1 gate)
 #   make bench         run the benchmark harness (timings + assertions)
 #   make bench-stream  incremental-vs-recompute ingestion benchmark
+#   make bench-kernel  kernel-vs-frozenset combination benchmark
 #   make lint          ruff check (skipped with a notice when ruff is absent)
 
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test bench bench-stream lint quickstart
+.PHONY: test bench bench-stream bench-kernel lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -18,6 +19,9 @@ bench:
 
 bench-stream:
 	$(PYTHON) -m pytest benchmarks/bench_stream_ingest.py -q
+
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/bench_kernel_combination.py -q
 
 lint:
 	@$(PYTHON) -m ruff check src tests benchmarks examples 2>/dev/null \

@@ -2,7 +2,11 @@
 
 The rule is quadratic in focal-element count (all pairs are
 intersected); this bench pins that shape and the exact-vs-float cost of
-a single combination.
+a single combination.  The masses carry an enumerated frame, so
+combinations run on the compiled evidence kernel
+(:mod:`repro.ds.kernel`) exactly as integration workloads do;
+``bench_kernel_combination.py`` measures the kernel-vs-frozenset gap
+itself.
 """
 
 import random
@@ -11,9 +15,10 @@ from fractions import Fraction
 import pytest
 
 from repro.ds import MassFunction, combine
-from repro.ds.frame import OMEGA
+from repro.ds.frame import OMEGA, FrameOfDiscernment
 
 UNIVERSE = [f"v{i}" for i in range(24)]
+FRAME = FrameOfDiscernment("universe", UNIVERSE)
 
 
 def _make_mass(n_focal: int, seed: int, exact: bool) -> MassFunction:
@@ -31,7 +36,7 @@ def _make_mass(n_focal: int, seed: int, exact: bool) -> MassFunction:
         masses = {e: Fraction(w, total) for e, w in zip(elements, weights)}
     else:
         masses = {e: w / total for e, w in zip(elements, weights)}
-    return MassFunction(masses)
+    return MassFunction(masses, FRAME)
 
 
 @pytest.mark.parametrize("n_focal", [2, 4, 8, 16])

@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterable
 
 from repro.errors import PredicateError
+from repro.ds.kernel import kernel_enabled
 from repro.model.etuple import ExtendedTuple
 from repro.model.evidence import EvidenceSet
 from repro.model.membership import SupportPair
@@ -180,9 +181,14 @@ class IsPredicate(Predicate):
     """``A is {c1, ..., cn}``: membership of the attribute in a value set.
 
     Support: ``(Bel({c1..cn}), Pls({c1..cn}))`` of the tuple's evidence.
+
+    When the attribute's evidence rides on the compiled kernel (see
+    :mod:`repro.ds.kernel`), the tested value set is encoded once per
+    interned frame and every tuple evaluates by subset-mask tests --
+    a relation scan never re-hashes the predicate's value set.
     """
 
-    __slots__ = ("_attribute", "_values")
+    __slots__ = ("_attribute", "_values", "_mask_cache")
 
     def __init__(self, attribute: str, values: Iterable):
         if not attribute or not isinstance(attribute, str):
@@ -193,6 +199,7 @@ class IsPredicate(Predicate):
         self._values = frozenset(values)
         if not self._values:
             raise PredicateError("is-predicate needs at least one value")
+        self._mask_cache: dict = {}
 
     @property
     def attribute(self) -> str:
@@ -205,7 +212,24 @@ class IsPredicate(Predicate):
         return self._values
 
     def support(self, etuple: ExtendedTuple) -> SupportPair:
-        return is_support(etuple.evidence(self._attribute), self._values)
+        evidence = etuple.evidence(self._attribute)
+        mass_function = evidence.mass_function
+        if kernel_enabled() and mass_function.frame is not None:
+            compiled = mass_function.compiled()
+            interned = compiled.interned
+            query_mask = self._mask_cache.get(interned)
+            if query_mask is None:
+                query_mask = interned.mask_of(self._values)
+                if len(self._mask_cache) >= 8:
+                    # A predicate normally meets one frame per attribute;
+                    # more means frames are being re-interned (cache
+                    # churn) -- drop stale entries rather than pin dead
+                    # InternedFrame objects forever.
+                    self._mask_cache.clear()
+                self._mask_cache[interned] = query_mask
+            sn, sp = compiled.bel_pls(query_mask)
+            return SupportPair(sn, sp)
+        return is_support(evidence, self._values)
 
     def attributes(self) -> frozenset[str]:
         return frozenset({self._attribute})

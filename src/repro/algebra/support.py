@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 
 from repro.errors import PredicateError
+from repro.ds.belief import uncertainty_interval
 from repro.ds.frame import is_omega
 from repro.model.evidence import EvidenceSet
 from repro.model.membership import SupportPair
@@ -62,6 +63,9 @@ def normalize_theta(op: str) -> str:
 def is_support(evidence: EvidenceSet, values: Iterable) -> SupportPair:
     """Support of ``A is {c1..cn}``: ``(Bel, Pls)`` of the value set.
 
+    Over an enumerated frame both bounds come from one subset-mask pass
+    of the compiled evidence kernel (see :mod:`repro.ds.kernel`).
+
     >>> from repro.model import EvidenceSet
     >>> es = EvidenceSet("[si^0.5, hu^0.25, Ω^0.25]")
     >>> is_support(es, {"si"}).as_tuple()
@@ -70,7 +74,8 @@ def is_support(evidence: EvidenceSet, values: Iterable) -> SupportPair:
     value_set = frozenset(values)
     if not value_set:
         raise PredicateError("an is-predicate needs at least one value")
-    return SupportPair(evidence.bel(value_set), evidence.pls(value_set))
+    sn, sp = uncertainty_interval(evidence.mass_function, value_set)
+    return SupportPair(sn, sp)
 
 
 def _resolve_element(evidence: EvidenceSet, element) -> frozenset | None:

@@ -35,8 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import TotalConflictError
-from repro.ds.combination import conjunctive
-from repro.ds.mass import MassFunction, Numeric
+from repro.ds.combination import combine_with_conflict
+from repro.ds.mass import Numeric
 from repro.model.etuple import ExtendedTuple
 from repro.model.evidence import EvidenceSet
 from repro.model.membership import TupleMembership
@@ -95,18 +95,19 @@ def _combine_evidence(
     left: EvidenceSet, right: EvidenceSet
 ) -> tuple[EvidenceSet | None, Numeric]:
     """Dempster-combine two attribute values; ``(None, 1)`` on total
-    conflict.  Returns the conflict mass alongside the result."""
-    pooled, kappa = conjunctive(left.mass_function, right.mass_function)
-    if not pooled:
-        return None, kappa
-    if kappa != 0:
-        remaining = 1 - kappa
-        pooled = {element: value / remaining for element, value in pooled.items()}
-    frame = left.mass_function.frame or right.mass_function.frame
-    return (
-        EvidenceSet(MassFunction(pooled, frame), left.domain or right.domain),
-        kappa,
+    conflict.  Returns the conflict mass alongside the result.
+
+    Runs on the compiled evidence kernel whenever both sides carry the
+    attribute's enumerated frame (see :mod:`repro.ds.kernel`); the
+    merged evidence then stays compiled, so the integration fold and
+    the streaming engine's resident states never re-derive masks.
+    """
+    combined, kappa = combine_with_conflict(
+        left.mass_function, right.mass_function
     )
+    if combined is None:
+        return None, kappa
+    return EvidenceSet(combined, left.domain or right.domain), kappa
 
 
 def _membership_kappa(a: TupleMembership, b: TupleMembership) -> Numeric:

@@ -20,15 +20,17 @@ Three subcommands, all operating on the JSON database format of
     Interactive query loop over one database file, running through a
     caching :class:`repro.session.Session`: repeated queries hit the
     plan/result caches.  ``:explain Q`` prints the optimized plan,
-    ``:stats`` the session counters, ``:tables`` the catalog, and
+    ``:stats`` the session counters plus the evidence-kernel path
+    counters (:mod:`repro.ds.kernel`), ``:tables`` the catalog, and
     ``:quit`` (or EOF) exits.
 
 ``repro stream DB EVENTS --schema REL``
     Replay a JSONL event file (see :mod:`repro.stream.connectors`)
     through a :class:`repro.stream.StreamEngine` using REL's schema,
     publish the integrated relation into the catalog, and report
-    throughput plus the per-batch changelog.  ``--save OUT`` persists
-    the resulting database, ``--show`` prints the integrated table.
+    throughput, the kernel-vs-fallback combination split and the
+    per-batch changelog.  ``--save OUT`` persists the resulting
+    database, ``--show`` prints the integrated table.
 
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
@@ -234,7 +236,10 @@ def _command_repl(args: argparse.Namespace, out) -> int:
             break
         try:
             if text == ":stats":
+                from repro.ds.kernel import kernel_stats
+
                 print(session.stats().summary(), file=out)
+                print(kernel_stats().summary(), file=out)
             elif text == ":tables":
                 for relation in db:
                     keys = ", ".join(relation.schema.key_names)
@@ -282,6 +287,12 @@ def _command_stream(args: argparse.Namespace, out) -> int:
     print(
         f"integrated {args.name!r}: {len(engine.relation)} tuples from "
         f"{len(engine.sources())} source(s), watermark {engine.watermark}",
+        file=out,
+    )
+    stats = engine.stats()
+    print(
+        f"evidence combinations: {stats.kernel_combinations} on the "
+        f"kernel path, {stats.fallback_combinations} on the fallback path",
         file=out,
     )
     print(engine.changelog.summary(), file=out)

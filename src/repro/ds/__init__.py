@@ -24,6 +24,17 @@ Fraction(3, 7)
 
 from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, Omega
 from repro.ds.mass import MassFunction
+from repro.ds.kernel import (
+    CompiledMass,
+    InternedFrame,
+    KernelStats,
+    compile_mass_function,
+    intern_frame,
+    kernel_disabled,
+    kernel_enabled,
+    kernel_stats,
+    set_kernel_enabled,
+)
 from repro.ds.belief import (
     belief,
     commonality,
@@ -34,6 +45,7 @@ from repro.ds.belief import (
 from repro.ds.combination import (
     combine,
     combine_all,
+    combine_with_conflict,
     conflict,
     conjunctive,
     disjunctive,
@@ -70,8 +82,18 @@ __all__ = [
     "commonality",
     "doubt",
     "uncertainty_interval",
+    "CompiledMass",
+    "InternedFrame",
+    "KernelStats",
+    "compile_mass_function",
+    "intern_frame",
+    "kernel_disabled",
+    "kernel_enabled",
+    "kernel_stats",
+    "set_kernel_enabled",
     "combine",
     "combine_all",
+    "combine_with_conflict",
     "conflict",
     "conjunctive",
     "disjunctive",

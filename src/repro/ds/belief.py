@@ -26,6 +26,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.ds.frame import FocalElement, is_omega
+from repro.ds.kernel import kernel_enabled
 from repro.ds.mass import MassFunction, Numeric, coerce_focal_element
 
 
@@ -37,6 +38,16 @@ def _resolve_query(m: MassFunction, subset: object) -> FocalElement:
     return element
 
 
+def _compiled_query(m: MassFunction, subset: object):
+    """``(compiled, query mask)`` when the kernel path applies, else
+    ``None``.  Out-of-frame query values raise the same
+    :class:`~repro.errors.DomainError` frame canonicalization would."""
+    if not kernel_enabled() or m.frame is None:
+        return None
+    compiled = m.compiled()
+    return compiled, compiled.interned.mask_of(coerce_focal_element(subset))
+
+
 def belief(m: MassFunction, subset: object) -> Numeric:
     """``Bel(subset)``: total mass committed to subsets of *subset*.
 
@@ -46,6 +57,10 @@ def belief(m: MassFunction, subset: object) -> Numeric:
     >>> m_bel
     Fraction(5, 6)
     """
+    kernel_query = _compiled_query(m, subset)
+    if kernel_query is not None:
+        compiled, query_mask = kernel_query
+        return compiled.bel(query_mask)
     query = _resolve_query(m, subset)
     total: Numeric = Fraction(0)
     for element, value in m.items():
@@ -68,6 +83,10 @@ def plausibility(m: MassFunction, subset: object) -> Numeric:
     >>> plausibility(m, {"ca", "hu", "si"})
     Fraction(1, 1)
     """
+    kernel_query = _compiled_query(m, subset)
+    if kernel_query is not None:
+        compiled, query_mask = kernel_query
+        return compiled.pls(query_mask)
     query = _resolve_query(m, subset)
     total: Numeric = Fraction(0)
     for element, value in m.items():
@@ -92,6 +111,10 @@ def commonality(m: MassFunction, subset: object) -> Numeric:
     rule (combination multiplies commonalities); exposed for analysis and
     tests.
     """
+    kernel_query = _compiled_query(m, subset)
+    if kernel_query is not None:
+        compiled, query_mask = kernel_query
+        return compiled.commonality(query_mask)
     query = _resolve_query(m, subset)
     total: Numeric = Fraction(0)
     for element, value in m.items():
@@ -111,5 +134,10 @@ def uncertainty_interval(m: MassFunction, subset: object) -> tuple[Numeric, Nume
 
     This is the support interval the paper's selection operation assigns
     to an ``is``-predicate (Section 3.1.1): ``sn = Bel``, ``sp = Pls``.
+    On the kernel path both bounds come from one subset-mask pass.
     """
+    kernel_query = _compiled_query(m, subset)
+    if kernel_query is not None:
+        compiled, query_mask = kernel_query
+        return compiled.bel_pls(query_mask)
     return belief(m, subset), plausibility(m, subset)

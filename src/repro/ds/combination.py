@@ -22,7 +22,20 @@ Also provided:
   appropriate when at least one, but not necessarily both, sources are
   reliable (extension),
 * :func:`conflict` / :func:`weight_of_conflict` -- diagnostics used by the
-  integration layer's conflict reports.
+  integration layer's conflict reports,
+* :func:`combine_with_conflict` -- the normalized rule returning the
+  conflict mass instead of raising, the entry point the integration
+  layers fold through.
+
+Path dispatch
+-------------
+When both operands carry the same enumerated frame, combination runs on
+the compiled evidence kernel (:mod:`repro.ds.kernel`): focal elements
+become int bitmasks and the pairwise intersections bitwise-ANDs, with
+the arithmetic (and hence the results, bit for bit) unchanged.  Mass
+functions without a frame -- symbolic OMEGA over an unenumerable domain
+-- fall back to the frozenset path transparently.  :data:`KERNEL_STATS`
+counts combinations per path.
 """
 
 from __future__ import annotations
@@ -33,6 +46,13 @@ from fractions import Fraction
 
 from repro.errors import MassFunctionError, TotalConflictError
 from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, is_omega
+from repro.ds.kernel import (
+    STATS as KERNEL_STATS,
+    combine_compiled,
+    conjunctive_compiled,
+    disjunctive_compiled,
+    kernel_enabled,
+)
 from repro.ds.mass import MassFunction, Numeric
 
 
@@ -70,16 +90,24 @@ def _merged_frame(
     return m1.frame or m2.frame
 
 
-def conjunctive(
+def _kernel_pair(m1: MassFunction, m2: MassFunction):
+    """The compiled operands when the kernel path applies, else ``None``.
+
+    The kernel requires both operands to carry the (already validated
+    equal) enumerated frame; symbolic mass functions stay on the
+    frozenset path.
+    """
+    if not kernel_enabled():
+        return None
+    if m1.frame is None or m2.frame is None:
+        return None
+    return m1.compiled(), m2.compiled()
+
+
+def _conjunctive_sets(
     m1: MassFunction, m2: MassFunction
 ) -> tuple[dict[FocalElement, Numeric], Numeric]:
-    """Unnormalized conjunctive combination.
-
-    Returns ``(masses, kappa)`` where *masses* maps non-empty intersections
-    to their pooled mass and *kappa* is the mass that fell on the empty
-    set (the conflict between the sources).
-    """
-    _merged_frame(m1, m2)  # validates frame agreement
+    """The frozenset-path conjunctive loop (fallback and reference)."""
     pooled: dict[FocalElement, Numeric] = {}
     kappa: Numeric = Fraction(0)
     for x, mass_x in m1.items():
@@ -95,6 +123,32 @@ def conjunctive(
             else:
                 pooled[meet] = product
     return pooled, kappa
+
+
+def conjunctive(
+    m1: MassFunction, m2: MassFunction
+) -> tuple[dict[FocalElement, Numeric], Numeric]:
+    """Unnormalized conjunctive combination.
+
+    Returns ``(masses, kappa)`` where *masses* maps non-empty intersections
+    to their pooled mass and *kappa* is the mass that fell on the empty
+    set (the conflict between the sources).
+    """
+    _merged_frame(m1, m2)  # validates frame agreement
+    pair = _kernel_pair(m1, m2)
+    if pair is not None:
+        KERNEL_STATS.kernel_combinations += 1
+        pooled_masks, kappa = conjunctive_compiled(*pair)
+        element_of = pair[0].interned.element_of
+        return (
+            {
+                element_of(mask): value
+                for mask, value in pooled_masks.items()
+            },
+            kappa,
+        )
+    KERNEL_STATS.fallback_combinations += 1
+    return _conjunctive_sets(m1, m2)
 
 
 def conflict(m1: MassFunction, m2: MassFunction) -> Numeric:
@@ -120,6 +174,35 @@ def weight_of_conflict(m1: MassFunction, m2: MassFunction) -> float:
     return -math.log(1.0 - float(kappa))
 
 
+def combine_with_conflict(
+    m1: MassFunction, m2: MassFunction
+) -> tuple[MassFunction | None, Numeric]:
+    """Dempster's rule returning ``(result, kappa)``; ``None`` on total
+    conflict instead of raising.
+
+    This is the fold step the integration layers (extended union, tuple
+    merging, streaming) use: on the kernel path the returned mass
+    function stays compiled, so a chain of combinations never decodes or
+    re-interns intermediate states.
+    """
+    frame = _merged_frame(m1, m2)
+    pair = _kernel_pair(m1, m2)
+    if pair is not None:
+        KERNEL_STATS.kernel_combinations += 1
+        compiled, kappa = combine_compiled(*pair)
+        if compiled is None:
+            return None, kappa
+        return MassFunction._from_compiled(compiled), kappa
+    KERNEL_STATS.fallback_combinations += 1
+    pooled, kappa = _conjunctive_sets(m1, m2)
+    if not pooled:
+        return None, kappa
+    if kappa:
+        remaining = 1 - kappa
+        pooled = {element: value / remaining for element, value in pooled.items()}
+    return MassFunction(pooled, frame), kappa
+
+
 def combine(m1: MassFunction, m2: MassFunction) -> MassFunction:
     """Dempster's rule of combination (normalized), ``m1 (+) m2``.
 
@@ -135,15 +218,10 @@ def combine(m1: MassFunction, m2: MassFunction) -> MassFunction:
     TotalConflictError
         When no focal elements intersect (``kappa = 1``).
     """
-    frame = _merged_frame(m1, m2)
-    pooled, kappa = conjunctive(m1, m2)
-    if not pooled:
+    combined, _ = combine_with_conflict(m1, m2)
+    if combined is None:
         raise TotalConflictError()
-    if kappa == 0:
-        return MassFunction(pooled, frame)
-    remaining = 1 - kappa
-    normalized = {element: value / remaining for element, value in pooled.items()}
-    return MassFunction(normalized, frame)
+    return combined
 
 
 def combine_all(masses: Iterable[MassFunction]) -> MassFunction:
@@ -172,6 +250,11 @@ def disjunctive(m1: MassFunction, m2: MassFunction) -> MassFunction:
     the paper, exposed for the baseline comparison benchmarks.
     """
     frame = _merged_frame(m1, m2)
+    pair = _kernel_pair(m1, m2)
+    if pair is not None:
+        KERNEL_STATS.kernel_combinations += 1
+        return MassFunction._from_compiled(disjunctive_compiled(*pair))
+    KERNEL_STATS.fallback_combinations += 1
     pooled: dict[FocalElement, Numeric] = {}
     for x, mass_x in m1.items():
         for y, mass_y in m2.items():

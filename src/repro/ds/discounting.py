@@ -18,11 +18,16 @@ from fractions import Fraction
 
 from repro.errors import MassFunctionError
 from repro.ds.frame import OMEGA, FocalElement, is_omega
+from repro.ds.kernel import discount_compiled, kernel_enabled
 from repro.ds.mass import MassFunction, Numeric, coerce_mass_value
 
 
 def discount(m: MassFunction, reliability: object) -> MassFunction:
     """Discount *m* by the given source *reliability*.
+
+    Runs on the compiled evidence kernel when *m* carries an enumerated
+    frame (see :mod:`repro.ds.kernel`), so the streaming engine's
+    per-source re-discounting keeps its states compiled.
 
     >>> from repro.ds import MassFunction
     >>> m = MassFunction({"ex": 1})
@@ -35,6 +40,8 @@ def discount(m: MassFunction, reliability: object) -> MassFunction:
         raise MassFunctionError(f"reliability must lie in [0, 1], got {r!r}")
     if r == 1:
         return m
+    if kernel_enabled() and m.frame is not None:
+        return MassFunction._from_compiled(discount_compiled(m.compiled(), r))
     discounted: dict[FocalElement, Numeric] = {}
     ignorance: Numeric = 1 - r
     for element, value in m.items():

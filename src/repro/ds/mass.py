@@ -58,6 +58,31 @@ def coerce_mass_value(value: object) -> Numeric:
     raise MassFunctionError(f"mass value must be numeric, got {value!r}")
 
 
+def validate_mass_total(values) -> None:
+    """Check that masses sum to one (exactly, or within float tolerance).
+
+    The single total-mass check of the library: the ``MassFunction``
+    constructor and the compiled evidence kernel
+    (:mod:`repro.ds.kernel`) both validate through it, so the
+    ``FLOAT_SUM_TOLERANCE`` policy lives in exactly one place.
+    """
+    values = list(values)
+    if not values:
+        raise MassFunctionError("a mass function needs at least one focal element")
+    total = sum(values)
+    if all(isinstance(value, Fraction) for value in values):
+        if total != 1:
+            raise MassFunctionError(f"masses must sum to 1, got {total}")
+    else:
+        if not math.isclose(
+            float(total),
+            1.0,
+            rel_tol=FLOAT_SUM_TOLERANCE,
+            abs_tol=FLOAT_SUM_TOLERANCE,
+        ):
+            raise MassFunctionError(f"masses must sum to 1, got {float(total)!r}")
+
+
 def coerce_focal_element(element: object) -> FocalElement:
     """Normalize a user-supplied focal element.
 
@@ -108,7 +133,7 @@ class MassFunction:
     Fraction(1, 6)
     """
 
-    __slots__ = ("_masses", "_frame")
+    __slots__ = ("_masses", "_frame", "_compiled")
 
     def __init__(
         self,
@@ -132,6 +157,7 @@ class MassFunction:
         _validate_total(cleaned)
         self._masses = cleaned
         self._frame = frame
+        self._compiled = None
 
     # -- constructors -----------------------------------------------------
 
@@ -197,6 +223,52 @@ class MassFunction:
         """All mass on one (possibly non-singleton) set of values."""
         return cls({coerce_focal_element(values): Fraction(1)}, frame)
 
+    # -- the compiled kernel form (see repro.ds.kernel) --------------------
+
+    @classmethod
+    def _from_compiled(cls, compiled) -> "MassFunction":
+        """Wrap a kernel :class:`~repro.ds.kernel.CompiledMass` lazily.
+
+        The frozenset dict is only materialized on first access, so a
+        chain of kernel combinations (the integration fold, the stream
+        engine's per-entity state) never decodes intermediates.  The
+        compiled values are already validated by the kernel operation
+        that produced them.
+        """
+        self = object.__new__(cls)
+        self._masses = None
+        self._frame = compiled.interned.frame
+        self._compiled = compiled
+        return self
+
+    @property
+    def is_compiled(self) -> bool:
+        """``True`` when the compiled kernel form is attached.
+
+        Compilation happens lazily, on the first operation (combination,
+        belief query, discounting) that runs while an enumerated frame
+        is attached; mass functions over unenumerable domains are never
+        compiled and always use the symbolic frozenset path.
+        """
+        return self._compiled is not None
+
+    def compiled(self):
+        """The kernel :class:`~repro.ds.kernel.CompiledMass`, compiling
+        lazily; ``None`` when no enumerated frame is attached."""
+        if self._compiled is None:
+            if self._frame is None:
+                return None
+            from repro.ds.kernel import compile_mass_function
+
+            self._compiled = compile_mass_function(self)
+        return self._compiled
+
+    def _mass_dict(self) -> dict:
+        """The frozenset-keyed dict, decoded from the kernel on demand."""
+        if self._masses is None:
+            self._masses = self._compiled.to_mass_dict()
+        return self._masses
+
     # -- basic accessors ---------------------------------------------------
 
     @property
@@ -206,19 +278,20 @@ class MassFunction:
 
     def focal_elements(self) -> tuple[FocalElement, ...]:
         """The focal elements in deterministic order (OMEGA last)."""
-        return tuple(sorted(self._masses, key=_focal_sort_key))
+        return tuple(sorted(self._mass_dict(), key=_focal_sort_key))
 
     def items(self) -> Iterator[tuple[FocalElement, Numeric]]:
         """Iterate ``(focal element, mass)`` pairs in deterministic order."""
+        masses = self._mass_dict()
         for element in self.focal_elements():
-            yield element, self._masses[element]
+            yield element, masses[element]
 
     def mass(self, element: object) -> Numeric:
         """The mass of *element* (zero when it is not focal)."""
         key = coerce_focal_element(element)
         if self._frame is not None and not is_omega(key):
             key = self._frame.canonicalize(key)
-        return self._masses.get(key, Fraction(0))
+        return self._mass_dict().get(key, Fraction(0))
 
     def __getitem__(self, element: object) -> Numeric:
         return self.mass(element)
@@ -227,7 +300,7 @@ class MassFunction:
         return self.mass(element) != 0
 
     def __len__(self) -> int:
-        return len(self._masses)
+        return len(self._mass_dict())
 
     def __iter__(self) -> Iterator[FocalElement]:
         return iter(self.focal_elements())
@@ -236,24 +309,24 @@ class MassFunction:
 
     def is_exact(self) -> bool:
         """``True`` when every mass is a :class:`Fraction`."""
-        return all(isinstance(value, Fraction) for value in self._masses.values())
+        return all(isinstance(value, Fraction) for value in self._mass_dict().values())
 
     def is_vacuous(self) -> bool:
         """``True`` when all mass sits on the whole frame (ignorance)."""
-        return set(self._masses) == {OMEGA}
+        return set(self._mass_dict()) == {OMEGA}
 
     def is_definite(self) -> bool:
         """``True`` when all mass sits on one singleton value."""
-        if len(self._masses) != 1:
+        if len(self._mass_dict()) != 1:
             return False
-        (element,) = self._masses
+        (element,) = self._mass_dict()
         return not is_omega(element) and len(element) == 1
 
     def definite_value(self):
         """The single certain value; raises unless :meth:`is_definite`."""
         if not self.is_definite():
             raise MassFunctionError(f"{self!r} is not a definite value")
-        (element,) = self._masses
+        (element,) = self._mass_dict()
         (value,) = element
         return value
 
@@ -261,14 +334,14 @@ class MassFunction:
         """``True`` when every focal element is a singleton (a probability
         distribution in disguise)."""
         return all(
-            not is_omega(element) and len(element) == 1 for element in self._masses
+            not is_omega(element) and len(element) == 1 for element in self._mass_dict()
         )
 
     def is_consonant(self) -> bool:
         """``True`` when the focal elements form a nested chain (possibility
         distribution)."""
         concrete = sorted(
-            (element for element in self._masses if not is_omega(element)), key=len
+            (element for element in self._mass_dict() if not is_omega(element)), key=len
         )
         for smaller, larger in zip(concrete, concrete[1:]):
             if not smaller <= larger:
@@ -277,18 +350,18 @@ class MassFunction:
 
     def core(self) -> FocalElement:
         """The union of all focal elements (OMEGA when ignorance is focal)."""
-        if OMEGA in self._masses:
+        if OMEGA in self._mass_dict():
             if self._frame is not None:
                 return frozenset(self._frame.values)
             return OMEGA
         union: frozenset = frozenset()
-        for element in self._masses:
+        for element in self._mass_dict():
             union = union | element
         return union
 
     def ignorance(self) -> Numeric:
         """The mass assigned to the whole frame (nonbelief)."""
-        return self._masses.get(OMEGA, Fraction(0))
+        return self._mass_dict().get(OMEGA, Fraction(0))
 
     # -- belief measures (delegating to repro.ds.belief) --------------------
 
@@ -317,7 +390,7 @@ class MassFunction:
     def to_float(self) -> "MassFunction":
         """A copy with every mass converted to ``float``."""
         return MassFunction(
-            {element: float(value) for element, value in self._masses.items()},
+            {element: float(value) for element, value in self._mass_dict().items()},
             self._frame,
         )
 
@@ -330,14 +403,14 @@ class MassFunction:
         return MassFunction(
             {
                 element: Fraction(str(value)) if isinstance(value, float) else value
-                for element, value in self._masses.items()
+                for element, value in self._mass_dict().items()
             },
             self._frame,
         )
 
     def with_frame(self, frame: FrameOfDiscernment | None) -> "MassFunction":
         """A copy attached to (and validated against) *frame*."""
-        return MassFunction(dict(self._masses), frame)
+        return MassFunction(dict(self._mass_dict()), frame)
 
     def map_elements(self, mapping) -> "MassFunction":
         """Translate focal elements through a value mapping.
@@ -350,7 +423,7 @@ class MassFunction:
         collide after mapping are summed.
         """
         translated: dict[FocalElement, Numeric] = {}
-        for element, value in self._masses.items():
+        for element, value in self._mass_dict().items():
             if is_omega(element):
                 new_element: FocalElement = OMEGA
             else:
@@ -384,14 +457,20 @@ class MassFunction:
     def _resolved_masses(self) -> dict:
         """Masses with OMEGA resolved to the concrete frame when known,
         so that equality is insensitive to OMEGA canonicalization."""
-        if self._frame is None or OMEGA not in self._masses:
-            return self._masses
-        resolved = dict(self._masses)
+        if self._frame is None or OMEGA not in self._mass_dict():
+            return self._mass_dict()
+        resolved = dict(self._mass_dict())
         resolved[frozenset(self._frame.values)] = resolved.pop(OMEGA)
         return resolved
 
     def __hash__(self) -> int:
         return hash(frozenset(self._resolved_masses().items()))
+
+    def __reduce__(self):
+        # Pickle/deepcopy through the constructor: the compiled kernel
+        # form (interned frame, masks) is a cache, re-derived on demand,
+        # and must not be duplicated into the serialized state.
+        return (MassFunction, (self._mass_dict(), self._frame))
 
     def __repr__(self) -> str:
         from repro.ds.notation import format_evidence
@@ -401,12 +480,4 @@ class MassFunction:
 
 def _validate_total(masses: dict) -> None:
     """Check that masses sum to one (exactly, or within float tolerance)."""
-    if not masses:
-        raise MassFunctionError("a mass function needs at least one focal element")
-    total = sum(masses.values())
-    if all(isinstance(value, Fraction) for value in masses.values()):
-        if total != 1:
-            raise MassFunctionError(f"masses must sum to 1, got {total}")
-    else:
-        if not math.isclose(float(total), 1.0, rel_tol=FLOAT_SUM_TOLERANCE, abs_tol=FLOAT_SUM_TOLERANCE):
-            raise MassFunctionError(f"masses must sum to 1, got {float(total)!r}")
+    validate_mass_total(masses.values())

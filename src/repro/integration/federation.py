@@ -16,6 +16,12 @@ agree).  :class:`Federation` packages that fold:
   accumulator through every step); by associativity the result equals
   the left-to-right fold on the conflict-free path, which the
   permutation tests verify.
+
+Evidence over enumerated domains combines on the compact kernel
+(:mod:`repro.ds.kernel`): each merge step's output carries its compiled
+state into the next layer of the tree, so an n-way integration compiles
+each source's evidence once and runs every subsequent combination on
+bitmasks.
 """
 
 from __future__ import annotations

@@ -14,6 +14,13 @@ Tuple *membership* is always pooled with Dempster's rule -- membership is
 evidence about existence, and both sources supplied some.  When every
 attribute uses the evidential method and matching is by key, merging
 coincides with the extended union exactly (verified by the test-suite).
+
+Evidential combinations ride the compact evidence kernel
+(:mod:`repro.ds.kernel`) whenever the attribute's domain is enumerated:
+the merged evidence keeps its compiled (bitmask) state, so the n-ary
+folds built on :meth:`TupleMerger.merge_pair` / :meth:`merge_entity`
+(the federation's tree fold, the stream engine's per-entity cache)
+never re-derive masks between combinations.
 """
 
 from __future__ import annotations

@@ -50,7 +50,13 @@ class EvidenceSet:
         if isinstance(mass, str):
             mass_function = parse_evidence(mass, frame)
         elif isinstance(mass, MassFunction):
-            mass_function = mass.with_frame(frame) if frame is not None else mass
+            if frame is None or mass.frame == frame:
+                # Already attached to (and validated against) this very
+                # frame: reuse as-is, preserving the compiled kernel
+                # state across integration folds.
+                mass_function = mass
+            else:
+                mass_function = mass.with_frame(frame)
         elif isinstance(mass, Mapping):
             mass_function = MassFunction(mass, frame)
         else:
@@ -132,6 +138,23 @@ class EvidenceSet:
     def ignorance(self) -> Numeric:
         """Mass on the whole domain (nonbelief)."""
         return self._mass.ignorance()
+
+    @property
+    def is_compiled(self) -> bool:
+        """``True`` when the mass function carries its compiled kernel
+        form (see :mod:`repro.ds.kernel`)."""
+        return self._mass.is_compiled
+
+    def compile(self) -> "EvidenceSet":
+        """Eagerly compile to the kernel form; returns ``self``.
+
+        A no-op for unenumerable domains (no frame to intern), and for
+        evidence that is already compiled.  Loading a database compiles
+        every enumerated evidence set up front, so queries and merges
+        start on the fast path immediately.
+        """
+        self._mass.compiled()
+        return self
 
     def is_definite(self) -> bool:
         """``True`` when the value is certain."""

@@ -170,9 +170,16 @@ def _evidence_to_json(evidence: EvidenceSet) -> dict:
 
 
 def _evidence_from_json(document: dict, domain) -> EvidenceSet:
-    """Deserialize one evidence set (either encoding)."""
+    """Deserialize one evidence set (either encoding).
+
+    Evidence over an enumerated domain is compiled to the kernel form
+    (:mod:`repro.ds.kernel`) as it is loaded: the schema's domains
+    deserialize to equal frames, which intern to one shared bit
+    assignment per attribute, so a reloaded database is immediately
+    back on the compiled fast path for queries and merges.
+    """
     if "evidence" in document:
-        return EvidenceSet.parse(document["evidence"], domain)
+        return EvidenceSet.parse(document["evidence"], domain).compile()
     masses: dict = {}
     for item in document["evidence_items"]:
         rendered = item["element"]
@@ -182,7 +189,7 @@ def _evidence_from_json(document: dict, domain) -> EvidenceSet:
             element = frozenset(parse_atom(member) for member in rendered)
         masses[element] = masses.get(element, 0.0) + item["mass"]
     frame = domain.frame() if domain is not None and domain.is_enumerable else None
-    return EvidenceSet(MassFunction(masses, frame), domain)
+    return EvidenceSet(MassFunction(masses, frame), domain).compile()
 
 
 # -- relations -----------------------------------------------------------------

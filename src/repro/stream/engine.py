@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.ds.kernel import STATS as KERNEL_STATS
 from repro.errors import StreamError, TotalConflictError
 from repro.integration.merging import MergeReport, TupleMerger
 from repro.integration.pipeline import coerce_reliability, discount_tuple
@@ -46,7 +47,13 @@ from repro.stream.state import Contribution, MergeState
 
 @dataclass
 class StreamStats:
-    """Counters a :class:`StreamEngine` accumulates."""
+    """Counters a :class:`StreamEngine` accumulates.
+
+    ``kernel_combinations`` / ``fallback_combinations`` attribute each
+    evidence combination this engine performed to the compiled-kernel or
+    frozenset path (see :mod:`repro.ds.kernel`); attributes over
+    unenumerable domains account for the fallback share.
+    """
 
     upserts: int = 0
     retractions: int = 0
@@ -55,6 +62,8 @@ class StreamStats:
     publishes: int = 0
     combinations: int = 0
     refolds: int = 0
+    kernel_combinations: int = 0
+    fallback_combinations: int = 0
 
     @property
     def events(self) -> int:
@@ -68,7 +77,9 @@ class StreamStats:
             f"{self.retractions} retractions, "
             f"{self.reliability_updates} reliability updates), "
             f"{self.flushes} flushes, {self.combinations} combinations, "
-            f"{self.refolds} refolds"
+            f"{self.refolds} refolds; evidence combinations: "
+            f"{self.kernel_combinations} kernel-path, "
+            f"{self.fallback_combinations} fallback"
         )
 
 
@@ -298,10 +309,7 @@ class StreamEngine:
                 # wedging the watermark: under "raise" the conflict must
                 # surface here, with the event fully rolled back.
                 try:
-                    self._stats.combinations += entity.refold(
-                        self._merger, self._schema, tuple(self._sources)
-                    )
-                    self._stats.refolds += 1
+                    self._refold(entity, tuple(self._sources))
                 except TotalConflictError:
                     self._rollback_upsert(
                         entity, state, source, key, prior, auto_registered
@@ -381,10 +389,7 @@ class StreamEngine:
             try:
                 for key in state.tuples:
                     entity = self._state.get(key)
-                    self._stats.combinations += entity.refold(
-                        self._merger, self._schema, order
-                    )
-                    self._stats.refolds += 1
+                    self._refold(entity, order)
                     refolded.append(key)
             except TotalConflictError:
                 # Revert entirely: reliability, discounts, and the
@@ -393,8 +398,8 @@ class StreamEngine:
                 state.reliability = old
                 rediscount(old)
                 for key in refolded:
-                    self._stats.combinations += self._state.get(key).refold(
-                        self._merger, self._schema, order
+                    self._refold(
+                        self._state.get(key), order, count_refold=False
                     )
                 raise
         self._seq += 1
@@ -415,10 +420,7 @@ class StreamEngine:
         for key in self._touched:
             entity = self._state.get(key)
             if entity is not None and entity.dirty:
-                self._stats.combinations += entity.refold(
-                    self._merger, self._schema, order
-                )
-                self._stats.refolds += 1
+                self._refold(entity, order)
         for key in self._touched:
             entity = self._state.get(key)
             if entity is not None:
@@ -475,6 +477,30 @@ class StreamEngine:
 
     # -- internals ----------------------------------------------------------
 
+    def _refold(self, entity, order, count_refold: bool = True) -> None:
+        """Refold one entity, attributing evidence-combination counts.
+
+        The kernel-vs-fallback split comes from diffing the process-wide
+        :data:`repro.ds.kernel.STATS` counters around the refold, which
+        attributes exactly this engine's combinations as long as the
+        engine is driven from one thread (the engine's general
+        constraint).  Mirrors the prior accounting on the error path: a
+        propagating :class:`TotalConflictError` leaves the tuple-level
+        counters untouched.
+        """
+        baseline = KERNEL_STATS.snapshot()
+        combinations = entity.refold(self._merger, self._schema, order)
+        self._stats.combinations += combinations
+        self._attribute_kernel_usage(baseline)
+        if count_refold:
+            self._stats.refolds += 1
+
+    def _attribute_kernel_usage(self, baseline) -> None:
+        """Add the kernel/fallback counter deltas since *baseline*."""
+        delta = KERNEL_STATS.since(baseline)
+        self._stats.kernel_combinations += delta.kernel_combinations
+        self._stats.fallback_combinations += delta.fallback_combinations
+
     def _rollback_upsert(
         self, entity, state, source, key, prior, auto_registered
     ) -> None:
@@ -503,10 +529,12 @@ class StreamEngine:
             entity.combined = discounted
             return
         report = MergeReport()
+        baseline = KERNEL_STATS.snapshot()
         merged = self._merger.merge_pair(
             entity.combined, discounted, self._schema, report
         )
         self._stats.combinations += 1
+        self._attribute_kernel_usage(baseline)
         entity.fold_conflicts.extend(report.conflicts)
         if merged is None:
             entity.combined = None

@@ -17,6 +17,12 @@ Dempster's rule: the integrated value of an entity is the fold of the
 entity key); :class:`Contribution` caches each source's tuple both raw
 and discounted at the reliability it was discounted with, so reliability
 updates can re-discount lazily.
+
+The cached tuples hold their evidence in compiled kernel form
+(:mod:`repro.ds.kernel`) for enumerated domains: `combined` is the
+output of kernel combinations (still compiled), and discounting
+preserves compilation, so the per-arrival fast path runs entirely on
+bitmask evidence without re-interning anything.
 """
 
 from __future__ import annotations

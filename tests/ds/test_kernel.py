@@ -1,0 +1,334 @@
+"""The compact evidence kernel: equivalence with the frozenset path.
+
+The kernel (:mod:`repro.ds.kernel`) is a pure representation change --
+interned frames, bitmask focal elements -- so every operation must
+return *identical* results to the symbolic frozenset path: exact
+Fractions exactly equal, floats bit-for-bit equal (both paths visit
+pairs in the canonical focal order, so even round-off matches).  The
+Hypothesis properties here drive random frames, random mass functions
+(including OMEGA focal elements and total-conflict pairs) through
+combine / conjunctive / disjunctive / discount / bel / pls on both
+paths and assert equality.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ds import (
+    MassFunction,
+    OMEGA,
+    combine,
+    combine_with_conflict,
+    compile_mass_function,
+    conjunctive,
+    disjunctive,
+    discount,
+    intern_frame,
+    kernel_disabled,
+    kernel_enabled,
+    kernel_stats,
+)
+from repro.ds.belief import belief, commonality, plausibility, uncertainty_interval
+from repro.ds.frame import FrameOfDiscernment
+from repro.ds.kernel import CompiledMass, InternedFrame
+from repro.errors import DomainError, MassFunctionError, TotalConflictError
+
+
+# -- strategies ---------------------------------------------------------------
+
+VALUE_POOL = [f"v{i:02d}" for i in range(16)]
+
+
+@st.composite
+def frames(draw):
+    size = draw(st.integers(min_value=2, max_value=9))
+    return FrameOfDiscernment("hyp", VALUE_POOL[:size])
+
+
+@st.composite
+def mass_functions(draw, frame, exact=True):
+    """A random mass function over *frame*, possibly with OMEGA focal."""
+    values = sorted(frame.values)
+    n_focal = draw(st.integers(min_value=1, max_value=5))
+    elements = []
+    if draw(st.booleans()):
+        elements.append(OMEGA)
+    while len(elements) < n_focal:
+        members = draw(
+            st.frozensets(
+                st.sampled_from(values), min_size=1, max_size=len(values)
+            )
+        )
+        if members not in elements:
+            elements.append(members)
+    weights = [
+        draw(st.integers(min_value=1, max_value=9)) for _ in elements
+    ]
+    total = sum(weights)
+    if exact:
+        masses = {e: Fraction(w, total) for e, w in zip(elements, weights)}
+    else:
+        masses = {e: w / total for e, w in zip(elements, weights)}
+    return MassFunction(masses, frame)
+
+
+@st.composite
+def framed_pairs(draw, exact=True):
+    frame = draw(frames())
+    return (
+        draw(mass_functions(frame, exact=exact)),
+        draw(mass_functions(frame, exact=exact)),
+    )
+
+
+def both_paths(operation):
+    """Run *operation* on the kernel path and the frozenset path.
+
+    Fresh inputs are built by each call of *operation* via the factory
+    argument pattern below, so no compiled state leaks between runs;
+    exceptions are captured so raising behaviour can be compared too.
+    """
+
+    def run():
+        try:
+            return ("ok", operation())
+        except TotalConflictError:
+            return ("total-conflict", None)
+        except MassFunctionError as exc:
+            return ("mass-error", str(exc))
+
+    kernel_result = run()
+    with kernel_disabled():
+        fallback_result = run()
+    return kernel_result, fallback_result
+
+
+def assert_same_mass(a: MassFunction, b: MassFunction):
+    assert dict(a.items()) == dict(b.items())
+    # Exactness class must match too: a Fraction must not degrade.
+    for (_, va), (_, vb) in zip(a.items(), b.items()):
+        assert type(va) is type(vb)
+
+
+# -- equivalence properties ---------------------------------------------------
+
+
+class TestPathEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(framed_pairs(exact=True))
+    def test_combine_exact(self, pair):
+        m1, m2 = pair
+        kernel_out, fallback_out = both_paths(lambda: combine(m1, m2))
+        assert kernel_out[0] == fallback_out[0]
+        if kernel_out[0] == "ok":
+            assert kernel_out[1].is_compiled
+            assert_same_mass(kernel_out[1], fallback_out[1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(framed_pairs(exact=False))
+    def test_combine_float_bit_exact(self, pair):
+        """Floats too: both paths add products in the same order."""
+        m1, m2 = pair
+        kernel_out, fallback_out = both_paths(lambda: combine(m1, m2))
+        assert kernel_out[0] == fallback_out[0]
+        if kernel_out[0] == "ok":
+            assert_same_mass(kernel_out[1], fallback_out[1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(framed_pairs(exact=True))
+    def test_conjunctive(self, pair):
+        m1, m2 = pair
+        (_, (pooled_k, kappa_k)), (_, (pooled_f, kappa_f)) = both_paths(
+            lambda: conjunctive(m1, m2)
+        )
+        assert pooled_k == pooled_f
+        assert kappa_k == kappa_f
+
+    @settings(max_examples=50, deadline=None)
+    @given(framed_pairs(exact=True))
+    def test_disjunctive(self, pair):
+        m1, m2 = pair
+        kernel_out, fallback_out = both_paths(lambda: disjunctive(m1, m2))
+        assert_same_mass(kernel_out[1], fallback_out[1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        framed_pairs(exact=True),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_discount(self, pair, tenths):
+        m, _ = pair
+        reliability = Fraction(tenths, 10)
+        kernel_out, fallback_out = both_paths(
+            lambda: discount(m, reliability)
+        )
+        assert_same_mass(kernel_out[1], fallback_out[1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(frames().flatmap(
+        lambda frame: st.tuples(
+            mass_functions(frame),
+            st.one_of(
+                st.just(OMEGA),
+                st.frozensets(
+                    st.sampled_from(sorted(frame.values)),
+                    min_size=1,
+                    max_size=len(frame.values),
+                ),
+            ),
+        )
+    ))
+    def test_bel_pls_commonality(self, case):
+        m, query = case
+        for measure in (belief, plausibility, commonality):
+            kernel_out, fallback_out = both_paths(lambda: measure(m, query))
+            assert kernel_out == fallback_out
+        kernel_out, fallback_out = both_paths(
+            lambda: uncertainty_interval(m, query)
+        )
+        assert kernel_out == fallback_out
+
+    def test_total_conflict_both_paths(self):
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m1 = MassFunction({"a": 1}, frame)
+        m2 = MassFunction({"b": 1}, frame)
+        kernel_out, fallback_out = both_paths(lambda: combine(m1, m2))
+        assert kernel_out[0] == fallback_out[0] == "total-conflict"
+        combined, kappa = combine_with_conflict(m1, m2)
+        assert combined is None and kappa == 1
+
+    def test_omega_only_is_identity(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c"])
+        vacuous = MassFunction({OMEGA: 1}, frame)
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        combined = combine(m, vacuous)
+        assert_same_mass(combined, m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(framed_pairs(exact=True), framed_pairs(exact=True))
+    def test_chained_combination_stays_compiled(self, pair_a, pair_b):
+        """A fold over compiled states equals the frozenset fold."""
+        sources = [*pair_a, *pair_b]
+
+        def fold():
+            result = sources[0]
+            for m in sources[1:]:
+                result = combine(result, m)
+            return result
+
+        kernel_out, fallback_out = both_paths(fold)
+        assert kernel_out[0] == fallback_out[0]
+        if kernel_out[0] == "ok":
+            assert kernel_out[1].is_compiled
+            assert_same_mass(kernel_out[1], fallback_out[1])
+
+
+# -- compilation mechanics ----------------------------------------------------
+
+
+class TestCompilation:
+    def test_lazy_compile_on_demand(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c"])
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        assert not m.is_compiled
+        compiled = m.compiled()
+        assert m.is_compiled and isinstance(compiled, CompiledMass)
+        assert m.compiled() is compiled  # cached
+
+    def test_no_frame_never_compiles(self):
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"})
+        assert m.compiled() is None
+        assert not m.is_compiled
+
+    def test_interning_shares_bit_assignment(self):
+        f1 = FrameOfDiscernment("f", ["a", "b", "c"])
+        f2 = FrameOfDiscernment("f", ["c", "b", "a"])
+        assert intern_frame(f1) is intern_frame(f2)
+
+    def test_masks_round_trip(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c", "d"])
+        interned = intern_frame(frame)
+        assert isinstance(interned, InternedFrame)
+        for element in (frozenset({"a"}), frozenset({"b", "d"}), OMEGA):
+            mask = interned.mask_of(element)
+            assert interned.element_of(mask) == element
+        # The full concrete set canonicalizes to OMEGA, as frames do.
+        assert interned.mask_of(frame.values) == interned.omega_mask
+        assert interned.element_of(interned.omega_mask) is OMEGA
+
+    def test_mask_of_rejects_out_of_frame_values(self):
+        interned = intern_frame(FrameOfDiscernment("f", ["a", "b"]))
+        with pytest.raises(DomainError):
+            interned.mask_of(frozenset({"zzz"}))
+
+    def test_compiled_result_is_lazy_but_faithful(self):
+        frame = FrameOfDiscernment("f", ["a", "b", "c"])
+        m1 = MassFunction({"a": "1/2", ("a", "b"): "1/4", OMEGA: "1/4"}, frame)
+        m2 = MassFunction({("a", "c"): "2/3", OMEGA: "1/3"}, frame)
+        combined = combine(m1, m2)
+        assert combined.is_compiled
+        assert combined.frame == frame
+        assert combined[{"a"}] == Fraction(2, 3)
+        assert sum(value for _, value in combined.items()) == 1
+
+    def test_compilation_reuses_mass_function_coercion(self):
+        """Satellite: no re-implemented coercion -- strings, ints and
+        Fractions flow through coerce_mass_value before compilation."""
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = MassFunction({"a": "1/3", "b": Fraction(1, 3), ("a", "b"): "1/3"}, frame)
+        compiled = compile_mass_function(m)
+        assert all(isinstance(v, Fraction) for v in compiled.values)
+        assert compiled.is_exact()
+
+    def test_mixed_fraction_float_masses_compile_and_combine(self):
+        """Satellite regression: mixed Fraction/float inputs behave
+        identically on both paths (tolerance from FLOAT_SUM_TOLERANCE)."""
+        frame = FrameOfDiscernment("f", ["a", "b", "c"])
+        mixed = MassFunction(
+            {"a": Fraction(1, 2), ("b", "c"): 0.25, OMEGA: 0.25}, frame
+        )
+        other = MassFunction({"a": 0.5, OMEGA: Fraction(1, 2)}, frame)
+        kernel_out, fallback_out = both_paths(lambda: combine(mixed, other))
+        assert kernel_out[0] == fallback_out[0] == "ok"
+        assert_same_mass(kernel_out[1], fallback_out[1])
+
+    def test_float_sum_tolerance_shared_with_kernel(self):
+        """A drifted-but-in-tolerance float total passes both paths; a
+        genuinely broken one fails both with the same error."""
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        within = MassFunction({"a": 0.5 + 4e-10, OMEGA: 0.5}, frame)
+        assert within.compiled() is not None
+        with pytest.raises(MassFunctionError):
+            MassFunction({"a": 0.5, OMEGA: 0.4}, frame)
+
+    def test_pickle_drops_compiled_cache(self):
+        import pickle
+
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        m.compiled()
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone == m
+        assert not clone.is_compiled
+        assert clone.compiled() is not None
+
+    def test_kernel_disabled_context(self):
+        assert kernel_enabled()
+        with kernel_disabled():
+            assert not kernel_enabled()
+        assert kernel_enabled()
+
+    def test_stats_count_paths(self):
+        stats = kernel_stats()
+        frame = FrameOfDiscernment("f", ["a", "b"])
+        framed = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+        bare = MassFunction({"a": "1/2", OMEGA: "1/2"})
+        before = stats.snapshot()
+        combine(framed, framed)
+        combine(bare, bare)
+        delta = stats.since(before)
+        assert delta.kernel_combinations == 1
+        assert delta.fallback_combinations == 1
+        assert "kernel" in stats.summary()

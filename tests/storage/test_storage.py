@@ -133,6 +133,27 @@ class TestRelationSerialization:
         garden = recovered.get("garden")
         assert garden.evidence("rating").mass({"ex"}) == Fraction(1, 3)
 
+    def test_reloaded_evidence_stays_compiled(self):
+        """Enumerated evidence compiles eagerly on load, and every tuple
+        shares one interned frame per attribute (see repro.ds.kernel)."""
+        recovered = relation_from_json(relation_to_json(table_ra()))
+        interned = {
+            etuple.evidence("rating").mass_function.compiled().interned
+            for etuple in recovered
+        }
+        assert all(
+            etuple.evidence("rating").is_compiled for etuple in recovered
+        )
+        assert len(interned) == 1
+
+    def test_open_domain_evidence_loads_uncompiled(self):
+        """Unenumerable domains have no frame to intern; loading leaves
+        them on the symbolic path."""
+        recovered = relation_from_json(relation_to_json(table_ra()))
+        sample = next(iter(recovered))
+        assert not sample.evidence("street").is_compiled
+        assert sample.evidence("rating").is_compiled
+
     def test_version_checked(self):
         document = relation_to_json(table_ra())
         document["format_version"] = 99

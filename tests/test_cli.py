@@ -153,6 +153,8 @@ class TestRepl:
         assert "Scan RA" in output
         # The second run of the identical query is a result-cache hit.
         assert "1 result hits" in output
+        # :stats also reports the evidence-kernel path counters.
+        assert "kernel path" in output
 
     def test_tables_lists_catalog(self, demo_db, monkeypatch):
         status, output = self.run_repl(monkeypatch, demo_db, ":tables\n:quit\n")
@@ -193,6 +195,11 @@ class TestStream:
         assert "watermark 11" in output
         assert "6 tuples" in output
         assert "batch 1" in output and "batch 2" in output
+        # The throughput report splits combinations by evidence path:
+        # enumerated attributes (rating, speciality) ride the kernel,
+        # open text attributes account for the fallback share.
+        assert "on the kernel path" in output
+        assert "on the fallback path" in output
 
     def test_save_persists_integrated_relation(
         self, demo_db, events_file, tmp_path

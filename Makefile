@@ -1,18 +1,24 @@
 # Tier-1 verify and friends, each as one command.
 #
-#   make test          run the test suite (tier-1 gate)
-#   make bench         run the benchmark harness (timings + assertions)
-#   make bench-stream  incremental-vs-recompute ingestion benchmark
-#   make bench-kernel  kernel-vs-frozenset combination benchmark
-#   make lint          ruff check (skipped with a notice when ruff is absent)
+#   make test           run the test suite (tier-1 gate)
+#   make test-parallel  the same suite under a 4-worker thread executor
+#   make bench          run the benchmark harness (timings + assertions)
+#   make bench-stream   incremental-vs-recompute ingestion benchmark
+#   make bench-kernel   kernel-vs-frozenset combination benchmark
+#   make bench-parallel federation/stream scaling across worker counts
+#   make lint           ruff check (skipped with a notice when ruff is absent)
 
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test bench bench-stream bench-kernel lint quickstart
+.PHONY: test test-parallel bench bench-stream bench-kernel bench-parallel \
+	lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-parallel:
+	REPRO_EXECUTOR=thread REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
@@ -22,6 +28,9 @@ bench-stream:
 
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/bench_kernel_combination.py -q
+
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallel_integration.py -q -s
 
 lint:
 	@$(PYTHON) -m ruff check src tests benchmarks examples 2>/dev/null \

@@ -59,6 +59,7 @@ and are now thin wrappers over single-node expressions:
 from repro.errors import (
     CatalogError,
     DomainError,
+    ExecutionError,
     IntegrationError,
     MassFunctionError,
     MembershipError,
@@ -156,6 +157,7 @@ __all__ = [
     "QueryError",
     "ParseError",
     "PlanError",
+    "ExecutionError",
     "IntegrationError",
     "StreamError",
     "SerializationError",

@@ -21,16 +21,19 @@ Three subcommands, all operating on the JSON database format of
     caching :class:`repro.session.Session`: repeated queries hit the
     plan/result caches.  ``:explain Q`` prints the optimized plan,
     ``:stats`` the session counters plus the evidence-kernel path
-    counters (:mod:`repro.ds.kernel`), ``:tables`` the catalog, and
-    ``:quit`` (or EOF) exits.
+    counters (:mod:`repro.ds.kernel`) and the physical executor /
+    partition configuration and fan-out counters (:mod:`repro.exec`),
+    ``:tables`` the catalog, and ``:quit`` (or EOF) exits.
 
 ``repro stream DB EVENTS --schema REL``
     Replay a JSONL event file (see :mod:`repro.stream.connectors`)
     through a :class:`repro.stream.StreamEngine` using REL's schema,
     publish the integrated relation into the catalog, and report
     throughput, the kernel-vs-fallback combination split and the
-    per-batch changelog.  ``--save OUT`` persists the resulting
-    database, ``--show`` prints the integrated table.
+    per-batch changelog.  ``--workers N`` (and ``--executor``) fan the
+    flush re-folds out over a worker pool (:mod:`repro.exec`);
+    ``--save OUT`` persists the resulting database, ``--show`` prints
+    the integrated table.
 
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
@@ -135,6 +138,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="total-conflict policy (default: vacuous)",
     )
     stream.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan flush re-folds out over N workers (implies a thread "
+        "executor unless --executor says otherwise)",
+    )
+    stream.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="physical executor (default: REPRO_EXECUTOR or serial)",
+    )
+    stream.add_argument(
         "--save",
         metavar="OUT",
         help="write the database (with the integrated relation) to OUT",
@@ -237,9 +254,12 @@ def _command_repl(args: argparse.Namespace, out) -> int:
         try:
             if text == ":stats":
                 from repro.ds.kernel import kernel_stats
+                from repro.exec import current_config, exec_stats
 
                 print(session.stats().summary(), file=out)
                 print(kernel_stats().summary(), file=out)
+                print(current_config().describe(), file=out)
+                print(exec_stats().summary(), file=out)
             elif text == ":tables":
                 for relation in db:
                     keys = ", ".join(relation.schema.key_names)
@@ -263,9 +283,15 @@ def _command_repl(args: argparse.Namespace, out) -> int:
 def _command_stream(args: argparse.Namespace, out) -> int:
     import time
 
+    from repro.exec import configure, current_config, exec_stats
     from repro.integration.merging import TupleMerger
     from repro.stream import StreamEngine, read_events, replay
 
+    if args.executor is not None or args.workers is not None:
+        kind = args.executor
+        if kind is None and args.workers and args.workers > 1:
+            kind = "thread"
+        configure(executor=kind, workers=args.workers)
     db = load_database(args.database)
     schema = db.get(args.schema).schema
     engine = StreamEngine(
@@ -295,6 +321,7 @@ def _command_stream(args: argparse.Namespace, out) -> int:
         f"kernel path, {stats.fallback_combinations} on the fallback path",
         file=out,
     )
+    print(f"{current_config().describe()}; {exec_stats().summary()}", file=out)
     print(engine.changelog.summary(), file=out)
     if args.show:
         print(format_relation(engine.relation, style=args.style), file=out)

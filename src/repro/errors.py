@@ -11,7 +11,7 @@ The exceptions mirror the layers of the system:
   :class:`MembershipError`, :class:`RelationError`),
 * algebra layer (:class:`PredicateError`, :class:`OperationError`),
 * query layer (:class:`QueryError` and its lexing/parsing/planning
-  subclasses),
+  subclasses, plus :class:`ExecutionError` for the physical layer),
 * integration layer (:class:`IntegrationError`),
 * storage layer (:class:`SerializationError`, :class:`CatalogError`).
 """
@@ -131,6 +131,11 @@ class PlanError(QueryError):
     Typically raised when a statement references a relation or attribute
     that does not exist in the database catalog.
     """
+
+
+class ExecutionError(ReproError):
+    """The physical execution layer was misconfigured (unknown executor
+    kind, invalid worker or partition count)."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,403 @@
+"""Pluggable executors: how partitioned physical work is fanned out.
+
+The integration semantics of the paper are per-entity -- Dempster
+merges, selection revision, union/intersection all decompose over
+definite keys -- so the physical layer phrases its work as independent
+*partition tasks*.  An :class:`Executor` decides how those tasks run:
+
+* :class:`SerialExecutor` (the default) runs tasks inline, in order.
+  Results and pair order are bit-for-bit identical to the historical
+  single-loop code paths.
+* :class:`ThreadExecutor` fans tasks out over a thread pool.  Per-entity
+  work shares no mutable state, so the GIL-bound pool already overlaps
+  the interpreter-released portions (hashing, allocation) and keeps
+  results exact.
+* :class:`ProcessExecutor` fans tasks out over a ``fork`` process pool.
+  Tasks are *not* pickled -- the payload is published in a module global
+  and inherited by the forked children, so closures over plans,
+  predicates and thresholds work unchanged; only results cross the pipe
+  (every model object pickles: mass functions re-enter through their
+  constructor, see :meth:`repro.ds.mass.MassFunction.__reduce__`).
+  Platforms without ``fork`` fall back to inline execution.
+
+The active executor is process-global, chosen via :func:`configure` or
+the ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` / ``REPRO_PARTITIONS``
+environment variables, and read by every partition-aware call site
+through :func:`get_executor` / :func:`partition_count`.  Nested fan-out
+(a partition task that itself reaches a partition-aware operation) runs
+inline: the outer fan-out already owns the worker pool, and nesting
+would deadlock a bounded pool.
+
+Whatever the executor and partition count, every partition-aware code
+path reassembles results so they *equal the serial result exactly* --
+same tuples, same exact Fractions, bit-for-bit identical floats (the
+property tests in ``tests/exec`` assert this).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+#: Accepted executor kinds.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass
+class ExecStats:
+    """Process-wide counters of physical fan-out activity.
+
+    ``parallel_batches`` counts :meth:`Executor.map` calls that fanned
+    out to a pool; ``inline_batches`` those that ran inline (serial
+    executor, single task, or nested inside another task); ``tasks``
+    the partition tasks executed through fan-out.
+    """
+
+    parallel_batches: int = 0
+    inline_batches: int = 0
+    tasks: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters in place (the object identity is shared)."""
+        self.parallel_batches = 0
+        self.inline_batches = 0
+        self.tasks = 0
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"exec: {self.parallel_batches} parallel batch(es) "
+            f"({self.tasks} task(s)), {self.inline_batches} inline"
+        )
+
+
+#: The shared counter object; mutate via :meth:`ExecStats.reset`, never
+#: rebind (modules hold direct references).
+STATS = ExecStats()
+
+
+def exec_stats() -> ExecStats:
+    """The process-wide :data:`STATS` object (live, not a copy)."""
+    return STATS
+
+
+# -- nested-task guard --------------------------------------------------------
+
+_LOCAL = threading.local()
+
+
+def _task_depth() -> int:
+    return getattr(_LOCAL, "depth", 0)
+
+
+@contextmanager
+def _inside_task():
+    _LOCAL.depth = _task_depth() + 1
+    try:
+        yield
+    finally:
+        _LOCAL.depth -= 1
+
+
+# -- executors ----------------------------------------------------------------
+
+
+class Executor(ABC):
+    """Runs a batch of independent partition tasks, preserving order."""
+
+    kind = "?"
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ExecutionError(f"workers must be >= 1, got {workers!r}")
+        self.workers = int(workers)
+
+    def map(self, task, items) -> list:
+        """``[task(item) for item in items]``, possibly in parallel.
+
+        Results come back in item order; the first task exception
+        propagates.  Batches of one task, and batches issued from inside
+        another task (nested fan-out), always run inline.
+        """
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1 or _task_depth() > 0:
+            STATS.inline_batches += 1
+            return [task(item) for item in items]
+        STATS.parallel_batches += 1
+        STATS.tasks += len(items)
+        return self._map(task, items)
+
+    @abstractmethod
+    def _map(self, task, items: list) -> list:
+        """Fan a multi-task batch out (pool executors override)."""
+
+    def close(self) -> None:
+        """Release pool resources (no-op for poolless executors)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.workers} worker(s))"
+
+
+class SerialExecutor(Executor):
+    """Inline execution: the historical single-loop behavior."""
+
+    kind = "serial"
+
+    def __init__(self):
+        super().__init__(workers=1)
+
+    def _map(self, task, items):  # pragma: no cover -- map() short-circuits
+        return [task(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """A persistent thread pool (lazily created)."""
+
+    kind = "thread"
+
+    def __init__(self, workers: int):
+        super().__init__(workers)
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-exec",
+                    )
+        return self._pool
+
+    def _map(self, task, items):
+        pool = self._ensure_pool()
+
+        def run(item):
+            with _inside_task():
+                return task(item)
+
+        return list(pool.map(run, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Payload for forked children: set immediately before the fork, so the
+#: children inherit it by memory copy and the pipe carries only indices.
+#: Guarded by :data:`_FORK_LOCK` -- the payload is process-global, so
+#: concurrent process-pool batches from different driver threads must
+#: serialize (one would otherwise fork the other's tasks).
+_FORK_PAYLOAD = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_invoke(index: int):
+    task, items = _FORK_PAYLOAD
+    with _inside_task():
+        return task(items[index])
+
+
+class ProcessExecutor(Executor):
+    """A fork-per-batch process pool.
+
+    The pool is created per batch *after* publishing the payload in
+    :data:`_FORK_PAYLOAD`, so forked workers inherit tasks through
+    memory rather than pickling (plans and thresholds hold closures and
+    cannot cross a pipe); only task *results* are pickled back.  Where
+    the ``fork`` start method is unavailable the batch runs inline.
+    """
+
+    kind = "process"
+
+    def _map(self, task, items):
+        global _FORK_PAYLOAD
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context("fork")
+        except (ImportError, ValueError):
+            return [task(item) for item in items]
+        with _FORK_LOCK:
+            _FORK_PAYLOAD = (task, items)
+            try:
+                with context.Pool(
+                    processes=min(self.workers, len(items))
+                ) as pool:
+                    return pool.map(_fork_invoke, range(len(items)))
+            finally:
+                _FORK_PAYLOAD = None
+
+
+# -- configuration ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """The active physical-execution configuration.
+
+    ``partitions`` of ``None`` means "one partition per worker" --
+    which, for the serial executor, means no partitioning at all, i.e.
+    the exact historical code paths.
+    """
+
+    kind: str = "serial"
+    workers: int = 1
+    partitions: int | None = None
+
+    def effective_partitions(self) -> int:
+        """The partition count partition-aware call sites fan out to."""
+        if self.partitions is not None:
+            return self.partitions
+        return self.workers if self.kind != "serial" else 1
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (for ``:stats`` and CLIs)."""
+        return (
+            f"executor: {self.kind}, {self.workers} worker(s), "
+            f"{self.effective_partitions()} partition(s)"
+        )
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExecutionError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _config_from_env() -> ExecConfig:
+    kind = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+    if kind not in EXECUTOR_KINDS:
+        raise ExecutionError(
+            f"REPRO_EXECUTOR must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    workers = _env_int("REPRO_WORKERS")
+    if workers is None or workers <= 0:
+        workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+    return ExecConfig(kind, workers, _env_int("REPRO_PARTITIONS"))
+
+
+#: Resolved lazily on first use, not at import: a malformed REPRO_*
+#: variable must surface as a clean ExecutionError inside whatever
+#: entry point runs (the CLI turns ReproErrors into exit 1), never as a
+#: traceback that makes the package unimportable.
+_config: ExecConfig | None = None
+_executor: Executor | None = None
+
+
+def _current() -> ExecConfig:
+    global _config
+    if _config is None:
+        _config = _config_from_env()
+    return _config
+
+
+def _build_executor(config: ExecConfig) -> Executor:
+    if config.kind == "serial":
+        return SerialExecutor()
+    if config.kind == "thread":
+        return ThreadExecutor(config.workers)
+    return ProcessExecutor(config.workers)
+
+
+def configure(
+    executor: str | None = None,
+    workers: int | None = None,
+    partitions: int | None = None,
+) -> ExecConfig:
+    """Choose the process-global executor and partitioning.
+
+    >>> configure(executor="thread", workers=4).describe()
+    'executor: thread, 4 worker(s), 4 partition(s)'
+    >>> configure(executor="serial", workers=1, partitions=None).kind
+    'serial'
+
+    Omitted arguments keep their current value, except that switching
+    *executor* without *workers* picks a sensible default (1 for serial,
+    the CPU count otherwise).  ``partitions=None`` restores the
+    one-partition-per-worker default.  Returns the new configuration.
+    """
+    global _config, _executor
+    current = _current()
+    kind = current.kind if executor is None else str(executor).strip().lower()
+    if kind not in EXECUTOR_KINDS:
+        raise ExecutionError(
+            f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
+        )
+    if workers is None:
+        if kind == current.kind:
+            workers = current.workers
+        else:
+            workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers!r}")
+    if partitions is not None and partitions < 1:
+        raise ExecutionError(f"partitions must be >= 1, got {partitions!r}")
+    if _executor is not None:
+        _executor.close()
+    _config = ExecConfig(kind, int(workers), partitions)
+    _executor = None
+    return _config
+
+
+def current_config() -> ExecConfig:
+    """The active :class:`ExecConfig` (immutable snapshot)."""
+    return _current()
+
+
+def get_executor() -> Executor:
+    """The process-global executor for the current configuration."""
+    global _executor
+    if _executor is None:
+        _executor = _build_executor(_current())
+    return _executor
+
+
+def partition_count(size: int) -> int:
+    """Partitions to use for a workload of *size* entities.
+
+    1 (meaning: stay on the serial code path) when the configuration
+    does not partition or the workload is too small to split.
+    """
+    if size <= 1 or _task_depth() > 0:
+        return 1
+    return min(_current().effective_partitions(), size)
+
+
+@contextmanager
+def executor_scope(
+    executor: str | None = None,
+    workers: int | None = None,
+    partitions: int | None = None,
+):
+    """Temporarily reconfigure the executor (tests, benchmarks).
+
+    >>> with executor_scope(executor="thread", workers=2) as config:
+    ...     config.kind
+    'thread'
+    """
+    global _config, _executor
+    previous_config, previous_executor = _current(), _executor
+    _executor = None
+    try:
+        yield configure(executor, workers, partitions)
+    finally:
+        if _executor is not None:
+            _executor.close()
+        _config, _executor = previous_config, previous_executor

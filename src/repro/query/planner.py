@@ -6,25 +6,12 @@ like ``RA.rname``, which map to the product schema's prefixed
 ``RA_rname``) resolve to schema attributes, and syntactic conditions
 become algebra predicates.
 
-:func:`optimize` applies semantics-preserving rewrites:
-
-* **selection pushdown through product** -- conjuncts referencing only
-  one side of a product move below it.  Valid because the membership
-  revision is the multiplicative ``F_TM``: the factors commute, and
-  tuples eliminated early would have reached ``sn = 0`` anyway.
-* **adjacent selection fusion** -- ``select(select(R, P1, sn>0), P2, Q)``
-  becomes ``select(R, P1 and P2, Q)`` (the multiplicative rule is
-  associative).
-* **projection pushdown below selection** -- when the predicate only
-  uses projected attributes.
-* **adjacent projection fusion**.
-
-Deliberately **no pushdown through the extended union**: the union
-Dempster-combines matched tuples, and combining *then* selecting is not
-the same as selecting *then* combining (filtering a source before the
-union would both change which tuples match and let an unmatched
-low-support tuple pass through unrevised).  The test-suite pins this
-down with a counterexample.
+:func:`optimize` normalizes the bound plan through the explicit rewrite
+pass pipeline of :mod:`repro.exec.rewrite` (selection fusion and
+pushdown through products, projection pruning -- see that module for
+the rules and the reasons there is deliberately no pushdown through the
+extended union), so physical lowering (:mod:`repro.exec.physical`)
+always sees normalized plans.
 """
 
 from __future__ import annotations
@@ -52,7 +39,6 @@ from repro.query.plans import (
     Plan,
     ProductPlan,
     ProjectPlan,
-    RenamePlan,
     ScanPlan,
     SelectPlan,
     UnionPlan,
@@ -209,144 +195,12 @@ def build_plan(statement, database) -> Plan:
 # ---------------------------------------------------------------------------
 
 
-def _is_trivial_threshold(threshold: MembershipThreshold) -> bool:
-    return threshold is SN_POSITIVE or threshold.description == "sn > 0"
-
-
-def _conjuncts(predicate: Predicate | None) -> list[Predicate]:
-    if predicate is None:
-        return []
-    if isinstance(predicate, And):
-        return list(predicate.parts)
-    return [predicate]
-
-
-def _conjoin(parts: list[Predicate]) -> Predicate | None:
-    if not parts:
-        return None
-    if len(parts) == 1:
-        return parts[0]
-    return And(*parts)
-
-
 def optimize(plan: Plan) -> Plan:
-    """Apply the rewrite rules bottom-up until a fixpoint."""
-    changed = True
-    while changed:
-        plan, changed = _rewrite(plan)
-    return plan
+    """Normalize *plan* through the standard rewrite pass pipeline.
 
+    A thin wrapper kept for backward compatibility; the passes
+    themselves live in :mod:`repro.exec.rewrite`.
+    """
+    from repro.exec.rewrite import default_pipeline
 
-def _rewrite(plan: Plan) -> tuple[Plan, bool]:
-    # Rewrite children first.
-    if isinstance(plan, SelectPlan):
-        child, changed = _rewrite(plan.child)
-        plan = SelectPlan(child, plan.predicate, plan.threshold) if changed else plan
-        rewritten, local = _rewrite_select(plan)
-        return rewritten, changed or local
-    if isinstance(plan, ProjectPlan):
-        child, changed = _rewrite(plan.child)
-        plan = ProjectPlan(child, plan.names) if changed else plan
-        rewritten, local = _rewrite_project(plan)
-        return rewritten, changed or local
-    if isinstance(plan, UnionPlan):
-        left, left_changed = _rewrite(plan.left)
-        right, right_changed = _rewrite(plan.right)
-        if left_changed or right_changed:
-            return UnionPlan(left, right, plan.on_conflict), True
-        return plan, False
-    if isinstance(plan, IntersectPlan):
-        # No pushdown through an intersection either: it Dempster-merges
-        # matched tuples exactly like the union.
-        left, left_changed = _rewrite(plan.left)
-        right, right_changed = _rewrite(plan.right)
-        if left_changed or right_changed:
-            return IntersectPlan(left, right, plan.on_conflict), True
-        return plan, False
-    if isinstance(plan, RenamePlan):
-        # No rewrites across a rename: it is pure plumbing and rare
-        # enough that translating predicates through it is not worth it.
-        child, changed = _rewrite(plan.child)
-        if changed:
-            return RenamePlan(child, plan.mapping), True
-        return plan, False
-    if isinstance(plan, ProductPlan):
-        left, left_changed = _rewrite(plan.left)
-        right, right_changed = _rewrite(plan.right)
-        if left_changed or right_changed:
-            return ProductPlan(left, right), True
-        return plan, False
-    return plan, False
-
-
-def _rewrite_select(plan: SelectPlan) -> tuple[Plan, bool]:
-    child = plan.child
-    # Fuse adjacent selections when the inner threshold is trivial.
-    if isinstance(child, SelectPlan) and _is_trivial_threshold(child.threshold):
-        merged = _conjoin(_conjuncts(child.predicate) + _conjuncts(plan.predicate))
-        return SelectPlan(child.child, merged, plan.threshold), True
-    # Push single-side conjuncts below a product -- also through an
-    # intervening projection (projection neither renames attributes nor
-    # touches memberships, so the multiplicative revision commutes).
-    through_project: ProjectPlan | None = None
-    product_child: ProductPlan | None = None
-    if isinstance(child, ProductPlan):
-        product_child = child
-    elif isinstance(child, ProjectPlan) and isinstance(child.child, ProductPlan):
-        through_project = child
-        product_child = child.child
-    if product_child is not None and plan.predicate is not None:
-        from repro.algebra.product import _rename_map
-
-        left_schema = product_child.left.schema()
-        right_schema = product_child.right.schema()
-        # original -> product-visible name on each side...
-        left_renames = _rename_map(left_schema, right_schema)
-        right_renames = _rename_map(right_schema, left_schema)
-        # ...and back, to translate pushed predicates into scan names.
-        left_restore = {new: old for old, new in left_renames.items()}
-        right_restore = {new: old for old, new in right_renames.items()}
-        push_left: list[Predicate] = []
-        push_right: list[Predicate] = []
-        keep: list[Predicate] = []
-        for conjunct in _conjuncts(plan.predicate):
-            attrs = conjunct.attributes()
-            if attrs and attrs <= set(left_restore):
-                push_left.append(conjunct.rename_attributes(left_restore))
-            elif attrs and attrs <= set(right_restore):
-                push_right.append(conjunct.rename_attributes(right_restore))
-            else:
-                keep.append(conjunct)
-        if push_left or push_right:
-            left = product_child.left
-            right = product_child.right
-            if push_left:
-                left = SelectPlan(left, _conjoin(push_left), SN_POSITIVE)
-            if push_right:
-                right = SelectPlan(right, _conjoin(push_right), SN_POSITIVE)
-            inner: Plan = ProductPlan(left, right)
-            if through_project is not None:
-                inner = ProjectPlan(inner, through_project.names)
-            remaining = _conjoin(keep)
-            if remaining is None and _is_trivial_threshold(plan.threshold):
-                return inner, True
-            return SelectPlan(inner, remaining, plan.threshold), True
-    return plan, False
-
-
-def _rewrite_project(plan: ProjectPlan) -> tuple[Plan, bool]:
-    child = plan.child
-    # Fuse adjacent projections.
-    if isinstance(child, ProjectPlan):
-        return ProjectPlan(child.child, plan.names), True
-    # Push a projection below a selection that only reads projected attrs.
-    if isinstance(child, SelectPlan):
-        predicate_attrs = (
-            child.predicate.attributes() if child.predicate is not None else frozenset()
-        )
-        if predicate_attrs <= set(plan.names) and not isinstance(
-            child.child, ProjectPlan
-        ):
-            pushed = ProjectPlan(child.child, plan.names)
-            return SelectPlan(pushed, child.predicate, child.threshold), True
-    return plan, False
+    return default_pipeline().run(plan)

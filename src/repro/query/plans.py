@@ -64,9 +64,18 @@ class Plan(ABC):
         """One-line description of this node."""
 
     def execute(self, database) -> ExtendedRelation:
-        """Evaluate the whole subtree against a database catalog."""
-        inputs = tuple(child.execute(database) for child in self.children())
-        return self.apply(inputs, database)
+        """Evaluate the whole subtree against a database catalog.
+
+        Execution runs through the physical layer
+        (:mod:`repro.exec.physical`): each node lowers to a physical
+        operator that may shard its work over the configured executor.
+        Under the default serial configuration the physical operators
+        evaluate exactly as :meth:`apply`, so results and order match
+        the direct recursion bit for bit.
+        """
+        from repro.exec.physical import run_plan
+
+        return run_plan(self, database)
 
     def describe(self, indent: int = 0) -> str:
         """The plan subtree as indented text (for ``EXPLAIN``)."""

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PlanError, ReproError
+from repro.exec.physical import apply_node
 from repro.expr import RelExpr, _Literal, _Rel
 from repro.model.relation import ExtendedRelation
 from repro.query.executor import compile_text
@@ -255,16 +256,19 @@ class Session:
         """The currently registered subscriptions."""
         return tuple(self._subscriptions)
 
-    def _on_catalog_change(self, name: str) -> None:
+    def _on_catalog_change(self, names) -> None:
         """Database listener: refresh subscriptions the change affects.
 
-        *name* -- the relation just mutated -- is folded into the
-        changed set because a brand-new name is absent from
-        ``changed_names_since`` (it cannot stale a cache), yet it is
-        exactly what an ``eager=False`` subscription awaiting its
-        relation's first publish depends on.
+        *names* -- the relations mutated since the last notification
+        (one for a plain add/drop, several for a batched bulk load, see
+        :meth:`repro.storage.Database.batch`) -- are folded into the
+        changed set because brand-new names are absent from
+        ``changed_names_since`` (they cannot stale a cache), yet they
+        are exactly what an ``eager=False`` subscription awaiting its
+        relation's first publish depends on.  A bulk load thus triggers
+        one sweep, and each affected subscription refreshes once.
         """
-        changed = self._db.changed_names_since(self._epoch) | {name}
+        changed = self._db.changed_names_since(self._epoch) | frozenset(names)
         self._sync()
         for subscription in list(self._subscriptions):
             if subscription.error is not None:
@@ -370,7 +374,10 @@ class Session:
                 self._stats.subplan_cache_hits += 1
             return cached
         inputs = tuple(self._run(child) for child in plan.children())
-        result = plan.apply(inputs, self._db)
+        # Evaluate through the physical layer: the node may shard its
+        # work over the configured executor.  Cache keys (per-subtree
+        # plan fingerprints) are untouched by physical lowering.
+        result = apply_node(plan, inputs, self._db)
         self._stats.node_executions += 1
         self._remember(self._results, key, result)
         self._result_deps[key] = scan_names(plan)

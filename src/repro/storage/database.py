@@ -24,6 +24,7 @@ from __future__ import annotations
 import difflib
 
 from collections.abc import Iterator
+from contextlib import contextmanager
 
 from repro.errors import CatalogError
 from repro.model.relation import ExtendedRelation
@@ -45,6 +46,8 @@ class Database:
         self._changed: dict[str, int] = {}
         self._listeners: list = []
         self._session = None
+        self._batch_depth = 0
+        self._batch_names: list[str] = []
 
     @property
     def name(self) -> str:
@@ -106,11 +109,14 @@ class Database:
         )
 
     def add_listener(self, callback) -> None:
-        """Call ``callback(name)`` after every catalog mutation of *name*.
+        """Call ``callback(names)`` after catalog mutations.
 
+        *names* is a tuple of the mutated relation names -- a 1-tuple
+        for a plain ``add``/``drop``, the distinct mutated names (in
+        first-mutation order) for a bulk load inside :meth:`batch`.
         Listeners fire on adds as well as replaces/drops: a brand-new
         name never appears in :meth:`changed_names_since` (it cannot
-        stale any cache), so the mutated name is passed explicitly --
+        stale any cache), so the mutated names are passed explicitly --
         that is how a standing query learns its relation was first
         published.  Exceptions propagate to the mutator.
         """
@@ -122,9 +128,51 @@ class Database:
         if callback in self._listeners:
             self._listeners.remove(callback)
 
+    @contextmanager
+    def batch(self):
+        """Coalesce listener notifications across a bulk mutation.
+
+        Inside the context, mutations record their names instead of
+        firing listeners; on exit, one notification carries all
+        distinct mutated names.  Bulk loads (deserialization, partition
+        reassembly, multi-relation publishes) use this so sessions run
+        one invalidation/subscription sweep instead of one per
+        relation.  Nested batches coalesce into the outermost one.
+
+        >>> db = Database()
+        >>> events = []
+        >>> db.add_listener(events.append)
+        >>> from repro.datasets.restaurants import table_ra, table_rb
+        >>> with db.batch():
+        ...     db.add(table_ra()); db.add(table_rb())
+        >>> events
+        [('RA', 'RB')]
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_names:
+                names = tuple(dict.fromkeys(self._batch_names))
+                self._batch_names = []
+                self._fire(names)
+
+    def add_all(self, relations, replace: bool = False) -> None:
+        """Register many relations under one batched notification."""
+        with self.batch():
+            for relation in relations:
+                self.add(relation, replace=replace)
+
     def _notify(self, name: str) -> None:
+        if self._batch_depth:
+            self._batch_names.append(name)
+            return
+        self._fire((name,))
+
+    def _fire(self, names: tuple[str, ...]) -> None:
         for callback in tuple(self._listeners):
-            callback(name)
+            callback(names)
 
     def get(self, name: str) -> ExtendedRelation:
         """The relation registered under *name*."""

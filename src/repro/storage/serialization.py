@@ -195,55 +195,86 @@ def _evidence_from_json(document: dict, domain) -> EvidenceSet:
 # -- relations -----------------------------------------------------------------
 
 
-def relation_to_json(relation: ExtendedRelation) -> dict:
-    """Serialize a relation (schema + tuples) to JSON-able structures."""
-    rows = []
-    for etuple in relation:
-        values: dict[str, object] = {}
-        for name, value in etuple.items():
-            if isinstance(value, EvidenceSet):
-                values[name] = _evidence_to_json(value)
-            else:
-                values[name] = _number_to_json(value) if isinstance(
-                    value, Fraction
-                ) else value
-        rows.append(
-            {
-                "values": values,
-                "membership": [
-                    _number_to_json(etuple.membership.sn),
-                    _number_to_json(etuple.membership.sp),
-                ],
-            }
-        )
+def _tuple_to_json(etuple: ExtendedTuple) -> dict:
+    """Serialize one tuple's values + membership."""
+    values: dict[str, object] = {}
+    for name, value in etuple.items():
+        if isinstance(value, EvidenceSet):
+            values[name] = _evidence_to_json(value)
+        else:
+            values[name] = _number_to_json(value) if isinstance(
+                value, Fraction
+            ) else value
     return {
-        "format_version": FORMAT_VERSION,
-        "schema": schema_to_json(relation.schema),
-        "tuples": rows,
+        "values": values,
+        "membership": [
+            _number_to_json(etuple.membership.sn),
+            _number_to_json(etuple.membership.sp),
+        ],
     }
 
 
+def _tuple_from_json(row: dict, schema: RelationSchema) -> ExtendedTuple:
+    """Deserialize one tuple against its schema."""
+    values: dict[str, object] = {}
+    for name, value in row["values"].items():
+        if isinstance(value, dict) and (
+            "evidence" in value or "evidence_items" in value
+        ):
+            attribute = schema.attribute(name)
+            values[name] = _evidence_from_json(value, attribute.domain)
+        else:
+            values[name] = value
+    sn, sp = row["membership"]
+    membership = TupleMembership(_number_from_json(sn), _number_from_json(sp))
+    return ExtendedTuple(schema, values, membership)
+
+
+def relation_to_json(
+    relation: ExtendedRelation, partitions: int | None = None
+) -> dict:
+    """Serialize a relation (schema + tuples) to JSON-able structures.
+
+    With *partitions* ``> 1`` the tuples are stored as the relation's
+    hash shards (:meth:`ExtendedRelation.partitions`) under
+    ``tuple_partitions`` instead of a flat ``tuples`` list.  The layout
+    survives the round trip: the loader reassembles the shards through
+    :meth:`ExtendedRelation.from_partitions`, so a reloaded relation
+    re-partitions into exactly the shards that were saved -- a sharded
+    engine can restore its partition layout without re-hashing
+    mismatches.
+    """
+    document = {
+        "format_version": FORMAT_VERSION,
+        "schema": schema_to_json(relation.schema),
+    }
+    if partitions is not None and partitions > 1:
+        document["partitions"] = int(partitions)
+        document["tuple_partitions"] = [
+            [_tuple_to_json(etuple) for etuple in shard]
+            for shard in relation.partitions(partitions)
+        ]
+    else:
+        document["tuples"] = [_tuple_to_json(etuple) for etuple in relation]
+    return document
+
+
 def relation_from_json(document: dict) -> ExtendedRelation:
-    """Deserialize a relation."""
+    """Deserialize a relation (flat or partitioned layout)."""
     if document.get("format_version") != FORMAT_VERSION:
         raise SerializationError(
             f"unsupported format version {document.get('format_version')!r}"
         )
     schema = schema_from_json(document["schema"])
-    tuples = []
-    for row in document["tuples"]:
-        values: dict[str, object] = {}
-        for name, value in row["values"].items():
-            if isinstance(value, dict) and (
-                "evidence" in value or "evidence_items" in value
-            ):
-                attribute = schema.attribute(name)
-                values[name] = _evidence_from_json(value, attribute.domain)
-            else:
-                values[name] = value
-        sn, sp = row["membership"]
-        membership = TupleMembership(_number_from_json(sn), _number_from_json(sp))
-        tuples.append(ExtendedTuple(schema, values, membership))
+    if "tuple_partitions" in document:
+        shards = [
+            ExtendedRelation(
+                schema, [_tuple_from_json(row, schema) for row in rows]
+            )
+            for rows in document["tuple_partitions"]
+        ]
+        return ExtendedRelation.from_partitions(schema, shards)
+    tuples = [_tuple_from_json(row, schema) for row in document["tuples"]]
     return ExtendedRelation(schema, tuples)
 
 
@@ -266,20 +297,29 @@ def database_from_json(document: dict) -> Database:
             f"unsupported format version {document.get('format_version')!r}"
         )
     database = Database(document.get("name", "db"))
-    for entry in document.get("relations", []):
-        # Bypass the identifier check: files saved before the rule
-        # existed must stay loadable (their relations remain reachable
-        # via get/show even when the query language cannot name them).
-        database._install(relation_from_json(entry))
+    # One batched change notification for the whole load: listeners
+    # (session invalidation sweeps, subscription refreshes) see a single
+    # event instead of one per relation.
+    with database.batch():
+        for entry in document.get("relations", []):
+            # Bypass the identifier check: files saved before the rule
+            # existed must stay loadable (their relations remain
+            # reachable via get/show even when the query language
+            # cannot name them).
+            database._install(relation_from_json(entry))
     return database
 
 
 # -- file helpers --------------------------------------------------------------------
 
 
-def save_relation(relation: ExtendedRelation, path) -> None:
-    """Write a relation to a JSON file."""
-    Path(path).write_text(json.dumps(relation_to_json(relation), indent=2))
+def save_relation(
+    relation: ExtendedRelation, path, partitions: int | None = None
+) -> None:
+    """Write a relation to a JSON file (optionally hash-partitioned)."""
+    Path(path).write_text(
+        json.dumps(relation_to_json(relation, partitions=partitions), indent=2)
+    )
 
 
 def load_relation(path) -> ExtendedRelation:

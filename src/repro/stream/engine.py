@@ -36,11 +36,12 @@ from dataclasses import dataclass
 
 from repro.ds.kernel import STATS as KERNEL_STATS
 from repro.errors import StreamError, TotalConflictError
+from repro.exec.executors import get_executor, partition_count
 from repro.integration.merging import MergeReport, TupleMerger
 from repro.integration.pipeline import coerce_reliability, discount_tuple
 from repro.model.etuple import ExtendedTuple
 from repro.model.membership import CERTAIN
-from repro.model.relation import ExtendedRelation
+from repro.model.relation import ExtendedRelation, partition_index
 from repro.stream.changelog import BatchDelta, ChangeLog
 from repro.stream.state import Contribution, MergeState
 
@@ -414,12 +415,27 @@ class StreamEngine:
         Re-folds only the entities the batch touched, materializes the
         relation, publishes it into the attached database (if any),
         appends a :class:`BatchDelta` to the changelog and returns it.
+
+        Under a parallel executor (:mod:`repro.exec`) the pending
+        re-folds drain as per-partition merge batches: dirty entities
+        group by their key's hash partition and each group re-folds in
+        one task.  Entities are disjoint and the published relation is
+        materialized from the engine's entity map (whose order never
+        depends on fold timing), so the flushed relation, the delta and
+        the conflict records are identical to the serial flush.
         """
         order = tuple(self._sources)
         conflicts: list = []
-        for key in self._touched:
-            entity = self._state.get(key)
-            if entity is not None and entity.dirty:
+        dirty = [
+            entity
+            for key in self._touched
+            if (entity := self._state.get(key)) is not None and entity.dirty
+        ]
+        n = partition_count(len(dirty))
+        if n > 1:
+            self._refold_partitioned(dirty, order, n)
+        else:
+            for entity in dirty:
                 self._refold(entity, order)
         for key in self._touched:
             entity = self._state.get(key)
@@ -500,6 +516,85 @@ class StreamEngine:
         delta = KERNEL_STATS.since(baseline)
         self._stats.kernel_combinations += delta.kernel_combinations
         self._stats.fallback_combinations += delta.fallback_combinations
+
+    def _refold_partitioned(self, dirty, order, n: int) -> None:
+        """Drain the pending re-folds as per-partition merge batches.
+
+        Thread tasks re-fold the (disjoint) entities in place; process
+        tasks re-fold forked copies and ship the resulting state back,
+        which the parent commits.  Either way each entity's fold is the
+        identical ``merge_entity`` computation the serial path runs, so
+        the committed states are exact.  Kernel-vs-fallback attribution:
+        in-process executors are measured around the whole batch (the
+        engine is single-driver, so the process-wide delta is exactly
+        this batch); process pools measure inside each child and the
+        deltas are summed.
+
+        A ``raise``-policy :class:`TotalConflictError` is re-raised
+        after the successfully re-folded entities' state and counters
+        are committed; entities whose fresh state was not committed
+        simply stay dirty and re-fold at the next flush, exactly as the
+        serial path leaves later entities unfolded after a mid-loop
+        raise.  (Counter increments performed by concurrent worker
+        threads inside the evidence kernel may undercount slightly --
+        the counters are observability-only.)
+        """
+        executor = get_executor()
+        buckets: list[list] = [[] for _ in range(n)]
+        for entity in dirty:
+            buckets[partition_index(entity.key, n)].append(entity)
+        buckets = [bucket for bucket in buckets if bucket]
+        merger, schema = self._merger, self._schema
+
+        def task(bucket):
+            baseline = KERNEL_STATS.snapshot()
+            combinations = 0
+            states = []
+            error = None
+            for entity in bucket:
+                try:
+                    combinations += entity.refold(merger, schema, order)
+                except TotalConflictError as exc:
+                    error = exc
+                    break
+                states.append(
+                    (
+                        entity.key,
+                        entity.combined,
+                        entity.conflicted,
+                        list(entity.fold_conflicts),
+                    )
+                )
+            delta = KERNEL_STATS.since(baseline)
+            return (
+                states,
+                combinations,
+                delta.kernel_combinations,
+                delta.fallback_combinations,
+                error,
+            )
+
+        batch_baseline = KERNEL_STATS.snapshot()
+        outcomes = executor.map(task, buckets)
+        errors = []
+        for states, combinations, kernel_delta, fallback_delta, error in outcomes:
+            self._stats.combinations += combinations
+            self._stats.refolds += len(states)
+            if executor.kind == "process":
+                self._stats.kernel_combinations += kernel_delta
+                self._stats.fallback_combinations += fallback_delta
+            for key, combined, conflicted, fold_conflicts in states:
+                entity = self._state.get(key)
+                entity.combined = combined
+                entity.conflicted = conflicted
+                entity.fold_conflicts = fold_conflicts
+                entity.dirty = False
+            if error is not None:
+                errors.append(error)
+        if executor.kind != "process":
+            self._attribute_kernel_usage(batch_baseline)
+        if errors:
+            raise errors[0]
 
     def _rollback_upsert(
         self, entity, state, source, key, prior, auto_registered

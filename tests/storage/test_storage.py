@@ -172,6 +172,34 @@ class TestRelationSerialization:
             load_relation(path)
 
 
+class TestPartitionedSerialization:
+    def test_partitioned_layout_round_trips(self):
+        relation = table_ra()
+        document = relation_to_json(relation, partitions=3)
+        assert document["partitions"] == 3
+        assert len(document["tuple_partitions"]) == 3
+        assert "tuples" not in document
+        recovered = relation_from_json(document)
+        assert recovered.same_tuples(relation)
+
+    def test_partition_layout_is_preserved(self, tmp_path):
+        """A reloaded partitioned relation re-shards into exactly the
+        shards that were saved (same shard membership, same order)."""
+        relation = table_ra()
+        path = tmp_path / "ra.json"
+        save_relation(relation, path, partitions=4)
+        recovered = load_relation(path)
+        saved_shards = relation.partitions(4)
+        loaded_shards = recovered.partitions(4)
+        for saved, loaded in zip(saved_shards, loaded_shards):
+            assert list(saved.keys()) == list(loaded.keys())
+            assert saved.same_tuples(loaded)
+
+    def test_single_partition_uses_flat_layout(self):
+        document = relation_to_json(table_ra(), partitions=1)
+        assert "tuples" in document and "partitions" not in document
+
+
 class TestDatabaseSerialization:
     def test_round_trip(self, tmp_path):
         db = Database("tourist")

@@ -153,8 +153,11 @@ class TestRepl:
         assert "Scan RA" in output
         # The second run of the identical query is a result-cache hit.
         assert "1 result hits" in output
-        # :stats also reports the evidence-kernel path counters.
+        # :stats also reports the evidence-kernel path counters and the
+        # physical executor / partition configuration.
         assert "kernel path" in output
+        assert "executor:" in output
+        assert "partition(s)" in output
 
     def test_tables_lists_catalog(self, demo_db, monkeypatch):
         status, output = self.run_repl(monkeypatch, demo_db, ":tables\n:quit\n")
@@ -200,6 +203,38 @@ class TestStream:
         # open text attributes account for the fallback share.
         assert "on the kernel path" in output
         assert "on the fallback path" in output
+        # ... and names the physical executor configuration.
+        assert "executor:" in output
+
+    def test_workers_flag_fans_out_and_matches_serial(
+        self, demo_db, events_file, tmp_path
+    ):
+        """--workers N replays through a pool; the integrated relation
+        is identical to the serial replay."""
+        from repro.exec import executor_scope
+
+        serial_out = tmp_path / "serial.json"
+        pooled_out = tmp_path / "pooled.json"
+        with executor_scope():  # restore config mutated by --workers
+            status, _ = run_cli(
+                "stream", str(demo_db), str(events_file),
+                "--schema", "RA", "--save", str(serial_out),
+            )
+            assert status == 0
+            status, output = run_cli(
+                "stream", str(demo_db), str(events_file),
+                "--schema", "RA", "--workers", "3", "--save", str(pooled_out),
+            )
+            assert status == 0
+            assert "executor: thread, 3 worker(s)" in output
+        serial_db = load_database(serial_out)
+        pooled_db = load_database(pooled_out)
+        assert pooled_db.get("integrated").same_tuples(
+            serial_db.get("integrated")
+        )
+        assert list(pooled_db.get("integrated").keys()) == list(
+            serial_db.get("integrated").keys()
+        )
 
     def test_save_persists_integrated_relation(
         self, demo_db, events_file, tmp_path

@@ -262,6 +262,32 @@ class TestSubscriptions:
         assert subscription.result is not None
         assert subscription.refreshes == 1
 
+    def test_batched_bulk_load_refreshes_each_subscription_once(self, db, session):
+        """Regression: a bulk load must fire one batched notification,
+        not one per relation -- a subscription over RA used to refresh
+        once per mutated relation in the batch."""
+        subscription = session.subscribe(SQL)
+        assert subscription.refreshes == 1  # the eager initial collect
+        with db.batch():
+            db.add(table_ra(), replace=True)
+            db.add(table_rb(), replace=True)
+            db.add(table_rm_a())
+        assert subscription.refreshes == 2
+        assert session.stats().subscription_refreshes == 2
+
+    def test_add_all_is_one_notification(self, db):
+        events = []
+        db.add_listener(events.append)
+        db.add_all([table_ra(), table_rb()], replace=True)
+        assert events == [("RA", "RB")]
+
+    def test_listener_receives_name_tuples(self, db):
+        events = []
+        db.add_listener(events.append)
+        db.add(table_rm_a())
+        db.drop("RM_A")
+        assert events == [("RM_A",), ("RM_A",)]
+
     def test_non_eager_subscription_sees_first_publish_of_its_relation(self):
         """A standing query registered before its relation's first
         publish (a StreamEngine pattern) must collect at that publish,

@@ -2,23 +2,28 @@
 #
 #   make test           run the test suite (tier-1 gate)
 #   make test-parallel  the same suite under a 4-worker thread executor
+#   make test-sqlite    the same suite with SQLite as the default backend
 #   make bench          run the benchmark harness (timings + assertions)
 #   make bench-stream   incremental-vs-recompute ingestion benchmark
 #   make bench-kernel   kernel-vs-frozenset combination benchmark
 #   make bench-parallel federation/stream scaling across worker counts
+#   make bench-storage  save/load/point-load per storage backend
 #   make lint           ruff check (skipped with a notice when ruff is absent)
 
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test test-parallel bench bench-stream bench-kernel bench-parallel \
-	lint quickstart
+.PHONY: test test-parallel test-sqlite bench bench-stream bench-kernel \
+	bench-parallel bench-storage lint quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-parallel:
 	REPRO_EXECUTOR=thread REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q
+
+test-sqlite:
+	REPRO_STORAGE=sqlite $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
@@ -31,6 +36,9 @@ bench-kernel:
 
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallel_integration.py -q -s
+
+bench-storage:
+	$(PYTHON) -m pytest benchmarks/bench_storage_backends.py -q -s
 
 lint:
 	@$(PYTHON) -m ruff check src tests benchmarks examples 2>/dev/null \

@@ -25,7 +25,7 @@ Package map
 ``repro.stream``       streaming integration (incremental delta-merges)
 ``repro.sources``      evidence from summaries (votes, classification, history)
 ``repro.baselines``    Dayal / DeMichiel / Tseng / PDM comparators
-``repro.storage``      database catalog, JSON serialization, table rendering
+``repro.storage``      catalog, pluggable backends (json/sqlite/log), rendering
 ``repro.datasets``     the paper's restaurant tables + synthetic generators
 
 Quickstart
@@ -131,7 +131,13 @@ from repro.analysis import decide, relation_quality
 from repro.expr import RelExpr
 from repro.integration import Federation, IntegrationPipeline, TupleMerger
 from repro.session import Session, SessionStats, Subscription
-from repro.storage import Database, format_relation
+from repro.storage import (
+    Database,
+    create_database,
+    format_relation,
+    open_backend,
+    open_database,
+)
 from repro.stream import BatchDelta, ChangeLog, StreamEngine
 from repro.datasets import (
     SyntheticConfig,
@@ -229,6 +235,9 @@ __all__ = [
     "decide",
     "relation_quality",
     "Database",
+    "create_database",
+    "open_backend",
+    "open_database",
     "format_relation",
     "table_ra",
     "table_rb",

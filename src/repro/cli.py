@@ -1,29 +1,40 @@
 """Command-line interface.
 
-Three subcommands, all operating on the JSON database format of
-:mod:`repro.storage.serialization`:
+Every ``DB`` argument is a storage *location*: a backend URL
+(``json:restaurants.json``, ``sqlite:federation.db``,
+``log:journal.jsonl``) or a bare path resolved per
+:mod:`repro.storage.backends` (the ``REPRO_STORAGE`` environment
+variable names the default engine, else the file extension decides,
+else JSON).
 
-``repro demo [PATH]``
+``repro demo [DB]``
     Write the paper's example database (R_A, R_B, M_A, M_B, RM_A, RM_B)
-    to ``PATH`` (default ``restaurants.json``), ready for querying.
+    to ``DB`` (default ``restaurants.json``), ready for querying.
 
 ``repro query DB QUERY``
-    Execute one query against a database file and print the result in
-    the paper's table style.  ``--explain`` prints the optimized plan
+    Execute one query against a database and print the result in the
+    paper's table style.  ``--explain`` prints the optimized plan
     instead; ``--save NAME OUT`` stores the result relation under NAME
-    into OUT (which may equal DB).
+    into the location OUT (which may equal DB).
 
 ``repro show DB [RELATION]``
     Print the catalog, or one relation as a table.
 
+``repro convert SRC DST``
+    Migrate a database between any two backend locations
+    (``--partitions N`` re-shards the persisted tuple layout on the
+    way).
+
 ``repro repl DB``
-    Interactive query loop over one database file, running through a
-    caching :class:`repro.session.Session`: repeated queries hit the
+    Interactive query loop over one database, running through a caching
+    :class:`repro.session.Session`: repeated queries hit the
     plan/result caches.  ``:explain Q`` prints the optimized plan,
     ``:stats`` the session counters plus the evidence-kernel path
-    counters (:mod:`repro.ds.kernel`) and the physical executor /
-    partition configuration and fan-out counters (:mod:`repro.exec`),
-    ``:tables`` the catalog, and ``:quit`` (or EOF) exits.
+    counters (:mod:`repro.ds.kernel`), the physical executor /
+    partition configuration and fan-out counters (:mod:`repro.exec`)
+    and the storage backend, ``:tables`` the catalog, ``:open URL``
+    switches to another database, ``:persist`` writes the catalog back
+    through the attached backend, and ``:quit`` (or EOF) exits.
 
 ``repro stream DB EVENTS --schema REL``
     Replay a JSONL event file (see :mod:`repro.stream.connectors`)
@@ -32,8 +43,10 @@ Three subcommands, all operating on the JSON database format of
     throughput, the kernel-vs-fallback combination split and the
     per-batch changelog.  ``--workers N`` (and ``--executor``) fan the
     flush re-folds out over a worker pool (:mod:`repro.exec`);
-    ``--save OUT`` persists the resulting database, ``--show`` prints
-    the integrated table.
+    ``--durable URL`` journals every flushed batch through a storage
+    backend (a ``log:`` URL gives write-ahead recovery); ``--save OUT``
+    persists the resulting database, ``--show`` prints the integrated
+    table.
 
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
@@ -45,9 +58,13 @@ import argparse
 import sys
 
 from repro.errors import ReproError
+from repro.storage.backends import (
+    open_backend,
+    open_database,
+    resolve_backend,
+)
 from repro.storage.database import Database
 from repro.storage.formatting import format_relation
-from repro.storage.serialization import load_database, save_database
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,13 +76,14 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     demo = commands.add_parser(
-        "demo", help="write the paper's example database to a JSON file"
+        "demo", help="write the paper's example database to a storage location"
     )
     demo.add_argument(
         "path",
         nargs="?",
         default="restaurants.json",
-        help="output file (default: restaurants.json)",
+        help="output location -- a json:/sqlite:/log: URL or a path "
+        "(default: restaurants.json)",
     )
     demo.add_argument(
         "--integrated",
@@ -74,9 +92,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     query = commands.add_parser(
-        "query", help="run a query against a database file"
+        "query", help="run a query against a database"
     )
-    query.add_argument("database", help="database JSON file")
+    query.add_argument("database", help="database location (URL or path)")
     query.add_argument("text", help="the query, e.g. 'RA UNION RB BY (rname)'")
     query.add_argument(
         "--explain",
@@ -93,13 +111,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save",
         nargs=2,
         metavar=("NAME", "OUT"),
-        help="store the result relation under NAME into database file OUT",
+        help="store the result relation under NAME into the database "
+        "location OUT",
+    )
+
+    convert = commands.add_parser(
+        "convert",
+        help="migrate a database between two storage backends",
+    )
+    convert.add_argument("source", help="source location (URL or path)")
+    convert.add_argument("destination", help="destination location (URL or path)")
+    convert.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-shard the persisted tuple layout into N hash partitions",
     )
 
     repl = commands.add_parser(
-        "repl", help="interactive query loop (cached session) over a database file"
+        "repl", help="interactive query loop (cached session) over a database"
     )
-    repl.add_argument("database", help="database JSON file")
+    repl.add_argument("database", help="database location (URL or path)")
     repl.add_argument(
         "--style",
         choices=["decimal", "fraction", "auto"],
@@ -111,7 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "stream",
         help="replay a JSONL event file into an integrated relation",
     )
-    stream.add_argument("database", help="database JSON file")
+    stream.add_argument("database", help="database location (URL or path)")
     stream.add_argument("events", help="JSONL event file")
     stream.add_argument(
         "--schema",
@@ -152,9 +185,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="physical executor (default: REPRO_EXECUTOR or serial)",
     )
     stream.add_argument(
+        "--durable",
+        metavar="URL",
+        help="journal every flushed batch through this storage backend "
+        "(a log: URL keeps a write-ahead event log)",
+    )
+    stream.add_argument(
         "--save",
         metavar="OUT",
-        help="write the database (with the integrated relation) to OUT",
+        help="write the database (with the integrated relation) to the "
+        "location OUT",
     )
     stream.add_argument(
         "--show",
@@ -168,8 +208,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mass rendering style",
     )
 
-    show = commands.add_parser("show", help="inspect a database file")
-    show.add_argument("database", help="database JSON file")
+    show = commands.add_parser("show", help="inspect a database")
+    show.add_argument("database", help="database location (URL or path)")
     show.add_argument(
         "relation", nargs="?", help="relation to print (default: catalog)"
     )
@@ -207,44 +247,84 @@ def _command_demo(args: argparse.Namespace, out) -> int:
         db.add(union(table_ra(), table_rb(), name="R"))
         db.add(union(table_m_a(), table_m_b(), name="M"))
         db.add(union(table_rm_a(), table_rm_b(), name="RM"))
-    save_database(db, args.path)
-    print(
-        f"wrote {len(db)} relations ({', '.join(db.names())}) to {args.path}",
-        file=out,
-    )
+    with open_backend(args.path) as backend:
+        backend.save_database(db)
+        print(
+            f"wrote {len(db)} relations ({', '.join(db.names())}) "
+            f"to {backend.url()}",
+            file=out,
+        )
     return 0
 
 
+def _save_result(relation, name: str, destination: str, out) -> None:
+    """Store one relation into a (possibly new) database location."""
+    with open_backend(destination) as backend:
+        target = backend.load_database() if backend.exists() else Database()
+        target.add(relation.with_name(name), replace=True)
+        backend.save_database(target)
+        print(f"saved result as {name!r} in {backend.url()}", file=out)
+
+
 def _command_query(args: argparse.Namespace, out) -> int:
-    db = load_database(args.database)
-    if args.explain:
-        print(db.explain(args.text), file=out)
-        return 0
-    result = db.query(args.text)
-    print(format_relation(result, style=args.style), file=out)
+    db = open_database(args.database)
+    try:
+        if args.explain:
+            print(db.explain(args.text), file=out)
+            return 0
+        result = db.query(args.text)
+        print(format_relation(result, style=args.style), file=out)
+    finally:
+        db.close()
     if args.save:
         name, destination = args.save
-        stored = result.with_name(name)
-        try:
-            target = load_database(destination)
-        except FileNotFoundError:
-            target = Database(name="db")
-        target.add(stored, replace=True)
-        save_database(target, destination)
-        print(f"saved result as {name!r} in {destination}", file=out)
+        _save_result(result, name, destination, out)
+    return 0
+
+
+def _command_convert(args: argparse.Namespace, out) -> int:
+    source = resolve_backend(args.source)
+    destination = resolve_backend(args.destination)
+    if source.path.resolve() == destination.path.resolve():
+        raise ReproError(
+            f"convert needs two distinct locations, got {source.url()} "
+            f"twice"
+        )
+    if args.partitions is not None and args.partitions < 1:
+        raise ReproError(
+            f"--partitions must be >= 1, got {args.partitions}"
+        )
+    with source, destination:
+        db = source.load_database()
+        destination.save_database(db, partitions=args.partitions)
+        tuples = sum(len(relation) for relation in db)
+        sharding = (
+            f" in {args.partitions} partitions"
+            if args.partitions is not None and args.partitions > 1
+            else ""
+        )
+        print(
+            f"converted {len(db)} relations ({tuples} tuples) from "
+            f"{source.url()} to {destination.url()}{sharding}",
+            file=out,
+        )
     return 0
 
 
 def _command_repl(args: argparse.Namespace, out) -> int:
     from repro.session import Session
 
-    db = load_database(args.database)
+    db = open_database(args.database)
     session = Session(db)
-    print(
-        f"database {db.name!r}: {', '.join(db.names())} -- "
-        f":explain Q / :stats / :tables / :quit",
-        file=out,
-    )
+
+    def banner() -> None:
+        print(
+            f"database {db.name!r}: {', '.join(db.names())} -- "
+            f":explain Q / :stats / :tables / :open URL / :persist / :quit",
+            file=out,
+        )
+
+    banner()
     for line in sys.stdin:
         text = line.strip()
         if not text:
@@ -260,6 +340,13 @@ def _command_repl(args: argparse.Namespace, out) -> int:
                 print(kernel_stats().summary(), file=out)
                 print(current_config().describe(), file=out)
                 print(exec_stats().summary(), file=out)
+                backend = db.backend
+                print(
+                    backend.describe()
+                    if backend is not None
+                    else "storage backend: (none attached)",
+                    file=out,
+                )
             elif text == ":tables":
                 for relation in db:
                     keys = ", ".join(relation.schema.key_names)
@@ -268,6 +355,21 @@ def _command_repl(args: argparse.Namespace, out) -> int:
                         f"key=({keys})",
                         file=out,
                     )
+            elif text.startswith(":open"):
+                url = text[len(":open"):].strip()
+                if not url:
+                    print("usage: :open URL", file=out)
+                    continue
+                fresh = open_database(url)
+                db.close()
+                db, session = fresh, Session(fresh)
+                banner()
+            elif text == ":persist":
+                db.persist()
+                print(
+                    f"persisted {len(db)} relations to {db.backend.url()}",
+                    file=out,
+                )
             elif text.startswith(":explain"):
                 print(session.explain(text[len(":explain"):].strip()), file=out)
             elif text.startswith(":"):
@@ -277,6 +379,7 @@ def _command_repl(args: argparse.Namespace, out) -> int:
                 print(format_relation(result, style=args.style), file=out)
         except ReproError as exc:
             print(f"error: {exc}", file=out)
+    db.close()
     return 0
 
 
@@ -292,57 +395,80 @@ def _command_stream(args: argparse.Namespace, out) -> int:
         if kind is None and args.workers and args.workers > 1:
             kind = "thread"
         configure(executor=kind, workers=args.workers)
-    db = load_database(args.database)
-    schema = db.get(args.schema).schema
-    engine = StreamEngine(
-        schema,
-        name=args.name,
-        merger=TupleMerger(on_conflict=args.on_conflict),
-        database=db,
-        batch_size=args.batch,
-    )
-    started = time.perf_counter()
-    report = replay(engine, read_events(args.events))
-    elapsed = time.perf_counter() - started
-    throughput = report.events / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"replayed {report.summary()} in {elapsed:.3f}s "
-        f"({throughput:,.0f} events/s)",
-        file=out,
-    )
-    print(
-        f"integrated {args.name!r}: {len(engine.relation)} tuples from "
-        f"{len(engine.sources())} source(s), watermark {engine.watermark}",
-        file=out,
-    )
-    stats = engine.stats()
-    print(
-        f"evidence combinations: {stats.kernel_combinations} on the "
-        f"kernel path, {stats.fallback_combinations} on the fallback path",
-        file=out,
-    )
-    print(f"{current_config().describe()}; {exec_stats().summary()}", file=out)
-    print(engine.changelog.summary(), file=out)
-    if args.show:
-        print(format_relation(engine.relation, style=args.style), file=out)
-    if args.save:
-        save_database(db, args.save)
-        print(f"saved database to {args.save}", file=out)
+    db = open_database(args.database)
+    durable = open_backend(args.durable) if args.durable else None
+    try:
+        schema = db.get(args.schema).schema
+        engine = StreamEngine(
+            schema,
+            name=args.name,
+            merger=TupleMerger(on_conflict=args.on_conflict),
+            database=db,
+            batch_size=args.batch,
+            backend=durable,
+        )
+        started = time.perf_counter()
+        report = replay(engine, read_events(args.events))
+        elapsed = time.perf_counter() - started
+        throughput = report.events / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"replayed {report.summary()} in {elapsed:.3f}s "
+            f"({throughput:,.0f} events/s)",
+            file=out,
+        )
+        print(
+            f"integrated {args.name!r}: {len(engine.relation)} tuples from "
+            f"{len(engine.sources())} source(s), watermark {engine.watermark}",
+            file=out,
+        )
+        stats = engine.stats()
+        print(
+            f"evidence combinations: {stats.kernel_combinations} on the "
+            f"kernel path, {stats.fallback_combinations} on the fallback path",
+            file=out,
+        )
+        print(
+            f"{current_config().describe()}; {exec_stats().summary()}",
+            file=out,
+        )
+        if durable is not None:
+            print(
+                f"durable: {durable.describe()} (watermark "
+                f"{durable.stream_watermark(args.name)})",
+                file=out,
+            )
+        print(engine.changelog.summary(), file=out)
+        if args.show:
+            print(format_relation(engine.relation, style=args.style), file=out)
+        if args.save:
+            with open_backend(args.save) as target:
+                target.save_database(db)
+                print(f"saved database to {target.url()}", file=out)
+    finally:
+        if durable is not None:
+            durable.close()
+        db.close()
     return 0
 
 
 def _command_show(args: argparse.Namespace, out) -> int:
-    db = load_database(args.database)
-    if args.relation is None:
-        print(f"database {db.name!r}: {len(db)} relation(s)", file=out)
-        for relation in db:
-            keys = ", ".join(relation.schema.key_names)
-            print(
-                f"  {relation.name:<12} {len(relation):>4} tuples  key=({keys})",
-                file=out,
-            )
-        return 0
-    print(format_relation(db.get(args.relation), style=args.style), file=out)
+    db = open_database(args.database)
+    try:
+        if args.relation is None:
+            print(f"database {db.name!r}: {len(db)} relation(s)", file=out)
+            for relation in db:
+                keys = ", ".join(relation.schema.key_names)
+                print(
+                    f"  {relation.name:<12} {len(relation):>4} tuples  "
+                    f"key=({keys})",
+                    file=out,
+                )
+            return 0
+        print(
+            format_relation(db.get(args.relation), style=args.style), file=out
+        )
+    finally:
+        db.close()
     return 0
 
 
@@ -354,6 +480,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "demo": _command_demo,
         "query": _command_query,
+        "convert": _command_convert,
         "repl": _command_repl,
         "show": _command_show,
         "stream": _command_stream,

@@ -1,9 +1,15 @@
-"""Storage layer: catalogs, serialization and table rendering.
+"""Storage layer: catalogs, serialization, pluggable backends, rendering.
 
 * :mod:`repro.storage.database` -- an in-memory database of extended
   relations with a catalog, the execution target of the query layer;
-* :mod:`repro.storage.serialization` -- lossless JSON round-tripping of
-  relations and databases (exact fractions serialize as ``"1/3"``);
+  ``Database.open(url)``/``persist()`` bind it to a storage backend;
+* :mod:`repro.storage.serialization` -- the lossless JSON codec for
+  relations and databases (exact fractions serialize as ``"1/3"``),
+  shared by every backend;
+* :mod:`repro.storage.backends` -- the :class:`StorageBackend` engines
+  behind URL-style locations: ``json:`` (one file per database),
+  ``sqlite:`` (one row per tuple, relations load individually),
+  ``log:`` (append-only journal with write-ahead stream durability);
 * :mod:`repro.storage.formatting` -- renders extended relations as text
   tables in the paper's style (bracketed evidence sets, ``(sn,sp)``
   column).
@@ -20,6 +26,16 @@ from repro.storage.serialization import (
     save_database,
     save_relation,
 )
+from repro.storage.backends import (
+    JsonBackend,
+    LogBackend,
+    SqliteBackend,
+    StorageBackend,
+    create_database,
+    open_backend,
+    open_database,
+    resolve_backend,
+)
 from repro.storage.formatting import format_relation, format_tuple
 
 __all__ = [
@@ -32,6 +48,14 @@ __all__ = [
     "load_relation",
     "save_database",
     "load_database",
+    "StorageBackend",
+    "JsonBackend",
+    "SqliteBackend",
+    "LogBackend",
+    "resolve_backend",
+    "open_backend",
+    "open_database",
+    "create_database",
     "format_relation",
     "format_tuple",
 ]

@@ -1,0 +1,324 @@
+"""SQLite engine: one row per extended tuple, relations load individually.
+
+Layout (three tables, created lazily on first write):
+
+``meta(key, value)``
+    ``format_version``, ``name`` (the database name),
+    ``catalog_version`` (bumped by every mutating save) and per-stream
+    watermarks (``stream:<name>:watermark``).
+``relations(name, position, partitions, schema_json)``
+    One row per relation: catalog position (stable load order), the
+    persisted shard count (0 = flat) and the schema document.
+``tuples(relation, partition, position, row_json)``
+    One row per extended tuple.  ``row_json`` is the same lossless
+    tuple document the JSON backend stores (exact fractions as
+    ``"1/3"``, floats via shortest ``repr``), ``position`` the tuple's
+    serial order in the relation, and ``partition`` its stable CRC32
+    hash shard (:func:`repro.model.relation.partition_index`) when the
+    relation was saved partitioned.
+
+The payoff over the monolithic JSON file is *selective* deserialization:
+:meth:`load_relation` reads exactly one relation's rows through an
+indexed scan -- the rest of the database is never parsed -- and a
+relation saved with ``partitions=n`` reloads through
+:meth:`ExtendedRelation.from_partitions` into the identical shard
+layout, so a sharded engine resumes without re-hashing mismatches.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+from repro.errors import SerializationError
+from repro.model.relation import ExtendedRelation, partition_index
+from repro.storage.backends.base import StorageBackend
+from repro.storage.database import Database
+from repro.storage.serialization import (
+    FORMAT_VERSION,
+    _tuple_from_json,
+    _tuple_to_json,
+    schema_from_json,
+    schema_to_json,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS relations (
+    name        TEXT PRIMARY KEY,
+    position    INTEGER NOT NULL,
+    partitions  INTEGER NOT NULL DEFAULT 0,
+    schema_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS tuples (
+    relation TEXT    NOT NULL,
+    partition INTEGER NOT NULL DEFAULT 0,
+    position INTEGER NOT NULL,
+    row_json TEXT    NOT NULL,
+    PRIMARY KEY (relation, position)
+);
+"""
+
+
+class SqliteBackend(StorageBackend):
+    """A SQLite database file with one row per extended tuple."""
+
+    scheme = "sqlite"
+
+    def __init__(self, location):
+        super().__init__(location)
+        self._connection: sqlite3.Connection | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _do_open(self) -> None:
+        try:
+            self._connection = sqlite3.connect(str(self._path))
+        except sqlite3.Error as exc:
+            raise SerializationError(
+                f"cannot open SQLite store {self._path}: {exc}"
+            ) from exc
+
+    def _do_close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    @property
+    def _db(self) -> sqlite3.Connection:
+        self._require_open()
+        assert self._connection is not None
+        return self._connection
+
+    # -- store plumbing -----------------------------------------------------
+
+    def _has_store(self) -> bool:
+        row = self._db.execute(
+            "SELECT 1 FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        return row is not None
+
+    def _require_store(self) -> None:
+        if not self._has_store():
+            raise SerializationError(f"no database at {self.url()}")
+
+    def _ensure_store(self) -> None:
+        """Create tables + default metadata on first write."""
+        if self._has_store():
+            return
+        self._db.executescript(_SCHEMA)
+        self._db.executemany(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            [
+                ("format_version", str(FORMAT_VERSION)),
+                ("name", "db"),
+                ("catalog_version", "0"),
+            ],
+        )
+        self._db.commit()
+
+    def _meta(self, key: str, default: str | None = None) -> str | None:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else row[0]
+
+    def _set_meta(self, key: str, value: object) -> None:
+        self._db.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (key, str(value)),
+        )
+
+    def _check_format(self) -> None:
+        stored = int(self._meta("format_version", str(FORMAT_VERSION)))
+        if stored != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {stored!r} in {self.url()}"
+            )
+
+    def _bump_catalog_version(self) -> None:
+        self._set_meta("catalog_version", self.catalog_version() + 1)
+
+    # -- catalog metadata ---------------------------------------------------
+
+    def format_version(self) -> int:
+        self._require_open()
+        self._require_store()
+        return int(self._meta("format_version", str(FORMAT_VERSION)))
+
+    def database_name(self) -> str:
+        self._require_open()
+        self._require_store()
+        return str(self._meta("name", "db"))
+
+    def catalog_version(self) -> int:
+        self._require_open()
+        if not self._has_store():
+            return 0
+        return int(self._meta("catalog_version", "0"))
+
+    def list_relations(self) -> tuple[str, ...]:
+        self._require_open()
+        self._require_store()
+        rows = self._db.execute("SELECT name FROM relations ORDER BY name")
+        return tuple(name for (name,) in rows)
+
+    def catalog(self) -> dict[str, dict]:
+        self._require_open()
+        self._require_store()
+        rows = self._db.execute(
+            "SELECT r.name, r.partitions, COUNT(t.rowid) "
+            "FROM relations r LEFT JOIN tuples t ON t.relation = r.name "
+            "GROUP BY r.name, r.partitions ORDER BY r.position"
+        )
+        return {
+            name: {"tuples": count, "partitions": partitions}
+            for name, partitions, count in rows
+        }
+
+    # -- relation-level operations ------------------------------------------
+
+    def _load_relation(self, name: str) -> ExtendedRelation:
+        self._require_store()
+        self._check_format()
+        row = self._db.execute(
+            "SELECT schema_json, partitions FROM relations WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise self._missing_relation(name)
+        schema_json, partitions = row
+        try:
+            schema = schema_from_json(json.loads(schema_json))
+            rows = self._db.execute(
+                "SELECT partition, row_json FROM tuples "
+                "WHERE relation = ? ORDER BY position",
+                (name,),
+            )
+            if partitions and partitions > 1:
+                shards: list[list] = [[] for _ in range(partitions)]
+                for partition, row_json in rows:
+                    shards[partition].append(
+                        _tuple_from_json(json.loads(row_json), schema)
+                    )
+                return ExtendedRelation.from_partitions(
+                    schema,
+                    [ExtendedRelation(schema, shard) for shard in shards],
+                )
+            tuples = [
+                _tuple_from_json(json.loads(row_json), schema)
+                for _, row_json in rows
+            ]
+            return ExtendedRelation(schema, tuples)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"corrupt row for relation {name!r} in {self.url()}: {exc}"
+            ) from exc
+
+    def _save_relation(self, relation, partitions: int | None) -> None:
+        self._ensure_store()
+        self._check_format()
+        with self._db:
+            self._insert_relation(relation, partitions)
+            self._bump_catalog_version()
+
+    def _insert_relation(self, relation, partitions: int | None) -> None:
+        """Write one relation inside the caller's transaction."""
+        row = self._db.execute(
+            "SELECT position FROM relations WHERE name = ?", (relation.name,)
+        ).fetchone()
+        if row is not None:
+            position = row[0]
+        else:
+            row = self._db.execute(
+                "SELECT COALESCE(MAX(position), -1) + 1 FROM relations"
+            ).fetchone()
+            position = row[0]
+        sharded = partitions is not None and partitions > 1
+        n = partitions if sharded else 0
+        self._db.execute(
+            "INSERT INTO relations (name, position, partitions, schema_json) "
+            "VALUES (?, ?, ?, ?) ON CONFLICT (name) DO UPDATE SET "
+            "partitions = excluded.partitions, "
+            "schema_json = excluded.schema_json",
+            (relation.name, position, n, json.dumps(schema_to_json(relation.schema))),
+        )
+        self._db.execute(
+            "DELETE FROM tuples WHERE relation = ?", (relation.name,)
+        )
+        self._db.executemany(
+            "INSERT INTO tuples (relation, partition, position, row_json) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                (
+                    relation.name,
+                    partition_index(etuple.key(), n) if sharded else 0,
+                    index,
+                    json.dumps(_tuple_to_json(etuple)),
+                )
+                for index, etuple in enumerate(relation)
+            ),
+        )
+
+    def _delete_relation(self, name: str) -> None:
+        self._require_store()
+        with self._db:
+            deleted = self._db.execute(
+                "DELETE FROM relations WHERE name = ?", (name,)
+            ).rowcount
+            if not deleted:
+                raise self._missing_relation(name)
+            self._db.execute("DELETE FROM tuples WHERE relation = ?", (name,))
+            self._bump_catalog_version()
+
+    # -- database-level operations ------------------------------------------
+
+    def _load_database(self) -> Database:
+        self._require_store()
+        self._check_format()
+        database = Database(self.database_name())
+        names = self._db.execute(
+            "SELECT name FROM relations ORDER BY position"
+        ).fetchall()
+        # One batched change notification, as database_from_json does.
+        with database.batch():
+            for (name,) in names:
+                database._install(self._load_relation(name))
+        return database
+
+    def _save_database(self, database, partitions: int | None) -> None:
+        self._ensure_store()
+        self._check_format()
+        with self._db:
+            stored = {
+                name
+                for (name,) in self._db.execute("SELECT name FROM relations")
+            }
+            for stale in stored - set(database.names()):
+                self._db.execute(
+                    "DELETE FROM relations WHERE name = ?", (stale,)
+                )
+                self._db.execute(
+                    "DELETE FROM tuples WHERE relation = ?", (stale,)
+                )
+            for relation in database:
+                self._insert_relation(relation, partitions)
+            self._set_meta("name", database.name)
+            self._bump_catalog_version()
+
+    # -- streaming durability -----------------------------------------------
+
+    def _set_stream_watermark(self, name: str, watermark: int) -> None:
+        self._ensure_store()
+        with self._db:
+            self._set_meta(f"stream:{name}:watermark", int(watermark))
+
+    def _stream_watermark(self, name: str) -> int | None:
+        if not self._has_store():
+            return None
+        value = self._meta(f"stream:{name}:watermark")
+        return None if value is None else int(value)

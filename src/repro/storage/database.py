@@ -48,6 +48,87 @@ class Database:
         self._session = None
         self._batch_depth = 0
         self._batch_names: list[str] = []
+        self._backend = None
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def open(cls, url) -> "Database":
+        """Open the database a storage URL names, backend attached.
+
+        *url* is a backend location (``json:...``, ``sqlite:...``,
+        ``log:...``, or a bare path resolved per
+        :mod:`repro.storage.backends`); an already-built
+        :class:`~repro.storage.backends.StorageBackend` is accepted
+        too.  The catalog version is seeded from the backend, so
+        sessions never confuse results cached against an earlier
+        incarnation of the store.
+        """
+        from repro.storage.backends import open_database
+
+        return open_database(url)
+
+    @property
+    def backend(self):
+        """The attached storage backend (None for in-memory databases)."""
+        return self._backend
+
+    def attach(self, backend) -> None:
+        """Bind *backend* as this database's persistence engine.
+
+        ``persist()``/``reload()`` operate through it from now on.  The
+        backend must be open; an attached backend is released by
+        :meth:`close`.
+        """
+        self._backend = backend
+
+    def persist(self, partitions: int | None = None) -> None:
+        """Write the whole catalog through the attached backend.
+
+        With *partitions* the tuples persist in their stable hash-shard
+        layout (reloading re-partitions identically).  Raises
+        :class:`CatalogError` when no backend is attached.
+        """
+        self._require_backend().save_database(self, partitions=partitions)
+
+    def reload(self) -> frozenset:
+        """Re-read the attached store, refreshing changed relations.
+
+        Returns the names whose content actually changed (replaced,
+        added or dropped).  Only those bump the catalog version, so
+        session caches over untouched relations survive; afterwards the
+        catalog version is synced to the backend's, keeping this
+        database's sessions consistent with any other writer of the
+        same store.
+        """
+        backend = self._require_backend()
+        fresh = backend.load_database()
+        touched = []
+        with self.batch():
+            for name in set(self._relations) - set(fresh.names()):
+                self.drop(name)
+                touched.append(name)
+            for relation in fresh:
+                current = self._relations.get(relation.name)
+                if current is None or current != relation:
+                    self._install(relation)
+                    touched.append(relation.name)
+        self._version = max(self._version, backend.catalog_version())
+        return frozenset(touched)
+
+    def close(self) -> None:
+        """Release the attached backend (no-op when none is attached)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def _require_backend(self):
+        if self._backend is None:
+            raise CatalogError(
+                f"database {self._name!r} has no attached storage backend "
+                f"(open it via Database.open(url) or call attach())"
+            )
+        return self._backend
 
     @property
     def name(self) -> str:

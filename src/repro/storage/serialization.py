@@ -259,6 +259,13 @@ def relation_to_json(
     return document
 
 
+def tuple_count(document: dict) -> int:
+    """The number of tuples a relation document holds (either layout)."""
+    if "tuple_partitions" in document:
+        return sum(len(shard) for shard in document["tuple_partitions"])
+    return len(document.get("tuples", []))
+
+
 def relation_from_json(document: dict) -> ExtendedRelation:
     """Deserialize a relation (flat or partitioned layout)."""
     if document.get("format_version") != FORMAT_VERSION:
@@ -281,12 +288,21 @@ def relation_from_json(document: dict) -> ExtendedRelation:
 # -- databases --------------------------------------------------------------------
 
 
-def database_to_json(database: Database) -> dict:
-    """Serialize a whole database."""
+def database_to_json(
+    database: Database, partitions: int | None = None
+) -> dict:
+    """Serialize a whole database.
+
+    *partitions* applies the partition-sharded tuple layout (see
+    :func:`relation_to_json`) to every relation.
+    """
     return {
         "format_version": FORMAT_VERSION,
         "name": database.name,
-        "relations": [relation_to_json(relation) for relation in database],
+        "relations": [
+            relation_to_json(relation, partitions=partitions)
+            for relation in database
+        ],
     }
 
 
@@ -322,13 +338,26 @@ def save_relation(
     )
 
 
-def load_relation(path) -> ExtendedRelation:
-    """Read a relation from a JSON file."""
+def _read_json_document(path) -> dict:
+    """Read + parse one JSON file, folding I/O failures into
+    :class:`SerializationError` (with the offending path) so CLI users
+    and backend callers see one error family instead of raw
+    ``FileNotFoundError``/``JSONDecodeError`` leaks."""
     try:
-        document = json.loads(Path(path).read_text())
+        text = Path(path).read_text()
+    except FileNotFoundError as exc:
+        raise SerializationError(f"no such file: {path}") from exc
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    try:
+        return json.loads(text)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
-    return relation_from_json(document)
+
+
+def load_relation(path) -> ExtendedRelation:
+    """Read a relation from a JSON file."""
+    return relation_from_json(_read_json_document(path))
 
 
 def save_database(database: Database, path) -> None:
@@ -338,8 +367,4 @@ def save_database(database: Database, path) -> None:
 
 def load_database(path) -> Database:
     """Read a database from a JSON file."""
-    try:
-        document = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
-    return database_from_json(document)
+    return database_from_json(_read_json_document(path))

@@ -113,6 +113,16 @@ class StreamEngine:
     database:
         Optional catalog to publish the integrated relation into on
         every flush (under *name*, replacing the prior version).
+    backend:
+        Optional :class:`~repro.storage.backends.StorageBackend` making
+        the stream durable: every flush persists the batch through it
+        before publishing.  Snapshot backends (json/sqlite) store the
+        integrated relation plus the watermark; a
+        :class:`~repro.storage.backends.LogBackend` keeps a true
+        write-ahead log of the accepted events, from which
+        :meth:`~repro.storage.backends.LogBackend.recover_stream`
+        rebuilds the engine -- relation, per-source state and watermark
+        -- exactly.
     batch_size:
         Auto-flush after this many events; ``None`` (default) flushes
         only on explicit :meth:`flush` calls.
@@ -140,6 +150,7 @@ class StreamEngine:
         database=None,
         batch_size: int | None = None,
         max_changelog_batches: int | None = 1024,
+        backend=None,
     ):
         if database is not None and not str(name).isidentifier():
             raise StreamError(
@@ -163,6 +174,13 @@ class StreamEngine:
         self._relation: ExtendedRelation | None = None
         self._changelog = ChangeLog(max_batches=max_changelog_batches)
         self._stats = StreamStats()
+        self._backend = None
+        self._wal: list[tuple] = []
+        if backend is not None:
+            backend.begin_stream(
+                self._schema.name, self._schema, self._merger.on_conflict
+            )
+            self._backend = backend
 
     # -- accessors ----------------------------------------------------------
 
@@ -195,6 +213,11 @@ class StreamEngine:
     def pending_events(self) -> int:
         """Events accepted since the last flush."""
         return self._seq - self._flushed_seq
+
+    @property
+    def backend(self):
+        """The attached durability backend (None for in-memory streams)."""
+        return self._backend
 
     def stats(self) -> StreamStats:
         """The accumulated counters (live object, not a copy)."""
@@ -235,8 +258,18 @@ class StreamEngine:
 
         Sources are auto-registered (at full reliability) on their first
         event, so explicit registration is only needed to pre-set a
-        reliability or fix the fold order up front.
+        reliability or fix the fold order up front.  Explicit
+        registration is journaled (as a reliability record) when a
+        durability backend is attached: the fold order it pins must
+        survive recovery, even though registration alone is not an
+        event.
         """
+        self._register(name, reliability)
+        self._journal("reliability", name, self._sources[name].reliability)
+
+    def _register(self, name: str, reliability: object = 1) -> None:
+        """Registration without journaling (auto-registration: the
+        triggering event itself re-registers identically on replay)."""
         if name in self._sources:
             raise StreamError(f"duplicate source name {name!r}")
         self._source_index[name] = len(self._sources)
@@ -265,7 +298,7 @@ class StreamEngine:
         state = self._sources.get(source)
         auto_registered = state is None
         if auto_registered:
-            self.register_source(source)
+            self._register(source)
             state = self._sources[source]
         key = etuple.key()
         entity = self._state.entity(key)
@@ -317,6 +350,7 @@ class StreamEngine:
                     )
                     entity.dirty = was_dirty
                     raise
+        self._journal("upsert", source, etuple)
         self._seq += 1
         self._touched.add(key)
         self._stats.upserts += 1
@@ -343,6 +377,7 @@ class StreamEngine:
             entity.dirty = True
         else:
             self._state.discard_if_empty(key)
+        self._journal("retract", source, key)
         self._seq += 1
         self._touched.add(key)
         self._stats.retractions += 1
@@ -363,7 +398,10 @@ class StreamEngine:
         """
         state = self._sources.get(source)
         if state is None:
-            self.register_source(source, reliability)
+            self._register(source, reliability)
+            self._journal(
+                "reliability", source, self._sources[source].reliability
+            )
             self._seq += 1
             self._stats.reliability_updates += 1
             self._maybe_autoflush()
@@ -403,6 +441,7 @@ class StreamEngine:
                         self._state.get(key), order, count_refold=False
                     )
                 raise
+        self._journal("reliability", source, new)
         self._seq += 1
         self._stats.reliability_updates += 1
         self._maybe_autoflush()
@@ -483,6 +522,20 @@ class StreamEngine:
         self._touched = set()
         self._flushed_seq = self._seq
         self._stats.flushes += 1
+        if self._backend is not None:
+            # Durability first (write-ahead): the batch must be on disk
+            # before the catalog -- and its listeners -- see it.  A
+            # failed write puts the events back: they stay part of the
+            # next batch attempt instead of silently vanishing from the
+            # journal while the watermark advances past them.
+            events, self._wal = self._wal, []
+            try:
+                self._backend.write_batch(
+                    self._schema.name, delta, events, relation
+                )
+            except BaseException:
+                self._wal = events + self._wal
+                raise
         if self._db is not None and (
             not self._published_once or not delta.is_empty()
         ):
@@ -491,7 +544,44 @@ class StreamEngine:
             self._db.add(relation, replace=True)
         return delta
 
+    def snapshot_events(self) -> list[tuple]:
+        """The minimal event sequence rebuilding this engine's state.
+
+        Replaying the returned ``(kind, source, payload)`` triples
+        through a fresh engine reproduces the current sources (order and
+        reliability), every per-source contribution, the entity order of
+        the integrated relation and hence -- folds being deterministic
+        -- the relation itself.  This is what
+        :meth:`~repro.storage.backends.LogBackend.compact` folds a
+        stream's event history down to: reliability records first (they
+        pin source-registration order), then each entity's surviving
+        raw tuples in first-arrival entity order, each entity's sources
+        in registration order.
+        """
+        events: list[tuple] = [
+            ("reliability", name, state.reliability)
+            for name, state in self._sources.items()
+        ]
+        for entity in self._state:
+            for source in sorted(
+                entity.contributions, key=self._source_index.__getitem__
+            ):
+                events.append(
+                    ("upsert", source, entity.contributions[source].raw)
+                )
+        return events
+
     # -- internals ----------------------------------------------------------
+
+    def _journal(self, kind: str, source: str, payload) -> None:
+        """Buffer one accepted event for the backend's write-ahead log.
+
+        Called only after the event fully succeeded (rolled-back
+        ``raise``-policy conflicts never reach the journal), so replay
+        sees exactly the accepted event sequence.
+        """
+        if self._backend is not None:
+            self._wal.append((kind, source, payload))
 
     def _refold(self, entity, order, count_refold: bool = True) -> None:
         """Refold one entity, attributing evidence-combination counts.

@@ -168,7 +168,14 @@ class TestRelationSerialization:
     def test_bad_json_file(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
-        with pytest.raises(SerializationError):
+        with pytest.raises(SerializationError, match=str(path)):
+            load_relation(path)
+
+    def test_missing_file_is_serialization_error(self, tmp_path):
+        """A missing file surfaces as SerializationError naming the
+        path, not a raw FileNotFoundError leaking to CLI users."""
+        path = tmp_path / "absent.json"
+        with pytest.raises(SerializationError, match=str(path)):
             load_relation(path)
 
 
@@ -217,6 +224,17 @@ class TestDatabaseSerialization:
         db.add(table_rm_a())
         recovered = database_from_json(database_to_json(db))
         assert recovered.get("RM_A") == table_rm_a()
+
+    def test_missing_file_is_serialization_error(self, tmp_path):
+        path = tmp_path / "absent.json"
+        with pytest.raises(SerializationError, match=str(path)):
+            load_database(path)
+
+    def test_bad_json_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2,")
+        with pytest.raises(SerializationError, match=str(path)):
+            load_database(path)
 
 
 class TestFormatting:

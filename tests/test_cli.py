@@ -1,4 +1,10 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Database locations go through the storage-backend resolver, so the
+whole file honors ``REPRO_STORAGE`` -- the CI matrix reruns it with the
+SQLite engine as the default backend.  Tests that assert the *JSON*
+on-disk format pin the ``json:`` scheme explicitly.
+"""
 
 import io
 import json
@@ -6,13 +12,20 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.storage.serialization import load_database
+from repro.storage import open_database
 
 
 def run_cli(*argv):
     out = io.StringIO()
     status = main(list(argv), out=out)
     return status, out.getvalue()
+
+
+def read_database(path):
+    """Load a database through the URL resolver, releasing the backend."""
+    db = open_database(str(path))
+    db.close()
+    return db
 
 
 @pytest.fixture
@@ -29,21 +42,31 @@ class TestDemo:
         status, output = run_cli("demo", str(path))
         assert status == 0
         assert "6 relations" in output
-        db = load_database(path)
+        db = read_database(path)
         assert db.names() == ("M_A", "M_B", "RA", "RB", "RM_A", "RM_B")
 
     def test_integrated_flag(self, tmp_path):
         path = tmp_path / "db.json"
         status, _ = run_cli("demo", str(path), "--integrated")
         assert status == 0
-        db = load_database(path)
+        db = read_database(path)
         assert {"R", "M", "RM"} <= set(db.names())
         assert len(db.get("R")) == 6
 
     def test_output_is_valid_json(self, tmp_path):
+        # json: pinned: this asserts the JSON engine's on-disk format.
         path = tmp_path / "db.json"
-        run_cli("demo", str(path))
+        run_cli("demo", f"json:{path}")
         json.loads(path.read_text())
+
+    def test_scheme_url_picks_engine(self, tmp_path):
+        """An explicit sqlite: URL wins over the .json extension."""
+        path = tmp_path / "oddly-named.json"
+        status, output = run_cli("demo", f"sqlite:{path}")
+        assert status == 0
+        assert f"sqlite:{path}" in output
+        db = read_database(f"sqlite:{path}")
+        assert db.names() == ("M_A", "M_B", "RA", "RB", "RM_A", "RM_B")
 
 
 class TestQuery:
@@ -88,7 +111,7 @@ class TestQuery:
             str(destination),
         )
         assert status == 0
-        saved = load_database(destination)
+        saved = read_database(destination)
         assert len(saved.get("R")) == 6
 
     def test_bad_query_is_clean_error(self, demo_db, capsys):
@@ -159,6 +182,41 @@ class TestRepl:
         assert "executor:" in output
         assert "partition(s)" in output
 
+    def test_stats_names_storage_backend(self, demo_db, monkeypatch):
+        status, output = self.run_repl(monkeypatch, demo_db, ":stats\n:quit\n")
+        assert status == 0
+        assert "storage backend:" in output
+
+    def test_open_switches_databases(self, demo_db, tmp_path, monkeypatch):
+        other = tmp_path / "other.sqlite"
+        status, _ = run_cli("demo", f"sqlite:{other}")
+        assert status == 0
+        script = f":open sqlite:{other}\n:stats\n:quit\n"
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0
+        # The banner reprints for the new database and :stats names it.
+        assert output.count("database 'tourist_bureau'") == 2
+        assert f"sqlite at {other}" in output
+
+    def test_open_bad_url_stays_in_loop(self, demo_db, monkeypatch):
+        script = ":open sqlite:/nonexistent/nowhere.db\n:tables\n:quit\n"
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0
+        assert "error:" in output
+        assert "RA" in output  # the original database is still live
+
+    def test_persist_writes_back(self, tmp_path, monkeypatch):
+        path = tmp_path / "db.sqlite"
+        status, _ = run_cli("demo", f"sqlite:{path}")
+        assert status == 0
+        script = ":persist\n:quit\n"
+        status, output = self.run_repl(monkeypatch, f"sqlite:{path}", script)
+        assert status == 0
+        assert "persisted 6 relations" in output
+        assert read_database(f"sqlite:{path}").names() == (
+            "M_A", "M_B", "RA", "RB", "RM_A", "RM_B",
+        )
+
     def test_tables_lists_catalog(self, demo_db, monkeypatch):
         status, output = self.run_repl(monkeypatch, demo_db, ":tables\n:quit\n")
         assert status == 0
@@ -227,8 +285,8 @@ class TestStream:
             )
             assert status == 0
             assert "executor: thread, 3 worker(s)" in output
-        serial_db = load_database(serial_out)
-        pooled_db = load_database(pooled_out)
+        serial_db = read_database(serial_out)
+        pooled_db = read_database(pooled_out)
         assert pooled_db.get("integrated").same_tuples(
             serial_db.get("integrated")
         )
@@ -252,7 +310,7 @@ class TestStream:
             str(out),
         )
         assert status == 0
-        db = load_database(out)
+        db = read_database(out)
         assert "R_LIVE" in db
         assert len(db.get("R_LIVE")) == 6
 
@@ -274,3 +332,57 @@ class TestStream:
         status, _ = run_cli("stream", str(demo_db), str(bad), "--schema", "RA")
         assert status == 1
         assert "unknown event op" in capsys.readouterr().err
+
+    def test_durable_flag_journals_batches(self, demo_db, events_file, tmp_path):
+        from repro.storage import open_backend
+
+        wal = tmp_path / "wal.jsonl"
+        status, output = run_cli(
+            "stream", str(demo_db), str(events_file),
+            "--schema", "RA", "--name", "R_LIVE",
+            "--durable", f"log:{wal}",
+        )
+        assert status == 0
+        assert "durable:" in output and "watermark 11" in output
+        with open_backend(f"log:{wal}") as backend:
+            recovered = backend.recover_stream("R_LIVE", attach=False)
+            assert recovered.watermark == 11
+            assert len(recovered.relation) == 6
+
+
+class TestConvert:
+    def test_json_to_sqlite_round_trip(self, demo_db, tmp_path):
+        destination = tmp_path / "out.sqlite"
+        status, output = run_cli(
+            "convert", str(demo_db), f"sqlite:{destination}"
+        )
+        assert status == 0
+        assert "converted 6 relations" in output
+        source = read_database(demo_db)
+        converted = read_database(f"sqlite:{destination}")
+        assert converted.names() == source.names()
+        for name in source.names():
+            assert converted.get(name) == source.get(name)
+
+    def test_repartitions_on_the_way(self, demo_db, tmp_path):
+        destination = tmp_path / "out.jsonl"
+        status, output = run_cli(
+            "convert", str(demo_db), f"log:{destination}", "--partitions", "3"
+        )
+        assert status == 0
+        assert "in 3 partitions" in output
+        from repro.storage import open_backend
+
+        with open_backend(f"log:{destination}") as backend:
+            assert backend.catalog()["RA"]["partitions"] == 3
+
+    def test_same_location_rejected(self, demo_db, capsys):
+        status, _ = run_cli("convert", str(demo_db), str(demo_db))
+        assert status == 1
+        assert "distinct locations" in capsys.readouterr().err
+
+    def test_missing_source_is_clean_error(self, tmp_path, capsys):
+        status, _ = run_cli(
+            "convert", str(tmp_path / "absent.json"), str(tmp_path / "out.db")
+        )
+        assert status == 1

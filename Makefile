@@ -8,13 +8,16 @@
 #   make bench-kernel   kernel-vs-frozenset combination benchmark
 #   make bench-parallel federation/stream scaling across worker counts
 #   make bench-storage  save/load/point-load per storage backend
-#   make lint           ruff check (skipped with a notice when ruff is absent)
+#   make lint           ruff check (fails in CI when ruff is absent;
+#                       skipped with a notice locally)
+#   make lint-analysis  reprolint: invariant static analysis (EXACT,
+#                       DETERM, CONC, BACKEND) against the baseline
 
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
 .PHONY: test test-parallel test-sqlite bench bench-stream bench-kernel \
-	bench-parallel bench-storage lint quickstart
+	bench-parallel bench-storage lint lint-analysis quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,9 +43,19 @@ bench-parallel:
 bench-storage:
 	$(PYTHON) -m pytest benchmarks/bench_storage_backends.py -q -s
 
+# Real ruff findings always fail; only a *missing* ruff is forgiven,
+# and only outside CI (GitHub Actions exports CI=true).
 lint:
-	@$(PYTHON) -m ruff check src tests benchmarks examples 2>/dev/null \
-		|| echo "ruff not installed; skipping lint"
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	elif [ -n "$$CI" ]; then \
+		echo "ruff not installed but CI is set; failing" >&2; exit 1; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+lint-analysis:
+	$(PYTHON) -m repro.analysis --baseline analysis-baseline.json src
 
 quickstart:
 	$(PYTHON) examples/quickstart.py

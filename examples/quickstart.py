@@ -16,7 +16,9 @@ This walks the paper's core loop with the fluent lazy API:
    layer shards entity work into hash partitions, and any executor /
    partition count reproduces the serial result exactly,
 7. persist everything through a pluggable storage backend (json /
-   sqlite / append-only log), with write-ahead durability for streams.
+   sqlite / append-only log), with write-ahead durability for streams,
+8. check the correctness invariants behind all of the above with the
+   built-in static analyzer (python -m repro.analysis).
 
 Run:  python examples/quickstart.py
 """
@@ -206,6 +208,56 @@ def main() -> None:
             f"from {wal.url()}"
         )
         wal.close()
+    print()
+
+    # Correctness invariants & static analysis.  Everything demonstrated
+    # above rests on four invariants that ordinary tests only probe
+    # pointwise, so the repo ships an AST-based analyzer (reprolint,
+    # `python -m repro.analysis` / `make lint-analysis`, run in CI) that
+    # enforces them structurally across the whole source tree:
+    #
+    #   EXACT    mass values are exact Fractions end to end: no float
+    #            literals, float() casts or bare `/` division on the
+    #            mass paths (repro.ds / repro.algebra).  This is what
+    #            lets the kernel-vs-frozenset equivalence suite (PR 3,
+    #            tests/ds/test_kernel.py) demand *equality*, not
+    #            approximation.
+    #   DETERM   no unordered-set iteration flows into returned or
+    #            serialized order, and nothing time- or random-derived
+    #            reaches plan fingerprints -- the executor-equivalence
+    #            suite (PR 4, tests/exec/) asserts any executor at any
+    #            partition count reproduces the serial tuple order
+    #            bit-for-bit, which only holds if no code path depends
+    #            on PYTHONHASHSEED.
+    #   CONC     module-level mutable state written from
+    #            executor-reachable code must be locked or thread-local
+    #            (the kernel/exec STATS counters aggregate thread-local
+    #            cells), and process-pool closures must not capture
+    #            file handles, sqlite connections or locks across fork.
+    #   BACKEND  every StorageBackend engine implements the full
+    #            abstract surface, and every mutating save/delete hook
+    #            bumps catalog_version -- the invariants behind the PR 5
+    #            round-trip suite (tests/storage/).
+    #
+    # Deliberate boundary crossings (presenting a mass as a decimal,
+    # entropy measures that are floats by definition) carry inline
+    # `# repro: ignore[RULE]` pragmas; accepted debt lives in
+    # analysis-baseline.json, where a fixed finding turns its entry
+    # stale and *fails* the run until the baseline is regenerated with
+    # --write-baseline.  The shipped tree is clean:
+    from repro.analysis.lint import analyze
+
+    repo_root = Path(__file__).resolve().parent.parent
+    report = analyze(
+        [repo_root / "src"],
+        baseline_path=repo_root / "analysis-baseline.json",
+    )
+    assert report.clean
+    print(
+        f"reprolint: {report.files} files analyzed, "
+        f"{len(report.findings)} findings, "
+        f"{len(report.ignored)} documented pragma exemptions"
+    )
 
 
 if __name__ == "__main__":

@@ -11,6 +11,11 @@ provides both endpoints:
 * :mod:`repro.analysis.quality` -- relation-level uncertainty metrics
   (mean ignorance, nonspecificity/discord totals, membership statistics)
   and merge-report digests.
+
+It also hosts :mod:`repro.analysis.lint` (reprolint), the repo's own
+invariant-enforcing static analyzer -- ``python -m repro.analysis``
+checks the source tree for exactness (EXACT), determinism (DETERM),
+thread/fork-safety (CONC) and storage-contract (BACKEND) violations.
 """
 
 from repro.analysis.decisions import CrispRow, DecisionPolicy, decide

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis``: run the reprolint static analyzer."""
+
+import sys
+
+from repro.analysis.lint.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The checker framework: parsed modules, the visitor base, pragmas.
+
+A checker sees one :class:`Module` at a time (parsed AST + source
+lines + the inline-ignore table) and may keep cross-module state until
+:meth:`Checker.finish` (the BACKEND contract checker resolves class
+hierarchies across files that way).  Suppression is the runner's job:
+checkers report every violation they see; ``# repro: ignore[RULE]``
+pragmas and the baseline are applied afterwards, so the JSON report can
+say *why* a finding does not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+#: Inline escape hatch: ``# repro: ignore[EXACT001]`` on the offending
+#: line suppresses matching rules there; a bare ``# repro: ignore``
+#: suppresses every rule on the line.  Rule names may be families --
+#: ``EXACT`` matches ``EXACT001``, ``EXACT002``, ...  A pragma on a
+#: comment-only line applies to the next source line instead (for lines
+#: too dense to carry a trailing comment).
+IGNORE_PRAGMA = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def parse_ignores(source: str) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule families ignored there.
+
+    The special entry ``"*"`` means every rule.
+    """
+    ignores: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = IGNORE_PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None or not rules.strip():
+            families = frozenset({"*"})
+        else:
+            families = frozenset(
+                rule.strip().upper() for rule in rules.split(",") if rule.strip()
+            )
+        target = lineno + 1 if line.strip().startswith("#") else lineno
+        ignores[target] = ignores.get(target, frozenset()) | families
+    return ignores
+
+
+def is_ignored(rule: str, line: int, ignores: dict[int, frozenset[str]]) -> bool:
+    """Whether *rule* is pragma-suppressed on *line*."""
+    families = ignores.get(line)
+    if families is None:
+        return False
+    return "*" in families or any(rule.startswith(f) for f in families)
+
+
+class Module:
+    """One parsed source file, as checkers see it."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.posix = str(Path(path).as_posix())
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.ignores = parse_ignores(source)
+
+
+class Checker:
+    """Base class for one invariant checker.
+
+    Subclasses set :attr:`name`, :attr:`rules` (rule id -> one-line
+    description) and :attr:`paths` (module-path fragments the checker
+    applies to; empty means every analyzed file), and implement
+    :meth:`check`.  Cross-module checkers accumulate state in
+    :meth:`check` and emit from :meth:`finish`.
+    """
+
+    name: str = "?"
+    rules: dict[str, str] = {}
+    paths: tuple[str, ...] = ()
+
+    def applies_to(self, module_posix: str) -> bool:
+        """Whether this checker runs on the module at *module_posix*."""
+        if not self.paths:
+            return True
+        return any(fragment in module_posix for fragment in self.paths)
+
+    def check(self, module: Module) -> list[Finding]:
+        """Report violations in one module."""
+        raise NotImplementedError
+
+    def finish(self) -> list[Finding]:
+        """Report cross-module violations after every module was seen."""
+        return []
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """An AST visitor that tracks the enclosing class/function qualname.
+
+    Checkers subclass this to anchor findings to stable scopes: the
+    current :meth:`qualname` (``"<module>"`` at top level, else the
+    dotted def/class path) keys the baseline, so findings survive
+    line-number churn.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.findings: list[Finding] = []
+        self._scopes: list[str] = []
+        self._scope_kinds: list[str] = []
+
+    def qualname(self) -> str:
+        return ".".join(self._scopes) if self._scopes else "<module>"
+
+    def in_function(self) -> bool:
+        """Whether the visitor is inside any def (not at module level)."""
+        return "def" in self._scope_kinds
+
+    def _enter(self, name: str, kind: str) -> None:
+        self._scopes.append(name)
+        self._scope_kinds.append(kind)
+
+    def _exit(self) -> None:
+        self._scopes.pop()
+        self._scope_kinds.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node.name, "def")
+        self.generic_visit(node)
+        self._exit()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node.name, "def")
+        self.generic_visit(node)
+        self._exit()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node.name, "class")
+        self.generic_visit(node)
+        self._exit()
+
+    def report(self, rule: str, node: ast.AST, message: str, detail: str) -> None:
+        """Record one finding anchored to the current scope."""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.module.posix,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                message=message,
+                anchor=f"{self.qualname()}:{detail}",
+            )
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,85 @@
+"""Baselines: committed debt, explicit and shrinking-only.
+
+A baseline file lists findings that existed when the analyzer was
+adopted (or that are accepted debt), by their stable keys.  The runner
+suppresses baselined findings -- but a baseline entry whose finding no
+longer occurs is *stale* and fails the run: the file must be
+regenerated (``--write-baseline``) when debt is paid down, so it can
+never accrete entries that silently mask future regressions at the same
+key.
+"""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def load_baseline(path: str | Path) -> dict[str, dict]:
+    """Read a baseline file into ``{key: entry}`` (empty if absent)."""
+    location = Path(path)
+    if not location.exists():
+        return {}
+    try:
+        document = json.loads(location.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {location}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != FORMAT_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise BaselineError(
+            f"baseline {location} is not a version-{FORMAT_VERSION} "
+            f"reprolint baseline"
+        )
+    entries: dict[str, dict] = {}
+    for entry in document["findings"]:
+        if not isinstance(entry, dict) or "key" not in entry:
+            raise BaselineError(
+                f"baseline {location} holds a malformed entry: {entry!r}"
+            )
+        entries[str(entry["key"])] = entry
+    return entries
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write *findings* as the new baseline (sorted, stable layout)."""
+    document = {
+        "version": FORMAT_VERSION,
+        "findings": [
+            {
+                "key": finding.key,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=lambda f: f.key)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: dict[str, dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Partition into (new, baselined) findings and stale entries."""
+    matched_keys = {finding.key for finding in findings}
+    new = [f for f in findings if f.key not in baseline]
+    baselined = [f for f in findings if f.key in baseline]
+    stale = [
+        entry for key, entry in baseline.items() if key not in matched_keys
+    ]
+    return new, baselined, stale

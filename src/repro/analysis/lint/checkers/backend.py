@@ -1,0 +1,256 @@
+"""BACKEND: the ``StorageBackend`` contract, enforced at the source level.
+
+PR 5's storage architecture hangs off one ABC: every engine implements
+the full :class:`repro.storage.backends.base.StorageBackend` surface,
+and every mutating save bumps the monotonic catalog version (session
+caches fingerprint against it -- an engine that forgets the bump serves
+stale results after a reopen, silently).  Python only enforces the
+first half, and only at *instantiation* time; this checker enforces
+both statically, across files:
+
+* **BACKEND001** -- a concrete ``StorageBackend`` subclass missing part
+  of the abstract surface (the ``@abc.abstractmethod``-decorated
+  methods of the ABC), considering inherited implementations along the
+  class chain within the analyzed files.
+* **BACKEND002** -- a mutating hook (``_save_relation``,
+  ``_save_database``, ``_delete_relation``) whose body never reaches a
+  catalog-version bump: neither a direct ``catalog_version`` store/
+  increment, nor (transitively) a ``self.``-call into a method that
+  does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.base import Checker, Module, dotted_name
+from repro.analysis.lint.findings import Finding
+
+#: The hooks that must bump the catalog version.
+MUTATING_HOOKS = ("_save_relation", "_save_database", "_delete_relation")
+
+_BASE_NAME = "StorageBackend"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    path: str
+    posix: str
+    line: int
+    column: int
+    bases: tuple[str, ...]
+    methods: dict[str, ast.AST] = field(default_factory=dict)
+    abstract_methods: set[str] = field(default_factory=set)
+
+
+def _is_abstract_decorator(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    return name is not None and name.split(".")[-1] in {
+        "abstractmethod",
+        "abstractproperty",
+    }
+
+
+def _bumps_catalog_directly(func: ast.AST) -> bool:
+    """Whether *func* stores/increments a catalog version itself."""
+    for node in ast.walk(func):
+        target = None
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+        elif isinstance(node, ast.Assign):
+            for candidate in node.targets:
+                if _is_catalog_slot(candidate):
+                    return True
+        if target is not None and _is_catalog_slot(target):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            tail = name.split(".")[-1] if name else ""
+            if "bump" in tail.lower():
+                return True
+            # _set_meta("catalog_version", ...) style helpers; plain
+            # .get("catalog_version") reads do not count as a bump.
+            if tail != "get" and node.args and _is_catalog_constant(node.args[0]):
+                return True
+    return False
+
+
+def _is_catalog_slot(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "catalog_version":
+        return True
+    if isinstance(node, ast.Subscript) and _is_catalog_constant(node.slice):
+        return True
+    return False
+
+
+def _is_catalog_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value == "catalog_version"
+
+
+def _self_calls(func: ast.AST) -> set[str]:
+    """Names of ``self.X(...)`` methods called anywhere in *func*."""
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+class BackendChecker(Checker):
+    """ABC-surface completeness and catalog-version discipline."""
+
+    name = "backend"
+    paths = ()  # subclasses may live anywhere; collection is cheap
+    rules = {
+        "BACKEND001": "StorageBackend subclass missing abstract methods",
+        "BACKEND002": "mutating save path never bumps catalog_version",
+    }
+
+    def __init__(self):
+        self._classes: dict[str, _ClassInfo] = {}
+
+    def check(self, module: Module) -> list[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(
+                name
+                for base in node.bases
+                if (name := dotted_name(base)) is not None
+            )
+            info = _ClassInfo(
+                name=node.name,
+                path=module.path,
+                posix=module.posix,
+                line=node.lineno,
+                column=node.col_offset,
+                bases=bases,
+            )
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[item.name] = item
+                    if any(
+                        _is_abstract_decorator(d) for d in item.decorator_list
+                    ):
+                        info.abstract_methods.add(item.name)
+            self._classes[node.name] = info
+        return []
+
+    # -- resolution over the collected class graph --------------------------
+
+    def _chain(self, info: _ClassInfo) -> list[_ClassInfo]:
+        """*info* and its ancestors, nearest first, within analyzed files."""
+        chain, queue, seen = [], [info], set()
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.bases:
+                parent = self._classes.get(base.split(".")[-1])
+                if parent is not None:
+                    queue.append(parent)
+        return chain
+
+    def _is_backend_subclass(self, info: _ClassInfo) -> bool:
+        if info.name == _BASE_NAME:
+            return False
+        for current in self._chain(info):
+            # Resolved ancestors, plus base *names* for ancestors whose
+            # defining module is outside the analyzed file set.
+            if current is not info and current.name == _BASE_NAME:
+                return True
+            if any(base.split(".")[-1] == _BASE_NAME for base in current.bases):
+                return True
+        return False
+
+    def _abstract_surface(self) -> set[str]:
+        base = self._classes.get(_BASE_NAME)
+        return set(base.abstract_methods) if base is not None else set()
+
+    def _bumping_methods(self, chain: list[_ClassInfo]) -> set[str]:
+        """Methods along *chain* that (transitively) bump the catalog."""
+        methods: dict[str, ast.AST] = {}
+        for info in reversed(chain):  # nearest class wins
+            methods.update(info.methods)
+        bumping = {
+            name
+            for name, func in methods.items()
+            if _bumps_catalog_directly(func)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, func in methods.items():
+                if name in bumping:
+                    continue
+                if _self_calls(func) & bumping:
+                    bumping.add(name)
+                    changed = True
+        return bumping
+
+    def finish(self) -> list[Finding]:
+        surface = self._abstract_surface()
+        findings: list[Finding] = []
+        for info in self._classes.values():
+            if info.name == _BASE_NAME or not self._is_backend_subclass(info):
+                continue
+            if info.abstract_methods:
+                continue  # itself abstract: an intermediate base
+            chain = self._chain(info)
+            implemented = {
+                name
+                for cls in chain
+                for name, _ in cls.methods.items()
+                if name not in cls.abstract_methods
+            }
+            missing = sorted(surface - implemented)
+            if missing:
+                findings.append(
+                    Finding(
+                        rule="BACKEND001",
+                        path=info.posix,
+                        line=info.line,
+                        column=info.column,
+                        message=(
+                            f"{info.name} does not implement the full "
+                            f"StorageBackend surface; missing: "
+                            f"{', '.join(missing)}"
+                        ),
+                        anchor=f"{info.name}:missing-abstract",
+                    )
+                )
+            bumping = self._bumping_methods(chain)
+            for hook in MUTATING_HOOKS:
+                owner = next(
+                    (cls for cls in chain if hook in cls.methods), None
+                )
+                if owner is None or hook in owner.abstract_methods:
+                    continue  # BACKEND001 already covers absence
+                if hook not in bumping:
+                    node = owner.methods[hook]
+                    findings.append(
+                        Finding(
+                            rule="BACKEND002",
+                            path=owner.posix,
+                            line=node.lineno,
+                            column=node.col_offset,
+                            message=(
+                                f"{info.name}.{hook} mutates the store but "
+                                f"never bumps catalog_version; reopened "
+                                f"sessions would serve stale fingerprinted "
+                                f"results"
+                            ),
+                            anchor=f"{info.name}.{hook}:no-catalog-bump",
+                        )
+                    )
+        return findings

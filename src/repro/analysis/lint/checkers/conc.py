@@ -1,0 +1,319 @@
+"""CONC: fork/thread-safety of executor-reachable code.
+
+The physical layer (:mod:`repro.exec`) runs partition tasks on thread
+pools and ``fork`` process pools, so any module a task can reach is
+concurrent code whether it planned to be or not.  Two rules:
+
+* **CONC001** -- a module-level mutable global (a container literal or
+  constructed instance) written from inside a function without holding a
+  lock: attribute/subscript stores, augmented assignments (the classic
+  lost-update ``STATS.counter += 1``) and known mutating method calls
+  (``.append``/``.add``/``.update``/``.clear``/...).  Writes inside a
+  ``with`` block whose context expression names a lock (a module-level
+  ``threading.Lock()`` global, or any name containing ``lock``) are
+  considered guarded; ``threading.local()`` instances are thread-private
+  by construction and exempt.
+* **CONC002** -- a closure captured into a process-pool task while
+  holding a fork-unsafe resource: a nested def/lambda that references an
+  enclosing variable bound from ``open(...)``, ``sqlite3.connect(...)``
+  or a ``threading`` lock, passed to ``.submit``/``.map``/
+  ``.apply_async``/``.imap*``.  File offsets, sqlite connections and
+  held locks do not survive ``fork`` -- the child inherits corrupt
+  state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import Checker, Module, ScopedVisitor, dotted_name
+from repro.analysis.lint.findings import Finding
+
+_LOCK_CONSTRUCTORS = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Barrier",
+}
+_MUTATING_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+_POOL_DISPATCH = {"submit", "map", "apply", "apply_async", "imap", "imap_unordered"}
+_FORK_UNSAFE_CONSTRUCTORS = {"open", "sqlite3.connect", "connect"}
+
+
+def _call_tail(node: ast.AST) -> str | None:
+    """The last identifier of a called Name/Attribute (``threading.Lock``
+    -> ``Lock``), or ``None``."""
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None:
+            return name.split(".")[-1]
+    return None
+
+
+class _ModuleGlobals(ast.NodeVisitor):
+    """Classify module-level names: mutable, lock, or thread-local."""
+
+    def __init__(self, tree: ast.Module):
+        self.mutable: set[str] = set()
+        self.locks: set[str] = set()
+        for statement in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                targets, value = [statement.target], statement.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                self._classify(target.id, value)
+
+    def _classify(self, name: str, value: ast.expr) -> None:
+        tail = _call_tail(value)
+        if tail in _LOCK_CONSTRUCTORS:
+            self.locks.add(name)
+            return
+        if tail == "local":  # threading.local(): thread-private, safe
+            return
+        if isinstance(
+            value,
+            (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
+        ) or isinstance(value, ast.Call):
+            self.mutable.add(name)
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base Name of an attribute/subscript chain (``X.a[0].b`` -> X)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _ConcVisitor(ScopedVisitor):
+    def __init__(self, module: Module, globals_: _ModuleGlobals):
+        super().__init__(module)
+        self._globals = globals_
+        self._guard_depth = 0
+
+    def _is_lock_expr(self, node: ast.AST) -> bool:
+        name = dotted_name(node)
+        if name is None:
+            return False
+        if name.split(".")[-1] in self._globals.locks or name in self._globals.locks:
+            return True
+        return "lock" in name.lower()
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(
+            self._is_lock_expr(item.context_expr)
+            or (
+                isinstance(item.context_expr, ast.Call)
+                and self._is_lock_expr(item.context_expr.func)
+            )
+            for item in node.items
+        )
+        if guarded:
+            self._guard_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._guard_depth -= 1
+
+    def _flag(self, node: ast.AST, name: str, what: str) -> None:
+        self.report(
+            "CONC001",
+            node,
+            f"unsynchronized {what} of module-level mutable global "
+            f"{name!r} from executor-reachable code; guard with a lock "
+            f"or use thread-local counters",
+            f"global-write:{name}",
+        )
+
+    def _global_write_target(self, target: ast.AST) -> str | None:
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return None
+        root = _root_name(target)
+        if root is not None and root in self._globals.mutable:
+            return root
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.in_function() and self._guard_depth == 0:
+            for target in node.targets:
+                root = self._global_write_target(target)
+                if root is not None:
+                    self._flag(node, root, "write")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.in_function() and self._guard_depth == 0:
+            root = self._global_write_target(node.target)
+            if root is not None:
+                self._flag(node, root, "read-modify-write")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self.in_function() and self._guard_depth == 0:
+            for target in node.targets:
+                root = self._global_write_target(target)
+                if root is not None:
+                    self._flag(node, root, "delete")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.in_function()
+            and self._guard_depth == 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            root = _root_name(node.func.value)
+            if root is not None and root in self._globals.mutable:
+                self._flag(node, root, f".{node.func.attr}() mutation")
+        self.generic_visit(node)
+
+
+class _ForkCaptureVisitor(ScopedVisitor):
+    """CONC002: per-function scan for fork-unsafe closure captures."""
+
+    def visit_FunctionDef(self, node):
+        self._scan_function(node)
+        super().visit_FunctionDef(node)
+
+    def visit_AsyncFunctionDef(self, node):
+        self._scan_function(node)
+        super().visit_AsyncFunctionDef(node)
+
+    @staticmethod
+    def _scope_nodes(func: ast.AST):
+        """Walk *func*'s own scope: stop at nested def/lambda boundaries."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _scan_function(self, func: ast.AST) -> None:
+        scope = list(self._scope_nodes(func))
+        risky: dict[str, str] = {}
+        for statement in scope:
+            if isinstance(statement, ast.Assign) and isinstance(
+                statement.value, ast.Call
+            ):
+                name = dotted_name(statement.value.func)
+                tail = name.split(".")[-1] if name else None
+                if (
+                    name in _FORK_UNSAFE_CONSTRUCTORS
+                    or tail in _FORK_UNSAFE_CONSTRUCTORS
+                    or tail in _LOCK_CONSTRUCTORS
+                ):
+                    for target in statement.targets:
+                        if isinstance(target, ast.Name):
+                            risky[target.id] = name or tail or "?"
+        if not risky:
+            return
+        closures: dict[str, tuple[ast.AST, set[str]]] = {}
+        for inner in scope:
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                captured = {
+                    leaf.id
+                    for leaf in ast.walk(inner)
+                    if isinstance(leaf, ast.Name) and leaf.id in risky
+                }
+                if captured:
+                    closures[inner.name] = (inner, captured)
+        for call in scope:
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _POOL_DISPATCH
+            ):
+                continue
+            for arg in call.args:
+                if isinstance(arg, ast.Name) and arg.id in closures:
+                    inner, captured = closures[arg.id]
+                    resources = ", ".join(
+                        f"{name} (from {risky[name]})" for name in sorted(captured)
+                    )
+                    self.report(
+                        "CONC002",
+                        call,
+                        f"closure {arg.id!r} captures fork-unsafe "
+                        f"resource(s) {resources} and is dispatched to a "
+                        f"worker pool; pass paths/keys and reopen in the "
+                        f"task instead",
+                        f"fork-capture:{arg.id}",
+                    )
+                elif isinstance(arg, ast.Lambda):
+                    captured = {
+                        leaf.id
+                        for leaf in ast.walk(arg)
+                        if isinstance(leaf, ast.Name) and leaf.id in risky
+                    }
+                    if captured:
+                        resources = ", ".join(
+                            f"{name} (from {risky[name]})"
+                            for name in sorted(captured)
+                        )
+                        self.report(
+                            "CONC002",
+                            call,
+                            f"lambda captures fork-unsafe resource(s) "
+                            f"{resources} and is dispatched to a worker "
+                            f"pool; pass paths/keys and reopen in the "
+                            f"task instead",
+                            "fork-capture:<lambda>",
+                        )
+
+
+class ConcChecker(Checker):
+    """Unsynchronized global writes and fork-unsafe pool captures."""
+
+    name = "conc"
+    paths = (
+        "repro/ds/",
+        "repro/exec/",
+        "repro/stream/",
+        "repro/storage/",
+        "repro/algebra/",
+        "repro/integration/",
+    )
+    rules = {
+        "CONC001": "unsynchronized write to a module-level mutable global",
+        "CONC002": "fork-unsafe resource captured into a pool task",
+    }
+
+    def check(self, module: Module) -> list[Finding]:
+        globals_ = _ModuleGlobals(module.tree)
+        findings: list[Finding] = []
+        if globals_.mutable:
+            visitor = _ConcVisitor(module, globals_)
+            visitor.visit(module.tree)
+            findings.extend(visitor.findings)
+        captures = _ForkCaptureVisitor(module)
+        captures.visit(module.tree)
+        findings.extend(captures.findings)
+        return findings

@@ -1,0 +1,82 @@
+"""EXACT: the exact-Fraction contract on mass-value paths.
+
+The paper's algebra is exact: masses are rationals, Dempster's rule is
+rational arithmetic, and the whole equivalence story (kernel vs
+frozenset, parallel vs serial, storage round trips -- the PR 3/4/5
+property suites) asserts *bit-for-bit* equality, which only holds
+because mass values never silently degrade to floating point.  All
+numeric inputs funnel through :func:`repro.ds.mass.coerce_mass_value`;
+code in :mod:`repro.ds` and :mod:`repro.algebra` that conjures floats
+out of band -- a float literal, a ``float()`` cast, a division with a
+literal operand (``1/3`` is ``0.333...``, not a third) -- bypasses that
+funnel and breaks the contract.
+
+Deliberate float boundaries exist (the float-tolerance validator, the
+entropy measures, display formatting, ``to_float``) and carry inline
+``# repro: ignore[EXACT]`` pragmas: the rule makes every such boundary
+an explicit, reviewed decision instead of a silent default.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.base import Checker, Module, ScopedVisitor
+from repro.analysis.lint.findings import Finding
+
+
+class _ExactVisitor(ScopedVisitor):
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float):
+            self.report(
+                "EXACT001",
+                node,
+                f"float literal {node.value!r} on a mass-value path; use "
+                f"Fraction (or string rationals through coerce_mass_value)",
+                f"float-literal:{node.value!r}",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            self.report(
+                "EXACT002",
+                node,
+                "float() cast on a mass-value path bypasses "
+                "coerce_mass_value and drops exactness",
+                "float-cast",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Div) and any(
+            isinstance(side, ast.Constant)
+            and isinstance(side.value, (int, float))
+            and not isinstance(side.value, bool)
+            for side in (node.left, node.right)
+        ):
+            self.report(
+                "EXACT003",
+                node,
+                "bare / division with a numeric-literal operand; "
+                "int/int truncates to float -- use Fraction(a, b)",
+                "literal-division",
+            )
+        self.generic_visit(node)
+
+
+class ExactChecker(Checker):
+    """Float literals, casts and literal division in ds/ and algebra/."""
+
+    name = "exact"
+    paths = ("repro/ds/", "repro/algebra/")
+    rules = {
+        "EXACT001": "float literal on a mass-value path",
+        "EXACT002": "float() cast on a mass-value path",
+        "EXACT003": "bare / division with a numeric-literal operand",
+    }
+
+    def check(self, module: Module) -> list[Finding]:
+        visitor = _ExactVisitor(module)
+        visitor.visit(module.tree)
+        return visitor.findings

@@ -1,0 +1,88 @@
+"""Findings: what a checker reports, and how it is identified over time.
+
+A :class:`Finding` pins a rule violation to a file and line for the
+human report, and to a *stable key* for the baseline: the key is built
+from the rule, the module path and a checker-chosen anchor (usually the
+enclosing ``class.function`` qualname plus a short detail token), **not**
+from the line number -- so unrelated edits above a finding do not churn
+the baseline, while fixing the finding makes its baseline entry stale
+(which the runner reports as an error: the baseline must shrink with the
+debt it records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule identifier, e.g. ``EXACT001``
+    path: str  #: file path as analyzed (posix)
+    line: int  #: 1-based line of the offending node
+    column: int  #: 0-based column of the offending node
+    message: str  #: human-readable description of the violation
+    anchor: str  #: stable within-module identity (scope + detail token)
+    key: str = field(default="", compare=False)  #: baseline key (runner-set)
+
+    def location(self) -> str:
+        """``path:line:col`` for the human report."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        return f"{self.location()}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict:
+        """The JSON-report shape of this finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+def module_key(path: str) -> str:
+    """Normalize *path* into the module part of baseline keys.
+
+    Keys must survive being produced from ``src/repro/...``,
+    ``./src/repro/...`` or an absolute path to the same file, so the
+    path is cut down to the segment starting at ``repro/`` when one
+    exists.
+    """
+    posix = path.replace("\\", "/").lstrip("./")
+    marker = posix.rfind("repro/")
+    return posix[marker:] if marker >= 0 else posix
+
+
+def assign_keys(findings: list[Finding]) -> list[Finding]:
+    """Set each finding's baseline key, disambiguating duplicates.
+
+    Keys are ``rule:module:anchor``; repeated identical anchors within a
+    module (two float literals in one function, say) get a stable
+    ``#2``, ``#3``... suffix in source order.
+    """
+    seen: dict[str, int] = {}
+    keyed = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.column)):
+        base = f"{finding.rule}:{module_key(finding.path)}:{finding.anchor}"
+        count = seen.get(base, 0) + 1
+        seen[base] = count
+        key = base if count == 1 else f"{base}#{count}"
+        keyed.append(
+            Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                column=finding.column,
+                message=finding.message,
+                anchor=finding.anchor,
+                key=key,
+            )
+        )
+    return keyed

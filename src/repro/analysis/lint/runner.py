@@ -1,0 +1,225 @@
+"""The reprolint runner: walk files, run checkers, apply pragmas/baseline.
+
+``python -m repro.analysis [--json] [--baseline FILE] [paths...]``
+
+Exit status: 0 when every finding is pragma-suppressed or baselined and
+no baseline entry is stale; 1 otherwise; 2 on usage errors.  Files that
+fail to parse are reported under the pseudo-rule ``PARSE`` (a broken
+file must fail the lint leg, not vanish from it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.base import Checker, Module, is_ignored
+from repro.analysis.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+)
+from repro.analysis.lint.checkers import all_checkers
+from repro.analysis.lint.findings import Finding, assign_keys
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced, pre-verdict."""
+
+    findings: list[Finding] = field(default_factory=list)  #: actionable
+    ignored: list[Finding] = field(default_factory=list)  #: pragma-suppressed
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def to_json(self) -> dict:
+        return {
+            "files": self.files,
+            "findings": [f.to_json() for f in self.findings],
+            "ignored": [f.to_json() for f in self.ignored],
+            "baselined": [f.to_json() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+            "clean": self.clean,
+        }
+
+
+def discover_files(paths: list[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(part.startswith(".") for part in candidate.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def parse_module(path: Path) -> tuple[Module | None, Finding | None]:
+    """Parse one file; syntax/IO failures become ``PARSE`` findings."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        return Module(str(path), source), None
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return None, Finding(
+            rule="PARSE",
+            path=str(path.as_posix()),
+            line=line,
+            column=0,
+            message=f"cannot analyze: {exc}",
+            anchor="parse-error",
+        )
+
+
+def analyze(
+    paths: list[str],
+    checkers: list[Checker] | None = None,
+    baseline_path: str | None = None,
+) -> AnalysisResult:
+    """Run *checkers* (default: all four) over *paths*."""
+    active = checkers if checkers is not None else all_checkers()
+    result = AnalysisResult()
+    raw: list[Finding] = []
+    modules: list[Module] = []
+    for path in discover_files(paths):
+        module, parse_failure = parse_module(path)
+        if parse_failure is not None:
+            raw.append(parse_failure)
+            continue
+        modules.append(module)
+        result.files += 1
+        for checker in active:
+            if checker.applies_to(module.posix):
+                raw.extend(checker.check(module))
+    for checker in active:
+        raw.extend(checker.finish())
+
+    ignores_by_path = {module.posix: module.ignores for module in modules}
+    visible: list[Finding] = []
+    ignored: list[Finding] = []
+    for finding in assign_keys(raw):
+        ignores = ignores_by_path.get(finding.path, {})
+        if is_ignored(finding.rule, finding.line, ignores):
+            ignored.append(finding)
+        else:
+            visible.append(finding)
+    result.ignored = ignored
+
+    baseline = load_baseline(baseline_path) if baseline_path else {}
+    new, baselined, stale = split_by_baseline(visible, baseline)
+    result.findings = new
+    result.baselined = baselined
+    result.stale_baseline = stale
+    return result
+
+
+def render_report(result: AnalysisResult, out=sys.stdout) -> None:
+    """The human-readable report."""
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for entry in result.stale_baseline:
+        print(
+            f"stale baseline entry: {entry.get('key')} -- the finding no "
+            f"longer occurs; regenerate with --write-baseline",
+            file=out,
+        )
+    print(
+        f"repro.analysis: {result.files} file(s), "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.ignored)} pragma-ignored, "
+        f"{len(result.stale_baseline)} stale baseline entr"
+        f"{'y' if len(result.stale_baseline) == 1 else 'ies'}",
+        file=out,
+    )
+
+
+def list_rules(out=sys.stdout) -> None:
+    for checker in all_checkers():
+        for rule, description in sorted(checker.rules.items()):
+            print(f"{rule}  {description}", file=out)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: invariant-enforcing static analysis (EXACT, "
+            "DETERM, CONC, BACKEND) for the repro codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings listed in FILE; stale entries fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        list_rules(out)
+        return 0
+    if args.write_baseline and not args.baseline:
+        print(
+            "error: --write-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        # When (re)writing, findings are collected against an empty
+        # baseline so the new file lists everything currently visible.
+        result = analyze(
+            args.paths,
+            baseline_path=None if args.write_baseline else args.baseline,
+        )
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        save_baseline(args.baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} to "
+            f"{args.baseline}",
+            file=out,
+        )
+        return 0
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2), file=out)
+    else:
+        render_report(result, out)
+    return 0 if result.clean else 1

@@ -1,0 +1,83 @@
+"""Thread-safe process-wide counters for hot-path observability.
+
+The library keeps two process-wide counter objects -- the evidence
+kernel's :data:`repro.ds.kernel.STATS` and the physical layer's
+:data:`repro.exec.executors.STATS` -- that are bumped from code running
+*inside* executor workers (a thread-pool fold compiles mass functions
+and combines evidence on worker threads).  A plain ``obj.field += 1``
+is a read-modify-write and loses updates under concurrency, so exact
+counts -- which the regression tests assert -- cannot ride on bare
+attributes.
+
+:class:`ThreadLocalCounters` makes the increment side lock-free: every
+thread bumps its own private cell, so the hot path never contends, and
+reads aggregate the cells under a registry lock.  A count observed
+*after* the bumping threads have been joined (or after an
+``Executor.map`` batch returned, which implies completion) is exact.
+Reads that overlap live bumping see a momentarily stale but
+monotonically catching-up total -- the right trade-off for statistics
+counters on a hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ThreadLocalCounters:
+    """Named integer counters, bumpable from any thread without a lock.
+
+    ``fields`` fixes the counter names.  :meth:`bump` writes the calling
+    thread's private cell; :meth:`total`/:meth:`totals` aggregate every
+    cell under the registry lock.  Cells are registered once per
+    ``(thread, instance)`` pair and survive thread exit (totals must not
+    drop contributions of finished workers), so memory is bounded by the
+    number of distinct threads that ever bumped -- in practice the
+    executor pool size.
+    """
+
+    __slots__ = ("_fields", "_lock", "_cells", "_local")
+
+    def __init__(self, fields: tuple[str, ...]):
+        self._fields = tuple(fields)
+        self._lock = threading.Lock()
+        self._cells: list[dict[str, int]] = []
+        self._local = threading.local()
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The counter names, in declaration order."""
+        return self._fields
+
+    def _cell(self) -> dict[str, int]:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = dict.fromkeys(self._fields, 0)
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        """Add *amount* to *field* (lock-free: thread-private cell)."""
+        self._cell()[field] += amount
+
+    def total(self, field: str) -> int:
+        """The aggregate value of *field* across all threads."""
+        with self._lock:
+            return sum(cell[field] for cell in self._cells)
+
+    def totals(self) -> dict[str, int]:
+        """One consistent aggregate snapshot of every counter."""
+        with self._lock:
+            return {
+                field: sum(cell[field] for cell in self._cells)
+                for field in self._fields
+            }
+
+    def reset(self) -> None:
+        """Zero every cell in place (the object identity is shared)."""
+        with self._lock:
+            for cell in self._cells:
+                for field in self._fields:
+                    cell[field] = 0

@@ -137,7 +137,7 @@ def conjunctive(
     _merged_frame(m1, m2)  # validates frame agreement
     pair = _kernel_pair(m1, m2)
     if pair is not None:
-        KERNEL_STATS.kernel_combinations += 1
+        KERNEL_STATS.bump("kernel_combinations")
         pooled_masks, kappa = conjunctive_compiled(*pair)
         element_of = pair[0].interned.element_of
         return (
@@ -147,7 +147,7 @@ def conjunctive(
             },
             kappa,
         )
-    KERNEL_STATS.fallback_combinations += 1
+    KERNEL_STATS.bump("fallback_combinations")
     return _conjunctive_sets(m1, m2)
 
 
@@ -171,6 +171,7 @@ def weight_of_conflict(m1: MassFunction, m2: MassFunction) -> float:
     kappa = conflict(m1, m2)
     if kappa == 1:
         return math.inf
+    # repro: ignore[EXACT] -- the weight of conflict is a float metric
     return -math.log(1.0 - float(kappa))
 
 
@@ -188,12 +189,12 @@ def combine_with_conflict(
     frame = _merged_frame(m1, m2)
     pair = _kernel_pair(m1, m2)
     if pair is not None:
-        KERNEL_STATS.kernel_combinations += 1
+        KERNEL_STATS.bump("kernel_combinations")
         compiled, kappa = combine_compiled(*pair)
         if compiled is None:
             return None, kappa
         return MassFunction._from_compiled(compiled), kappa
-    KERNEL_STATS.fallback_combinations += 1
+    KERNEL_STATS.bump("fallback_combinations")
     pooled, kappa = _conjunctive_sets(m1, m2)
     if not pooled:
         return None, kappa
@@ -252,9 +253,9 @@ def disjunctive(m1: MassFunction, m2: MassFunction) -> MassFunction:
     frame = _merged_frame(m1, m2)
     pair = _kernel_pair(m1, m2)
     if pair is not None:
-        KERNEL_STATS.kernel_combinations += 1
+        KERNEL_STATS.bump("kernel_combinations")
         return MassFunction._from_compiled(disjunctive_compiled(*pair))
-    KERNEL_STATS.fallback_combinations += 1
+    KERNEL_STATS.bump("fallback_combinations")
     pooled: dict[FocalElement, Numeric] = {}
     for x, mass_x in m1.items():
         for y, mass_y in m2.items():

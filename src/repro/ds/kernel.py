@@ -42,10 +42,13 @@ many combinations ran on each path (surfaced by ``repro repl``'s
 
 from __future__ import annotations
 
+import threading
+
 from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.counters import ThreadLocalCounters
 from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, is_omega
 from repro.ds.mass import Numeric, validate_mass_total
 
@@ -55,12 +58,15 @@ from repro.ds.mass import Numeric, validate_mass_total
 
 @dataclass
 class KernelStats:
-    """Process-wide counters of kernel vs fallback usage.
+    """A point-in-time snapshot of kernel vs fallback usage.
 
     ``kernel_combinations`` / ``fallback_combinations`` count pairwise
     combination operations (Dempster, conjunctive, disjunctive) by the
     path they executed on; ``compilations`` counts mass functions
-    compiled to kernel form.
+    compiled to kernel form.  The live process-wide counters are
+    :data:`STATS` (a :class:`LiveKernelStats`); this dataclass is the
+    immutable value :meth:`LiveKernelStats.snapshot` and
+    :meth:`LiveKernelStats.since` hand out.
     """
 
     kernel_combinations: int = 0
@@ -83,12 +89,6 @@ class KernelStats:
             self.compilations - baseline.compilations,
         )
 
-    def reset(self) -> None:
-        """Zero the counters in place (the object identity is shared)."""
-        self.kernel_combinations = 0
-        self.fallback_combinations = 0
-        self.compilations = 0
-
     def summary(self) -> str:
         """One-line human-readable digest."""
         return (
@@ -98,9 +98,62 @@ class KernelStats:
         )
 
 
-#: The shared counter object; mutate via :meth:`KernelStats.reset`, never
-#: rebind (modules hold direct references).
-STATS = KernelStats()
+class LiveKernelStats:
+    """The process-wide counters, safe to bump from executor workers.
+
+    Combination and compilation happen *inside* partition tasks when a
+    fold fans out (:mod:`repro.exec`), so the counters are bumped from
+    pool threads concurrently.  Increments go through
+    :class:`~repro.counters.ThreadLocalCounters` -- each worker bumps a
+    private cell, reads aggregate -- so counts observed after a batch
+    completes are exact, with no lock on the combination hot path.
+
+    Reads mirror the :class:`KernelStats` attribute API;
+    :meth:`snapshot`/:meth:`since` return :class:`KernelStats` values.
+    """
+
+    _FIELDS = ("kernel_combinations", "fallback_combinations", "compilations")
+
+    def __init__(self):
+        self._counters = ThreadLocalCounters(self._FIELDS)
+
+    @property
+    def kernel_combinations(self) -> int:
+        return self._counters.total("kernel_combinations")
+
+    @property
+    def fallback_combinations(self) -> int:
+        return self._counters.total("fallback_combinations")
+
+    @property
+    def compilations(self) -> int:
+        return self._counters.total("compilations")
+
+    def bump(self, field: str) -> None:
+        """Add one to *field* (lock-free; callable from any thread)."""
+        self._counters.bump(field)
+
+    def snapshot(self) -> KernelStats:
+        """A consistent :class:`KernelStats` copy of the counters."""
+        return KernelStats(**self._counters.totals())
+
+    def since(self, baseline: KernelStats) -> KernelStats:
+        """The counter deltas accumulated after *baseline* was taken."""
+        return self.snapshot().since(baseline)
+
+    def reset(self) -> None:
+        """Zero the counters in place (the object identity is shared)."""
+        self._counters.reset()
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return self.snapshot().summary()
+
+
+#: The shared counter object; mutate via :meth:`LiveKernelStats.bump` /
+#: :meth:`LiveKernelStats.reset`, never rebind (modules hold direct
+#: references).
+STATS = LiveKernelStats()
 
 
 def kernel_stats() -> KernelStats:
@@ -232,19 +285,25 @@ class InternedFrame:
 #: Interned frames, keyed by (equal) frames so every relation sharing a
 #: domain shares one bit assignment.  Bounded: interning is a cache, not
 #: an identity requirement (bit order is a pure function of the value
-#: set), so clearing it is always safe.
+#: set), so clearing it is always safe.  Writes are guarded by
+#: :data:`_INTERN_LOCK`: compilation runs inside executor worker threads,
+#: and the evict-then-insert sequence must not interleave.
 _INTERNED: dict[FrameOfDiscernment, InternedFrame] = {}
 _INTERN_LIMIT = 4096
+_INTERN_LOCK = threading.Lock()
 
 
 def intern_frame(frame: FrameOfDiscernment) -> InternedFrame:
     """The shared :class:`InternedFrame` for *frame* (interning cache)."""
     interned = _INTERNED.get(frame)
     if interned is None:
-        if len(_INTERNED) >= _INTERN_LIMIT:
-            _INTERNED.clear()
-        interned = InternedFrame(frame)
-        _INTERNED[frame] = interned
+        with _INTERN_LOCK:
+            interned = _INTERNED.get(frame)
+            if interned is None:
+                if len(_INTERNED) >= _INTERN_LIMIT:
+                    _INTERNED.clear()
+                interned = InternedFrame(frame)
+                _INTERNED[frame] = interned
     return interned
 
 
@@ -346,7 +405,7 @@ def compile_mass_function(m) -> CompiledMass:
     for element, value in m.items():
         masks.append(mask_of(element))
         values.append(value)
-    STATS.compilations += 1
+    STATS.bump("compilations")
     return CompiledMass(interned, tuple(masks), tuple(values))
 
 

@@ -32,7 +32,7 @@ from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, is_omega
 Numeric = Union[Fraction, float]
 
 #: Tolerance used to validate that float masses sum to one.
-FLOAT_SUM_TOLERANCE = 1e-9
+FLOAT_SUM_TOLERANCE = 1e-9  # repro: ignore[EXACT] -- the one float-tolerance knob
 
 
 def coerce_mass_value(value: object) -> Numeric:
@@ -75,12 +75,15 @@ def validate_mass_total(values) -> None:
             raise MassFunctionError(f"masses must sum to 1, got {total}")
     else:
         if not math.isclose(
-            float(total),
-            1.0,
+            float(total),  # repro: ignore[EXACT] -- validating the float branch
+            1.0,  # repro: ignore[EXACT] -- float-branch target total
             rel_tol=FLOAT_SUM_TOLERANCE,
             abs_tol=FLOAT_SUM_TOLERANCE,
         ):
-            raise MassFunctionError(f"masses must sum to 1, got {float(total)!r}")
+            raise MassFunctionError(
+                f"masses must sum to 1, "
+                f"got {float(total)!r}"  # repro: ignore[EXACT] -- error display
+            )
 
 
 def coerce_focal_element(element: object) -> FocalElement:
@@ -390,7 +393,11 @@ class MassFunction:
     def to_float(self) -> "MassFunction":
         """A copy with every mass converted to ``float``."""
         return MassFunction(
-            {element: float(value) for element, value in self._mass_dict().items()},
+            {
+                # repro: ignore[EXACT] -- to_float() is the explicit exit
+                element: float(value)
+                for element, value in self._mass_dict().items()
+            },
             self._frame,
         )
 

@@ -46,10 +46,11 @@ def nonspecificity(m: MassFunction) -> float:
     >>> nonspecificity(MassFunction({("a", "b"): 1}))
     1.0
     """
-    total = 0.0
+    total = 0.0  # repro: ignore[EXACT] -- entropy measures are float-valued
     for element, value in m.items():
         size = _element_size(m, element)
         if size > 1:
+            # repro: ignore[EXACT] -- log2 forces floats; measures only
             total += float(value) * math.log2(size)
     return total
 
@@ -60,13 +61,14 @@ def discord(m: MassFunction) -> float:
     Zero when the focal elements are consonant (every pair intersects at
     full plausibility); grows as the evidence argues with itself.
     """
-    total = 0.0
+    total = 0.0  # repro: ignore[EXACT] -- entropy measures are float-valued
     for element, value in m.items():
-        pls = float(m.pls(element))
+        pls = float(m.pls(element))  # repro: ignore[EXACT] -- measures only
         if pls <= 0:
             raise MassFunctionError(
                 f"focal element {element!r} has zero plausibility"
             )
+        # repro: ignore[EXACT] -- log2 forces floats; measures only
         total -= float(value) * math.log2(pls)
     return total
 

@@ -122,14 +122,17 @@ def format_mass_value(value: Numeric, style: str = "auto", digits: int = 3) -> s
         fraction = value if isinstance(value, Fraction) else Fraction(str(value))
         return str(fraction)
     if style == "decimal":
+        # repro: ignore[EXACT] -- display formatting, not arithmetic
         return _trim_decimal(f"{float(value):.{digits}f}")
     # auto
     if isinstance(value, Fraction):
         if value.denominator == 1:
             return str(value.numerator)
         if 10**digits % value.denominator == 0:
+            # repro: ignore[EXACT] -- display formatting, not arithmetic
             return _trim_decimal(f"{float(value):.{digits}f}")
         return str(value)
+    # repro: ignore[EXACT] -- display formatting, not arithmetic
     return _trim_decimal(f"{float(value):.{digits}f}")
 
 

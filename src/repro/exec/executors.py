@@ -43,6 +43,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.counters import ThreadLocalCounters
 from repro.errors import ExecutionError
 
 #: Accepted executor kinds.
@@ -51,23 +52,18 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 
 @dataclass
 class ExecStats:
-    """Process-wide counters of physical fan-out activity.
+    """A point-in-time snapshot of physical fan-out activity.
 
     ``parallel_batches`` counts :meth:`Executor.map` calls that fanned
     out to a pool; ``inline_batches`` those that ran inline (serial
     executor, single task, or nested inside another task); ``tasks``
-    the partition tasks executed through fan-out.
+    the partition tasks executed through fan-out.  The live counters
+    are :data:`STATS` (a :class:`LiveExecStats`).
     """
 
     parallel_batches: int = 0
     inline_batches: int = 0
     tasks: int = 0
-
-    def reset(self) -> None:
-        """Zero the counters in place (the object identity is shared)."""
-        self.parallel_batches = 0
-        self.inline_batches = 0
-        self.tasks = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -77,9 +73,54 @@ class ExecStats:
         )
 
 
-#: The shared counter object; mutate via :meth:`ExecStats.reset`, never
-#: rebind (modules hold direct references).
-STATS = ExecStats()
+class LiveExecStats:
+    """The process-wide counters, safe to bump from pool workers.
+
+    Nested fan-out runs :meth:`Executor.map` *inside* worker threads
+    (counted as inline batches there), so the counters are bumped
+    concurrently; increments go through
+    :class:`~repro.counters.ThreadLocalCounters` so counts observed
+    after a batch returns are exact.
+    """
+
+    _FIELDS = ("parallel_batches", "inline_batches", "tasks")
+
+    def __init__(self):
+        self._counters = ThreadLocalCounters(self._FIELDS)
+
+    @property
+    def parallel_batches(self) -> int:
+        return self._counters.total("parallel_batches")
+
+    @property
+    def inline_batches(self) -> int:
+        return self._counters.total("inline_batches")
+
+    @property
+    def tasks(self) -> int:
+        return self._counters.total("tasks")
+
+    def bump(self, field: str, amount: int = 1) -> None:
+        """Add *amount* to *field* (lock-free; callable from any thread)."""
+        self._counters.bump(field, amount)
+
+    def snapshot(self) -> ExecStats:
+        """A consistent :class:`ExecStats` copy of the counters."""
+        return ExecStats(**self._counters.totals())
+
+    def reset(self) -> None:
+        """Zero the counters in place (the object identity is shared)."""
+        self._counters.reset()
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return self.snapshot().summary()
+
+
+#: The shared counter object; mutate via :meth:`LiveExecStats.bump` /
+#: :meth:`LiveExecStats.reset`, never rebind (modules hold direct
+#: references).
+STATS = LiveExecStats()
 
 
 def exec_stats() -> ExecStats:
@@ -127,10 +168,10 @@ class Executor(ABC):
         """
         items = list(items)
         if len(items) <= 1 or self.workers <= 1 or _task_depth() > 0:
-            STATS.inline_batches += 1
+            STATS.bump("inline_batches")
             return [task(item) for item in items]
-        STATS.parallel_batches += 1
-        STATS.tasks += len(items)
+        STATS.bump("parallel_batches")
+        STATS.bump("tasks", len(items))
         return self._map(task, items)
 
     @abstractmethod

@@ -298,7 +298,9 @@ class SqliteBackend(StorageBackend):
                 name
                 for (name,) in self._db.execute("SELECT name FROM relations")
             }
-            for stale in stored - set(database.names()):
+            # Sorted: delete order is observable in the journal/WAL and
+            # must not depend on set iteration order.
+            for stale in sorted(stored - set(database.names())):
                 self._db.execute(
                     "DELETE FROM relations WHERE name = ?", (stale,)
                 )

@@ -105,7 +105,10 @@ class Database:
         fresh = backend.load_database()
         touched = []
         with self.batch():
-            for name in set(self._relations) - set(fresh.names()):
+            # Sorted: drop order reaches catalog listeners and the
+            # returned name set's insertion order, and must not depend
+            # on set iteration order.
+            for name in sorted(set(self._relations) - set(fresh.names())):
                 self.drop(name)
                 touched.append(name)
             for relation in fresh:

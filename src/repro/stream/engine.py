@@ -465,9 +465,15 @@ class StreamEngine:
         """
         order = tuple(self._sources)
         conflicts: list = []
+        # Sorted key order everywhere self._touched (a set) drives work
+        # or output: refold order fixes which entity's raise-policy
+        # conflict surfaces first, and the conflict records' order flows
+        # into the published BatchDelta -- neither may depend on set
+        # iteration order (hash-seed dependent).
+        touched = sorted(self._touched, key=repr)
         dirty = [
             entity
-            for key in self._touched
+            for key in touched
             if (entity := self._state.get(key)) is not None and entity.dirty
         ]
         n = partition_count(len(dirty))
@@ -476,7 +482,7 @@ class StreamEngine:
         else:
             for entity in dirty:
                 self._refold(entity, order)
-        for key in self._touched:
+        for key in touched:
             entity = self._state.get(key)
             if entity is not None:
                 conflicts.extend(entity.fold_conflicts)
@@ -489,7 +495,7 @@ class StreamEngine:
         current = {etuple.key(): etuple for etuple in relation}
 
         inserted, updated, removed, conflicted = [], [], [], []
-        for key in sorted(self._touched, key=repr):
+        for key in touched:
             before = self._published.get(key)
             after = current.get(key)
             if before is None and after is not None:

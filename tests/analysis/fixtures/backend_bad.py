@@ -1,0 +1,43 @@
+"""BACKEND fixture: an incomplete engine and a forgotten version bump."""
+
+import abc
+
+
+class StorageBackend(abc.ABC):
+    @abc.abstractmethod
+    def catalog_version(self):
+        ...
+
+    @abc.abstractmethod
+    def _save_relation(self, relation, partitions):
+        ...
+
+    @abc.abstractmethod
+    def _delete_relation(self, name):
+        ...
+
+
+class IncompleteBackend(StorageBackend):
+    def catalog_version(self):
+        return 0
+
+    def _save_relation(self, relation, partitions):
+        self._bump_catalog_version()
+
+    def _bump_catalog_version(self):
+        pass
+
+
+class ForgetfulBackend(StorageBackend):
+    def __init__(self):
+        self.rows = {}
+        self.version = 0
+
+    def catalog_version(self):
+        return self.version
+
+    def _save_relation(self, relation, partitions):
+        self.rows[relation] = partitions
+
+    def _delete_relation(self, name):
+        self.rows.pop(name, None)

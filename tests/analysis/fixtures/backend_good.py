@@ -1,0 +1,37 @@
+"""BACKEND fixture: the full surface, bumping through a helper."""
+
+import abc
+
+
+class StorageBackend(abc.ABC):
+    @abc.abstractmethod
+    def catalog_version(self):
+        ...
+
+    @abc.abstractmethod
+    def _save_relation(self, relation, partitions):
+        ...
+
+    @abc.abstractmethod
+    def _delete_relation(self, name):
+        ...
+
+
+class CompleteBackend(StorageBackend):
+    def __init__(self):
+        self.rows = {}
+        self.meta = {"catalog_version": 0}
+
+    def catalog_version(self):
+        return self.meta["catalog_version"]
+
+    def _bump_catalog_version(self):
+        self.meta["catalog_version"] += 1
+
+    def _save_relation(self, relation, partitions):
+        self.rows[relation] = partitions
+        self._bump_catalog_version()
+
+    def _delete_relation(self, name):
+        self.rows.pop(name, None)
+        self._bump_catalog_version()

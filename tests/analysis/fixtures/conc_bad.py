@@ -1,0 +1,20 @@
+"""CONC fixture: lost-update global writes and a fork-unsafe capture."""
+
+import sqlite3
+
+STATS = {"hits": 0}
+HISTORY = []
+
+
+def record(key):
+    STATS["hits"] += 1
+    HISTORY.append(key)
+
+
+def run(pool, path):
+    connection = sqlite3.connect(path)
+
+    def task(key):
+        return connection.execute("SELECT 1").fetchone()
+
+    return pool.map(task, ["a"])

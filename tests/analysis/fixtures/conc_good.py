@@ -1,0 +1,24 @@
+"""CONC fixture: the same shapes, done safely."""
+
+import sqlite3
+import threading
+
+_LOCK = threading.Lock()
+STATS = {"hits": 0}
+HISTORY = []
+_LOCAL = threading.local()
+
+
+def record(key):
+    with _LOCK:
+        STATS["hits"] += 1
+        HISTORY.append(key)
+    _LOCAL.last = key
+
+
+def run(pool, path):
+    def task(key):
+        with sqlite3.connect(path) as connection:
+            return connection.execute("SELECT 1").fetchone()
+
+    return pool.map(task, ["a"])

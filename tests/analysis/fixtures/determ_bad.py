@@ -1,0 +1,20 @@
+"""DETERM fixture: set iteration order flowing into output."""
+
+
+class Collector:
+    def __init__(self):
+        self.touched = set()
+
+    def drain(self):
+        return [key for key in self.touched]
+
+
+def serialize(values):
+    members = set(values)
+    ordered = []
+    for item in members:
+        ordered.append(item)
+    for item in {"b", "a"}:
+        ordered.append(item)
+    ordered.extend(list(set(values) | {"c"}))
+    return ordered

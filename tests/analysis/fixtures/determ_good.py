@@ -1,0 +1,20 @@
+"""DETERM fixture: every set reaches iteration through sorted()."""
+
+
+class Collector:
+    def __init__(self):
+        self.touched = set()
+
+    def drain(self):
+        return [key for key in sorted(self.touched)]
+
+
+def serialize(values):
+    members = set(values)
+    ordered = []
+    for item in sorted(members):
+        ordered.append(item)
+    if "a" in members:
+        ordered.append(len(members))
+    ordered.extend(sorted(set(values) | {"c"}))
+    return ordered

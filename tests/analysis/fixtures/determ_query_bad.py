@@ -1,0 +1,7 @@
+"""DETERM fixture (query layer): the clock inside a fingerprint."""
+
+import time
+
+
+def fingerprint(plan):
+    return (repr(plan), time.time())

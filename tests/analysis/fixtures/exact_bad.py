@@ -1,0 +1,8 @@
+"""EXACT fixture: one violation per rule, all on mass-value paths."""
+
+
+def scale(mass):
+    weight = 0.5
+    as_float = float(mass)
+    third = mass / 3
+    return weight, as_float, third

@@ -1,0 +1,9 @@
+"""EXACT fixture: exact Fraction arithmetic, nothing to flag."""
+
+from fractions import Fraction
+
+
+def scale(mass):
+    weight = Fraction(1, 2)
+    third = Fraction(mass) / Fraction(3)
+    return weight * third

@@ -1,0 +1,9 @@
+"""Escape-hatch fixture: every violation carries an ignore pragma."""
+
+
+def scale(mass):
+    weight = 0.5  # repro: ignore[EXACT001]
+    # repro: ignore[EXACT]
+    as_float = float(mass)
+    precise = 0.25  # repro: ignore
+    return weight, as_float, precise

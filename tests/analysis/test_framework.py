@@ -1,0 +1,236 @@
+"""Framework-level behaviour: pragmas, baselines, keys, CLI, reporting."""
+
+from __future__ import annotations
+
+import io
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import analyze, load_baseline, main, save_baseline
+from repro.analysis.lint.base import parse_ignores
+from repro.analysis.lint.baseline import BaselineError, split_by_baseline
+from repro.analysis.lint.checkers.exact import ExactChecker
+from repro.analysis.lint.findings import Finding, assign_keys, module_key
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def place(tmp_path: Path, fixture: str, virtual: str) -> Path:
+    target = tmp_path / virtual
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(FIXTURES / fixture, target)
+    return target
+
+
+class TestPragmaParsing:
+    def test_trailing_pragma_targets_its_own_line(self):
+        ignores = parse_ignores("x = 0.5  # repro: ignore[EXACT001]\n")
+        assert ignores == {1: frozenset({"EXACT001"})}
+
+    def test_comment_only_line_targets_the_next_line(self):
+        ignores = parse_ignores("# repro: ignore[EXACT]\nx = float(y)\n")
+        assert ignores == {2: frozenset({"EXACT"})}
+
+    def test_bare_ignore_suppresses_everything(self):
+        ignores = parse_ignores("x = 0.5  # repro: ignore\n")
+        assert ignores == {1: frozenset({"*"})}
+
+    def test_multiple_rules_in_one_pragma(self):
+        ignores = parse_ignores("x = f()  # repro: ignore[EXACT002, DETERM001]\n")
+        assert ignores == {1: frozenset({"EXACT002", "DETERM001"})}
+
+    def test_family_prefix_matches_numbered_rules(self, tmp_path):
+        target = tmp_path / "repro" / "ds" / "sample.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("WEIGHT = 0.5  # repro: ignore[EXACT]\n")
+        result = analyze([tmp_path], checkers=[ExactChecker()])
+        assert result.findings == []
+        assert len(result.ignored) == 1
+
+
+class TestFindingKeys:
+    def test_module_key_strips_everything_before_repro(self):
+        assert module_key("/tmp/x/repro/ds/mass.py") == "repro/ds/mass.py"
+        assert module_key("src/repro/algebra/ops.py") == "repro/algebra/ops.py"
+
+    def test_keys_are_line_number_independent(self):
+        def finding(line):
+            return Finding(
+                rule="EXACT001",
+                path="src/repro/ds/mass.py",
+                line=line,
+                column=4,
+                message="float literal",
+                anchor="scale:0.5",
+            )
+
+        (first,) = assign_keys([finding(10)])
+        (second,) = assign_keys([finding(99)])
+        assert first.key == second.key == "EXACT001:repro/ds/mass.py:scale:0.5"
+
+    def test_duplicate_anchors_get_ordinal_suffixes(self):
+        findings = [
+            Finding(
+                rule="EXACT001",
+                path="src/repro/ds/mass.py",
+                line=line,
+                column=0,
+                message="float literal",
+                anchor="scale:0.5",
+            )
+            for line in (3, 7)
+        ]
+        keyed = assign_keys(findings)
+        assert keyed[0].key == "EXACT001:repro/ds/mass.py:scale:0.5"
+        assert keyed[1].key == "EXACT001:repro/ds/mass.py:scale:0.5#2"
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+
+        first = analyze([tmp_path / "repro"], checkers=[ExactChecker()])
+        assert len(first.findings) == 3
+        save_baseline(baseline_path, first.findings)
+
+        second = analyze(
+            [tmp_path / "repro"],
+            checkers=[ExactChecker()],
+            baseline_path=baseline_path,
+        )
+        assert second.findings == []
+        assert len(second.baselined) == 3
+        assert second.stale_baseline == []
+        assert second.clean
+
+    def test_fixed_finding_turns_the_baseline_stale(self, tmp_path):
+        target = place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        baseline_path = tmp_path / "baseline.json"
+        first = analyze([tmp_path / "repro"], checkers=[ExactChecker()])
+        save_baseline(baseline_path, first.findings)
+
+        target.write_text('"""Fixed."""\n')
+        second = analyze(
+            [tmp_path / "repro"],
+            checkers=[ExactChecker()],
+            baseline_path=baseline_path,
+        )
+        assert second.findings == []
+        assert len(second.stale_baseline) == 3
+        assert not second.clean
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+        path.write_text("[]")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_split_partitions_new_known_and_stale(self):
+        known = Finding(
+            rule="EXACT001",
+            path="src/repro/ds/a.py",
+            line=1,
+            column=0,
+            message="m",
+            anchor="f:0.5",
+        )
+        fresh = Finding(
+            rule="EXACT002",
+            path="src/repro/ds/a.py",
+            line=2,
+            column=0,
+            message="m",
+            anchor="f:float",
+        )
+        (known,) = assign_keys([known])
+        (fresh,) = assign_keys([fresh])
+        baseline = {
+            known.key: {"key": known.key},
+            "EXACT003:repro/ds/gone.py:f:div": {
+                "key": "EXACT003:repro/ds/gone.py:f:div"
+            },
+        }
+        new, baselined, stale = split_by_baseline([known, fresh], baseline)
+        assert new == [fresh]
+        assert baselined == [known]
+        assert [entry["key"] for entry in stale] == [
+            "EXACT003:repro/ds/gone.py:f:div"
+        ]
+
+
+class TestParseFailures:
+    def test_syntax_error_becomes_a_parse_finding(self, tmp_path):
+        target = tmp_path / "repro" / "ds" / "broken.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def broken(:\n")
+        result = analyze([tmp_path], checkers=[ExactChecker()])
+        assert [f.rule for f in result.findings] == ["PARSE"]
+
+
+class TestCommandLine:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        place(tmp_path, "exact_good.py", "repro/ds/exact_good.py")
+        out = io.StringIO()
+        assert main([str(tmp_path)], out=out) == 0
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_findings_exit_nonzero_and_render_locations(self, tmp_path):
+        place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        out = io.StringIO()
+        assert main([str(tmp_path)], out=out) == 1
+        text = out.getvalue()
+        assert "EXACT001" in text
+        assert "exact_bad.py:5" in text
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        out = io.StringIO()
+        assert main(["--json", str(tmp_path)], out=out) == 1
+        payload = json.loads(out.getvalue())
+        assert len(payload["findings"]) == 3
+        assert {f["rule"] for f in payload["findings"]} == {
+            "EXACT001",
+            "EXACT002",
+            "EXACT003",
+        }
+
+    def test_write_baseline_then_rerun_is_clean(self, tmp_path):
+        place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        assert (
+            main(
+                ["--baseline", str(baseline), "--write-baseline", str(tmp_path)],
+                out=out,
+            )
+            == 0
+        )
+        out = io.StringIO()
+        assert main(["--baseline", str(baseline), str(tmp_path)], out=out) == 0
+        assert "3 baselined" in out.getvalue()
+
+    def test_stale_baseline_is_an_error(self, tmp_path):
+        target = place(tmp_path, "exact_bad.py", "repro/ds/exact_bad.py")
+        baseline = tmp_path / "baseline.json"
+        main(["--baseline", str(baseline), "--write-baseline", str(tmp_path)])
+        target.write_text('"""Fixed."""\n')
+        out = io.StringIO()
+        assert main(["--baseline", str(baseline), str(tmp_path)], out=out) == 1
+        assert "stale" in out.getvalue()
+
+    def test_list_rules_mentions_every_family(self, tmp_path):
+        out = io.StringIO()
+        assert main(["--list-rules"], out=out) == 0
+        text = out.getvalue()
+        for family in ("EXACT", "DETERM", "CONC", "BACKEND"):
+            assert family in text

@@ -332,3 +332,47 @@ class TestCompilation:
         assert delta.kernel_combinations == 1
         assert delta.fallback_combinations == 1
         assert "kernel" in stats.summary()
+
+
+class TestStatsConcurrency:
+    """The counters must stay exact under concurrent bumps.
+
+    The executor layer runs combination/compilation inside pool
+    threads, so ``STATS`` is bumped concurrently; a plain ``+= 1``
+    would lose updates under contention.  Eight threads hammer
+    :func:`compile_mass_function` through a start barrier and the
+    aggregate must come out exact, not merely close.
+    """
+
+    THREADS = 8
+    ROUNDS = 250
+
+    def test_concurrent_compilations_counted_exactly(self):
+        import threading
+
+        stats = kernel_stats()
+        frame = FrameOfDiscernment("conc", ["a", "b", "c"])
+        before = stats.snapshot()
+        barrier = threading.Barrier(self.THREADS)
+        failures = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(self.ROUNDS):
+                    m = MassFunction({"a": "1/2", OMEGA: "1/2"}, frame)
+                    compile_mass_function(m)
+            except Exception as exc:  # pragma: no cover - diagnostic aid
+                failures.append(exc)
+
+        workers = [
+            threading.Thread(target=hammer) for _ in range(self.THREADS)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert not failures
+        delta = stats.since(before)
+        assert delta.compilations == self.THREADS * self.ROUNDS

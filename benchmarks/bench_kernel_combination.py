@@ -100,7 +100,7 @@ def test_kernel_chain_fold(benchmark):
     assert combined.is_compiled
 
 
-def test_kernel_beats_frozenset_5x(operands):
+def test_kernel_beats_frozenset_5x(operands, bench_record):
     """The acceptance bar: >= 5x on float masses over an enumerated
     frame (RATIO_FLOOR relaxes it on noisy shared runners)."""
     m1, m2 = operands
@@ -115,6 +115,9 @@ def test_kernel_beats_frozenset_5x(operands):
         f"\nkernel {kernel_time * 1e6:.1f} us vs "
         f"frozenset {frozenset_time * 1e6:.1f} us -> {ratio:.1f}x"
     )
+    bench_record("kernel_combine_seconds", kernel_time)
+    bench_record("frozenset_combine_seconds", frozenset_time)
+    bench_record("kernel_vs_frozenset_ratio", ratio)
     assert ratio >= RATIO_FLOOR
 
 

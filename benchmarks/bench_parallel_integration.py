@@ -91,10 +91,13 @@ def _loaded_engine(relations):
     return engine
 
 
-def test_federation_scaling_is_exact_and_recorded(federation, serial_result):
+def test_federation_scaling_is_exact_and_recorded(
+    federation, serial_result, bench_record
+):
     """Integrate at every worker count; record timings, require equality."""
     serial_elapsed, serial_relation = serial_result
     print(f"\nfederation integrate, serial: {serial_elapsed * 1e3:.1f} ms")
+    bench_record("integrate_serial_seconds", serial_elapsed)
     for workers in WORKER_COUNTS:
         with executor_scope(executor="process", workers=workers):
             elapsed, (relation, _) = _timed(
@@ -105,6 +108,8 @@ def test_federation_scaling_is_exact_and_recorded(federation, serial_result):
             f"federation integrate, {workers} process worker(s): "
             f"{elapsed * 1e3:.1f} ms ({ratio:.2f}x vs serial)"
         )
+        bench_record(f"integrate_{workers}_workers_seconds", elapsed)
+        bench_record(f"integrate_{workers}_workers_speedup", ratio)
         assert relation == serial_relation
         assert list(relation.keys()) == list(serial_relation.keys())
 

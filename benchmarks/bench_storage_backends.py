@@ -64,7 +64,7 @@ def workload(request):
     return n, db, big, hot
 
 
-def test_backend_scaling(workload, tmp_path_factory, capsys):
+def test_backend_scaling(workload, tmp_path_factory, capsys, bench_record):
     n, db, big, hot = workload
     directory = tmp_path_factory.mktemp(f"storage-{n}")
     timings: dict[str, dict[str, float]] = {}
@@ -84,6 +84,8 @@ def test_backend_scaling(workload, tmp_path_factory, capsys):
                 "load": load_time,
                 "point": point_time,
             }
+            for op, seconds in timings[scheme].items():
+                bench_record(f"{scheme}_{op}_seconds_{n}_tuples", seconds)
 
     with capsys.disabled():
         print(f"\nstorage backends at {n} tuples (+{HOT_TUPLES} hot):")

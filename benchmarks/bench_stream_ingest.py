@@ -111,7 +111,7 @@ def test_full_federation_recompute(benchmark, workload):
     assert len(integrated) == N_ENTITIES
 
 
-def test_incremental_beats_recompute_10x(workload):
+def test_incremental_beats_recompute_10x(workload, bench_record):
     """The acceptance bar: >= 10x at 1k+ accumulated tuples
     (RATIO_FLOOR relaxes it on noisy shared runners)."""
     engine, federation, delta = workload
@@ -127,6 +127,9 @@ def test_incremental_beats_recompute_10x(workload):
         f"\nincremental {incremental * 1e3:.2f} ms vs "
         f"recompute {full * 1e3:.2f} ms -> {ratio:.1f}x"
     )
+    bench_record("incremental_flush_seconds", incremental)
+    bench_record("full_recompute_seconds", full)
+    bench_record("incremental_vs_recompute_ratio", ratio)
     assert ratio >= RATIO_FLOOR
 
 

@@ -4,14 +4,71 @@ Every benchmark both *measures* an operation and *asserts* the
 reproduction it corresponds to (a paper table, a worked example, or an
 expected qualitative shape), so `pytest benchmarks/ --benchmark-only`
 doubles as an end-to-end verification run.
+
+Headline numbers also land in ``BENCH_RESULTS.json`` at the repo root
+(override with ``BENCH_RESULTS_PATH``): benches call the
+:func:`bench_record` fixture with ``(metric, value)`` pairs and the
+session-finish hook read-modify-writes the JSON list, replacing any
+stale records of the benches that just ran.  CI uploads the file as an
+artifact, so every build leaves a machine-readable performance trail.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.datasets.generators import SyntheticConfig, synthetic_pair
 from repro.datasets.restaurants import table_ra, table_rb
+from repro.obs import registry
+
+#: Records accumulated this session: {"bench", "metric", "value"} dicts.
+_RECORDS: list[dict] = []
+
+
+def _results_path() -> Path:
+    override = os.environ.get("BENCH_RESULTS_PATH")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "BENCH_RESULTS.json"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_telemetry():
+    """Zero the metrics registry so each bench measures only itself."""
+    registry().reset()
+    yield
+
+
+@pytest.fixture
+def bench_record(request):
+    """Append ``{bench, metric, value}`` records for this bench module."""
+    bench = Path(request.node.path).stem
+
+    def record(metric: str, value: float) -> None:
+        _RECORDS.append(
+            {"bench": bench, "metric": str(metric), "value": float(value)}
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    path = _results_path()
+    try:
+        existing = json.loads(path.read_text())
+        if not isinstance(existing, list):
+            existing = []
+    except (OSError, ValueError):
+        existing = []
+    fresh_benches = {record["bench"] for record in _RECORDS}
+    kept = [r for r in existing if r.get("bench") not in fresh_benches]
+    path.write_text(json.dumps(kept + _RECORDS, indent=2) + "\n")
 
 
 @pytest.fixture

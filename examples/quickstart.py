@@ -17,7 +17,10 @@ This walks the paper's core loop with the fluent lazy API:
    partition count reproduces the serial result exactly,
 7. persist everything through a pluggable storage backend (json /
    sqlite / append-only log), with write-ahead durability for streams,
-8. check the correctness invariants behind all of the above with the
+8. watch it all through the unified telemetry layer (repro.obs):
+   the process-wide metrics registry, EXPLAIN ANALYZE query profiles
+   and structured tracing spans,
+9. check the correctness invariants behind all of the above with the
    built-in static analyzer (python -m repro.analysis).
 
 Run:  python examples/quickstart.py
@@ -208,6 +211,47 @@ def main() -> None:
             f"from {wal.url()}"
         )
         wal.close()
+    print()
+
+    # Observability & profiling.  Everything above was also *measured*:
+    # each layer keeps thread-local counters and registers them with the
+    # process-wide metrics registry (repro.obs), so one snapshot covers
+    # kernel combinations, executor fan-out, session caches, stream
+    # ingest and per-backend storage I/O.  The same data is exported by
+    # `repro stats [DB] [--json|--prometheus]` and the repl's `:stats`.
+    from repro import registry, span, tracing_scope
+    from repro.obs import take_records
+
+    snapshot = registry().collect()
+    print(f"metrics registry: {len(snapshot)} instruments, e.g.")
+    for name in ("kernel.kernel_combinations", "session.queries",
+                 "stream.upserts", "session.result_cache_hit_ratio"):
+        print(f"  {name} = {snapshot[name]}")
+    # ... and any Prometheus scraper can consume the same registry:
+    assert "repro_kernel_kernel_combinations" in registry().prometheus()
+
+    # EXPLAIN ANALYZE: run a query once, uncached, and get the plan
+    # back annotated per node with wall time, exact row counts and the
+    # kernel-vs-fallback combination split (repl: `:profile Q`).
+    profile = db.session().explain_analyze(
+        "SELECT rname, rating FROM (RA UNION RB BY (rname)) "
+        "WHERE rating IS {ex} WITH SN >= 0.5"
+    )
+    print()
+    print(profile.describe())
+    assert profile.rows == profile.root.rows_out
+    assert all(node.wall_seconds >= 0.0 for node in profile.nodes())
+
+    # Structured tracing is off by default (zero cost on the hot path);
+    # flip it on process-wide with REPRO_TRACE=1, `--trace-out FILE` on
+    # the CLI, or locally with a scope.  Spans nest parent/child and
+    # cross process-pool workers back to the dispatching call.
+    with tracing_scope():
+        with span("quickstart.traced", step=9):
+            db.session().execute("RA UNION RB BY (rname)")
+        traced = take_records()
+    assert any(record.name == "session.execute" for record in traced)
+    print(f"tracing scope captured {len(traced)} span record(s)")
     print()
 
     # Correctness invariants & static analysis.  Everything demonstrated

@@ -26,6 +26,7 @@ Package map
 ``repro.sources``      evidence from summaries (votes, classification, history)
 ``repro.baselines``    Dayal / DeMichiel / Tseng / PDM comparators
 ``repro.storage``      catalog, pluggable backends (json/sqlite/log), rendering
+``repro.obs``          telemetry: metrics registry, tracing spans, profiles
 ``repro.datasets``     the paper's restaurant tables + synthetic generators
 
 Quickstart
@@ -138,6 +139,15 @@ from repro.storage import (
     open_backend,
     open_database,
 )
+from repro.obs import (
+    FlushProfile,
+    MetricsRegistry,
+    QueryProfile,
+    registry,
+    set_tracing,
+    span,
+    tracing_scope,
+)
 from repro.stream import BatchDelta, ChangeLog, StreamEngine
 from repro.datasets import (
     SyntheticConfig,
@@ -228,6 +238,14 @@ __all__ = [
     "StreamEngine",
     "ChangeLog",
     "BatchDelta",
+    # observability
+    "MetricsRegistry",
+    "registry",
+    "span",
+    "set_tracing",
+    "tracing_scope",
+    "QueryProfile",
+    "FlushProfile",
     # integration / analysis / storage / datasets
     "IntegrationPipeline",
     "TupleMerger",

@@ -7,16 +7,19 @@
 * :class:`~repro.analysis.lint.checkers.conc.ConcChecker` -- CONC:
   thread/fork safety of executor-reachable code;
 * :class:`~repro.analysis.lint.checkers.backend.BackendChecker` --
-  BACKEND: the ``StorageBackend`` contract.
+  BACKEND: the ``StorageBackend`` contract;
+* :class:`~repro.analysis.lint.checkers.obs.ObsChecker` -- OBS:
+  telemetry instruments stay owned by their layer.
 """
 
 from repro.analysis.lint.checkers.backend import BackendChecker
 from repro.analysis.lint.checkers.conc import ConcChecker
 from repro.analysis.lint.checkers.determ import DetermChecker
 from repro.analysis.lint.checkers.exact import ExactChecker
+from repro.analysis.lint.checkers.obs import ObsChecker
 
 #: Checker classes in report order.
-CHECKER_CLASSES = (ExactChecker, DetermChecker, ConcChecker, BackendChecker)
+CHECKER_CLASSES = (ExactChecker, DetermChecker, ConcChecker, BackendChecker, ObsChecker)
 
 
 def all_checkers():
@@ -29,6 +32,7 @@ __all__ = [
     "ConcChecker",
     "DetermChecker",
     "ExactChecker",
+    "ObsChecker",
     "CHECKER_CLASSES",
     "all_checkers",
 ]

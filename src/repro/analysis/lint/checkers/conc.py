@@ -300,6 +300,7 @@ class ConcChecker(Checker):
         "repro/storage/",
         "repro/algebra/",
         "repro/integration/",
+        "repro/obs/",
     )
     rules = {
         "CONC001": "unsynchronized write to a module-level mutable global",

@@ -1,0 +1,155 @@
+"""OBS: telemetry instruments stay owned by their layer.
+
+Every layer keeps its hot-path counters in a module-local ``STATS``
+global on the thread-local-cells discipline and *registers* it with the
+process-wide :class:`repro.obs.MetricsRegistry`; other layers read
+through the registry (or through ``snapshot()``/``since()`` deltas).
+The invariant this checker enforces:
+
+* **OBS001** -- a ``STATS``/``COUNTERS``-style module global imported
+  from *another package* is mutated in place: ``.bump()``/``.inc()``/
+  ``.observe()``/``.set()`` calls, augmented assignments and attribute
+  stores.  Cross-package bumps bypass the owning layer's aggregation
+  discipline and make the metric catalogue unauditable -- new
+  instruments belong in :mod:`repro.obs` (create a registry counter),
+  not in another layer's globals.
+
+Same-package imports stay legal (``repro.ds.combination`` bumping
+``repro.ds.kernel``'s ``STATS`` is the owning layer counting its own
+work), and :mod:`repro.obs` / :mod:`repro.counters` -- the telemetry
+plumbing itself -- are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.base import Checker, Module, ScopedVisitor
+from repro.analysis.lint.findings import Finding
+
+#: Module globals that look like a stats/counter block: SCREAMING_CASE
+#: names ending in STATS or COUNTERS (``STATS``, ``KERNEL_STATS``, ...).
+_STATS_NAME = re.compile(r"^[A-Z0-9_]*(STATS|COUNTERS)$")
+
+#: In-place mutation entry points of the counter/registry instrument
+#: APIs (ThreadLocalCounters.bump, Counter.inc, Histogram.observe,
+#: Gauge.set, plus the generic add).
+_MUTATING_METHODS = {"bump", "inc", "dec", "observe", "set", "add"}
+
+#: Modules allowed to touch any instrument: the telemetry layer itself.
+_EXEMPT_FRAGMENTS = ("repro/obs/", "repro/counters.py")
+
+
+def _module_dotted(posix: str) -> str | None:
+    """``.../src/repro/stream/engine.py`` -> ``repro.stream.engine``.
+
+    Fixture trees place files under a virtual ``repro/...`` root, so the
+    dotted path is anchored at the last ``repro`` path segment.
+    """
+    parts = posix.split("/")
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = ".".join(parts[anchor:])
+    return dotted[: -len(".py")] if dotted.endswith(".py") else dotted
+
+
+def _package_of(dotted: str) -> str:
+    return dotted.rpartition(".")[0]
+
+
+def _foreign_stats_imports(tree: ast.Module, dotted: str) -> dict[str, str]:
+    """Map local alias -> source module, for STATS-style names imported
+    from a different package than the module at *dotted*."""
+    package = _package_of(dotted)
+    foreign: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.level:
+            # Relative: resolve against the importing module's package.
+            base = package.split(".") if package else []
+            if node.level > 1:
+                base = base[: len(base) - (node.level - 1)]
+            source = ".".join(base + (node.module or "").split("."))
+        else:
+            source = node.module or ""
+        source = source.strip(".")
+        if not source or _package_of(source) == package:
+            continue
+        for alias in node.names:
+            if _STATS_NAME.match(alias.name):
+                foreign[alias.asname or alias.name] = source
+    return foreign
+
+
+class _ObsVisitor(ScopedVisitor):
+    def __init__(self, module: Module, foreign: dict[str, str]):
+        super().__init__(module)
+        self._foreign = foreign
+
+    def _flag(self, node: ast.AST, name: str, what: str) -> None:
+        self.report(
+            "OBS001",
+            node,
+            f"telemetry global {name!r} (imported from "
+            f"{self._foreign[name]}) is mutated by {what} outside its "
+            f"owning package; register a repro.obs instrument instead "
+            f"of bumping another layer's counters",
+            f"foreign-bump:{name}",
+        )
+
+    def _foreign_root(self, node: ast.AST) -> str | None:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in self._foreign:
+            return node.id
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            root = self._foreign_root(node.func.value)
+            if root is not None:
+                self._flag(node, root, f"a .{node.func.attr}() call")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        root = self._foreign_root(node.target)
+        if root is not None:
+            self._flag(node, root, "an augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = self._foreign_root(target)
+                if root is not None:
+                    self._flag(node, root, "an attribute store")
+        self.generic_visit(node)
+
+
+class ObsChecker(Checker):
+    """Cross-package mutation of STATS-style telemetry globals."""
+
+    name = "obs"
+    rules = {
+        "OBS001": "STATS-style global mutated outside its owning package",
+    }
+
+    def applies_to(self, module_posix: str) -> bool:
+        return not any(f in module_posix for f in _EXEMPT_FRAGMENTS)
+
+    def check(self, module: Module) -> list[Finding]:
+        dotted = _module_dotted(module.posix)
+        if dotted is None:
+            return []
+        foreign = _foreign_stats_imports(module.tree, dotted)
+        if not foreign:
+            return []
+        visitor = _ObsVisitor(module, foreign)
+        visitor.visit(module.tree)
+        return visitor.findings

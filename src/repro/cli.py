@@ -29,12 +29,24 @@ else JSON).
     Interactive query loop over one database, running through a caching
     :class:`repro.session.Session`: repeated queries hit the
     plan/result caches.  ``:explain Q`` prints the optimized plan,
-    ``:stats`` the session counters plus the evidence-kernel path
-    counters (:mod:`repro.ds.kernel`), the physical executor /
-    partition configuration and fan-out counters (:mod:`repro.exec`)
-    and the storage backend, ``:tables`` the catalog, ``:open URL``
-    switches to another database, ``:persist`` writes the catalog back
-    through the attached backend, and ``:quit`` (or EOF) exits.
+    ``:profile Q`` executes Q and prints the EXPLAIN ANALYZE profile
+    (per-node wall times and row counts, see
+    :meth:`repro.session.Session.explain_analyze`), ``:stats`` the
+    session counters plus the evidence-kernel path counters
+    (:mod:`repro.ds.kernel`), the physical executor / partition
+    configuration and fan-out counters (:mod:`repro.exec`), the storage
+    backend and the full metrics registry (:mod:`repro.obs`),
+    ``:tables`` the catalog, ``:open URL`` switches to another
+    database, ``:persist`` writes the catalog back through the attached
+    backend, and ``:quit`` (or EOF) exits.  ``--trace-out FILE``
+    enables structured tracing and appends span records to FILE as
+    JSONL.
+
+``repro stats [DB]``
+    Dump the process metrics registry (:mod:`repro.obs`) -- as a human
+    table, ``--json``, or ``--prometheus`` text exposition.  With a
+    database and ``--query Q`` (repeatable), runs the queries first so
+    their kernel/executor/session activity shows in the dump.
 
 ``repro stream DB EVENTS --schema REL``
     Replay a JSONL event file (see :mod:`repro.stream.connectors`)
@@ -46,7 +58,7 @@ else JSON).
     ``--durable URL`` journals every flushed batch through a storage
     backend (a ``log:`` URL gives write-ahead recovery); ``--save OUT``
     persists the resulting database, ``--show`` prints the integrated
-    table.
+    table, ``--trace-out FILE`` traces the replay into FILE as JSONL.
 
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
@@ -56,6 +68,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+from contextlib import contextmanager
 
 from repro.errors import ReproError
 from repro.storage.backends import (
@@ -139,6 +153,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="decimal",
         help="mass rendering style",
     )
+    repl.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable structured tracing and append span records to FILE "
+        "as JSONL",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -206,6 +226,40 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["decimal", "fraction", "auto"],
         default="decimal",
         help="mass rendering style",
+    )
+    stream.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable structured tracing and append span records to FILE "
+        "as JSONL",
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="dump the process metrics registry (optionally after "
+        "running queries)",
+    )
+    stats.add_argument(
+        "database",
+        nargs="?",
+        help="database location (URL or path) to run --query against",
+    )
+    stats.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="Q",
+        help="execute Q against DATABASE before dumping (repeatable)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics as a JSON object",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the metrics in the Prometheus text exposition format",
     )
 
     show = commands.add_parser("show", help="inspect a database")
@@ -311,6 +365,60 @@ def _command_convert(args: argparse.Namespace, out) -> int:
     return 0
 
 
+@contextmanager
+def _trace_to(path: str | None):
+    """Enable tracing with a JSONL sink at *path* for one command."""
+    if not path:
+        yield
+        return
+    from repro.obs import tracing
+
+    sink = tracing.JsonlSink(path)
+    tracing.add_sink(sink)
+    previous = tracing.enabled()
+    tracing.set_tracing(True)
+    try:
+        yield
+    finally:
+        tracing.set_tracing(previous)
+        tracing.remove_sink(sink)
+        sink.close()
+
+
+def _command_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.obs import registry
+
+    if args.query and args.database is None:
+        raise ReproError("--query needs a DATABASE to run against")
+    db = session = None
+    if args.database is not None:
+        from repro.session import Session
+
+        db = open_database(args.database)
+        # Held in a local on purpose: the registry tracks SessionStats
+        # weakly, so the session must outlive the dump below.
+        session = Session(db)
+        for query in args.query:
+            session.execute(query)
+    try:
+        if args.json:
+            print(
+                json.dumps(registry().to_json(), indent=2, sort_keys=True),
+                file=out,
+            )
+        elif args.prometheus:
+            print(registry().prometheus(), file=out, end="")
+        else:
+            print(registry().render(), file=out)
+    finally:
+        del session
+        if db is not None:
+            db.close()
+    return 0
+
+
 def _command_repl(args: argparse.Namespace, out) -> int:
     from repro.session import Session
 
@@ -320,65 +428,75 @@ def _command_repl(args: argparse.Namespace, out) -> int:
     def banner() -> None:
         print(
             f"database {db.name!r}: {', '.join(db.names())} -- "
-            f":explain Q / :stats / :tables / :open URL / :persist / :quit",
+            f":explain Q / :profile Q / :stats / :tables / :open URL / "
+            f":persist / :quit",
             file=out,
         )
 
     banner()
-    for line in sys.stdin:
-        text = line.strip()
-        if not text:
-            continue
-        if text in (":quit", ":q", ":exit"):
-            break
-        try:
-            if text == ":stats":
-                from repro.ds.kernel import kernel_stats
-                from repro.exec import current_config, exec_stats
+    with _trace_to(args.trace_out):
+        for line in sys.stdin:
+            text = line.strip()
+            if not text:
+                continue
+            if text in (":quit", ":q", ":exit"):
+                break
+            try:
+                if text == ":stats":
+                    from repro.ds.kernel import kernel_stats
+                    from repro.exec import current_config, exec_stats
+                    from repro.obs import registry
 
-                print(session.stats().summary(), file=out)
-                print(kernel_stats().summary(), file=out)
-                print(current_config().describe(), file=out)
-                print(exec_stats().summary(), file=out)
-                backend = db.backend
-                print(
-                    backend.describe()
-                    if backend is not None
-                    else "storage backend: (none attached)",
-                    file=out,
-                )
-            elif text == ":tables":
-                for relation in db:
-                    keys = ", ".join(relation.schema.key_names)
+                    print(session.stats().summary(), file=out)
+                    print(kernel_stats().summary(), file=out)
+                    print(current_config().describe(), file=out)
+                    print(exec_stats().summary(), file=out)
+                    backend = db.backend
                     print(
-                        f"  {relation.name:<12} {len(relation):>4} tuples  "
-                        f"key=({keys})",
+                        backend.describe()
+                        if backend is not None
+                        else "storage backend: (none attached)",
                         file=out,
                     )
-            elif text.startswith(":open"):
-                url = text[len(":open"):].strip()
-                if not url:
-                    print("usage: :open URL", file=out)
-                    continue
-                fresh = open_database(url)
-                db.close()
-                db, session = fresh, Session(fresh)
-                banner()
-            elif text == ":persist":
-                db.persist()
-                print(
-                    f"persisted {len(db)} relations to {db.backend.url()}",
-                    file=out,
-                )
-            elif text.startswith(":explain"):
-                print(session.explain(text[len(":explain"):].strip()), file=out)
-            elif text.startswith(":"):
-                print(f"unknown command {text.split()[0]!r}", file=out)
-            else:
-                result = session.execute(text)
-                print(format_relation(result, style=args.style), file=out)
-        except ReproError as exc:
-            print(f"error: {exc}", file=out)
+                    print(registry().render(), file=out)
+                elif text == ":tables":
+                    for relation in db:
+                        keys = ", ".join(relation.schema.key_names)
+                        print(
+                            f"  {relation.name:<12} {len(relation):>4} tuples  "
+                            f"key=({keys})",
+                            file=out,
+                        )
+                elif text.startswith(":open"):
+                    url = text[len(":open"):].strip()
+                    if not url:
+                        print("usage: :open URL", file=out)
+                        continue
+                    fresh = open_database(url)
+                    db.close()
+                    db, session = fresh, Session(fresh)
+                    banner()
+                elif text == ":persist":
+                    db.persist()
+                    print(
+                        f"persisted {len(db)} relations to {db.backend.url()}",
+                        file=out,
+                    )
+                elif text.startswith(":profile"):
+                    query = text[len(":profile"):].strip()
+                    if not query:
+                        print("usage: :profile Q", file=out)
+                        continue
+                    print(session.explain_analyze(query).describe(), file=out)
+                elif text.startswith(":explain"):
+                    print(session.explain(text[len(":explain"):].strip()), file=out)
+                elif text.startswith(":"):
+                    print(f"unknown command {text.split()[0]!r}", file=out)
+                else:
+                    result = session.execute(text)
+                    print(format_relation(result, style=args.style), file=out)
+            except ReproError as exc:
+                print(f"error: {exc}", file=out)
     db.close()
     return 0
 
@@ -408,12 +526,18 @@ def _command_stream(args: argparse.Namespace, out) -> int:
             backend=durable,
         )
         started = time.perf_counter()
-        report = replay(engine, read_events(args.events))
+        with _trace_to(args.trace_out):
+            report = replay(engine, read_events(args.events))
         elapsed = time.perf_counter() - started
-        throughput = report.events / elapsed if elapsed > 0 else float("inf")
+        # A tiny replay can finish between two clock ticks; "inf
+        # events/s" is noise, so elide the rate instead.
+        rate = (
+            f"{report.events / elapsed:,.0f} events/s"
+            if elapsed > 0
+            else "events/s: n/a"
+        )
         print(
-            f"replayed {report.summary()} in {elapsed:.3f}s "
-            f"({throughput:,.0f} events/s)",
+            f"replayed {report.summary()} in {elapsed:.3f}s ({rate})",
             file=out,
         )
         print(
@@ -483,6 +607,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "convert": _command_convert,
         "repl": _command_repl,
         "show": _command_show,
+        "stats": _command_stats,
         "stream": _command_stream,
     }
     try:

@@ -45,12 +45,13 @@ from __future__ import annotations
 import threading
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from fractions import Fraction
 
 from repro.counters import ThreadLocalCounters
 from repro.ds.frame import OMEGA, FocalElement, FrameOfDiscernment, is_omega
 from repro.ds.mass import Numeric, validate_mass_total
+from repro.obs.registry import registry as _metrics_registry
 
 
 # -- path selection and observability -----------------------------------------
@@ -154,6 +155,13 @@ class LiveKernelStats:
 #: :meth:`LiveKernelStats.reset`, never rebind (modules hold direct
 #: references).
 STATS = LiveKernelStats()
+
+# Surface the kernel counters on the process-wide metrics registry
+# (``kernel.*`` names) without changing any bump site: the registry
+# reads through snapshot(), the STATS object keeps its attribute API.
+_metrics_registry().register_source(
+    "kernel", lambda: asdict(STATS.snapshot()), STATS.reset
+)
 
 
 def kernel_stats() -> KernelStats:

@@ -41,10 +41,12 @@ import threading
 
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.counters import ThreadLocalCounters
 from repro.errors import ExecutionError
+from repro.obs import tracing
+from repro.obs.registry import registry as _metrics_registry
 
 #: Accepted executor kinds.
 EXECUTOR_KINDS = ("serial", "thread", "process")
@@ -122,6 +124,12 @@ class LiveExecStats:
 #: references).
 STATS = LiveExecStats()
 
+# Surface the fan-out counters on the process-wide metrics registry
+# (``exec.*`` names) behind the existing snapshot API.
+_metrics_registry().register_source(
+    "exec", lambda: asdict(STATS.snapshot()), STATS.reset
+)
+
 
 def exec_stats() -> ExecStats:
     """The process-wide :data:`STATS` object (live, not a copy)."""
@@ -172,7 +180,8 @@ class Executor(ABC):
             return [task(item) for item in items]
         STATS.bump("parallel_batches")
         STATS.bump("tasks", len(items))
-        return self._map(task, items)
+        with tracing.span("exec.map", kind=self.kind, tasks=len(items)):
+            return self._map(task, items)
 
     @abstractmethod
     def _map(self, task, items: list) -> list:
@@ -246,7 +255,14 @@ _FORK_LOCK = threading.Lock()
 def _fork_invoke(index: int):
     task, items = _FORK_PAYLOAD
     with _inside_task():
-        return task(items[index])
+        if not tracing.enabled():
+            return task(items[index]), None
+        # Ship the worker's spans back with the result (the same pattern
+        # the stream engine uses for kernel stats): the child captures,
+        # the parent ingests, and the trace reads as one tree.
+        with tracing.capture() as spans:
+            result = task(items[index])
+        return result, spans
 
 
 class ProcessExecutor(Executor):
@@ -275,9 +291,15 @@ class ProcessExecutor(Executor):
                 with context.Pool(
                     processes=min(self.workers, len(items))
                 ) as pool:
-                    return pool.map(_fork_invoke, range(len(items)))
+                    pairs = pool.map(_fork_invoke, range(len(items)))
             finally:
                 _FORK_PAYLOAD = None
+        results = []
+        for result, spans in pairs:
+            if spans:
+                tracing.ingest(spans)
+            results.append(result)
+        return results
 
 
 # -- configuration ------------------------------------------------------------

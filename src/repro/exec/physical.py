@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from repro.exec.executors import get_executor, partition_count
 from repro.model.relation import ExtendedRelation
+from repro.obs import tracing
 from repro.query.plans import (
     IntersectPlan,
     LiteralPlan,
@@ -56,6 +57,9 @@ class PhysicalOperator:
     #: Human-readable partitioning strategy, overridden per operator.
     strategy = "passthrough"
 
+    #: Short operator name used in span names (``physical.<op>``).
+    op = "node"
+
     def __init__(self, plan: Plan, children: tuple["PhysicalOperator", ...]):
         self.plan = plan
         self.children = children
@@ -67,11 +71,30 @@ class PhysicalOperator:
     def execute(self, database) -> ExtendedRelation:
         """Evaluate the whole physical subtree."""
         inputs = tuple(child.execute(database) for child in self.children)
-        return self.apply(inputs, database)
+        return self.traced_apply(inputs, database)
 
     def apply(self, inputs, database) -> ExtendedRelation:
         """Evaluate this operator alone, given its children's results."""
         return self.plan.apply(inputs, database)
+
+    def traced_apply(self, inputs, database) -> ExtendedRelation:
+        """:meth:`apply` wrapped in a ``physical.<op>`` tracing span.
+
+        The one extra cost with tracing disabled is the flag check; with
+        it enabled the span records the node label and the exact
+        input/output row counts.
+        """
+        if not tracing.enabled():
+            return self.apply(inputs, database)
+        with tracing.span(
+            "physical." + self.op, label=self.plan.label()
+        ) as current:
+            result = self.apply(inputs, database)
+            current.note(
+                rows_in=[len(relation) for relation in inputs],
+                rows_out=len(result),
+            )
+            return result
 
     def describe(self, indent: int = 0) -> str:
         """The physical tree as indented text (strategy per node)."""
@@ -87,9 +110,13 @@ class PhysicalOperator:
 class PhysicalScan(PhysicalOperator):
     """Catalog lookup; nothing to partition."""
 
+    op = "scan"
+
 
 class PhysicalLiteral(PhysicalOperator):
     """In-memory relation; nothing to partition."""
+
+    op = "literal"
 
 
 class _TupleWise(PhysicalOperator):
@@ -125,31 +152,40 @@ class _TupleWise(PhysicalOperator):
 class PhysicalSelect(_TupleWise):
     """Extended selection, sharded tuple-wise."""
 
+    op = "select"
+
 
 class PhysicalProject(_TupleWise):
     """Extended projection, sharded tuple-wise."""
 
+    op = "project"
+
 
 class PhysicalRename(_TupleWise):
     """Attribute renaming, sharded tuple-wise."""
+
+    op = "rename"
 
 
 class PhysicalUnion(PhysicalOperator):
     """Extended union; the algebra merge shards per entity itself."""
 
     strategy = "per-entity merge tasks (in algebra.union)"
+    op = "union"
 
 
 class PhysicalIntersect(PhysicalOperator):
     """Extended intersection; the algebra merge shards per entity itself."""
 
     strategy = "per-entity merge tasks (in algebra.union)"
+    op = "intersect"
 
 
 class PhysicalProduct(PhysicalOperator):
     """Cartesian product: left input sharded, right broadcast."""
 
     strategy = "partition left, broadcast right"
+    op = "product"
 
     def apply(self, inputs, database) -> ExtendedRelation:
         left, right = inputs
@@ -203,7 +239,7 @@ def lower_node(plan: Plan) -> PhysicalOperator:
 
 def apply_node(plan: Plan, inputs, database) -> ExtendedRelation:
     """Evaluate one logical node physically, given its children's results."""
-    return lower_node(plan).apply(tuple(inputs), database)
+    return lower_node(plan).traced_apply(tuple(inputs), database)
 
 
 def run_plan(plan: Plan, database) -> ExtendedRelation:

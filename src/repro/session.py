@@ -37,12 +37,20 @@ Example::
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass
 
+from repro.ds.kernel import STATS as KERNEL_STATS
 from repro.errors import PlanError, ReproError
-from repro.exec.physical import apply_node
+from repro.exec.executors import STATS as EXEC_STATS
+from repro.exec.executors import current_config, partition_count
+from repro.exec.physical import apply_node, lower_node
 from repro.expr import RelExpr, _Literal, _Rel
 from repro.model.relation import ExtendedRelation
+from repro.obs import tracing
+from repro.obs.profile import NodeProfile, QueryProfile
+from repro.obs.registry import registry as _metrics_registry
 from repro.query.executor import compile_text
 from repro.query.fingerprint import fingerprint as plan_fingerprint
 from repro.query.fingerprint import plan_key
@@ -74,6 +82,34 @@ class SessionStats:
             f"{self.node_executions} nodes executed, "
             f"{self.invalidations} invalidations"
         )
+
+
+def _plan_cache_hit_ratio() -> float:
+    registry = _metrics_registry()
+    hits = registry.group_total("session", "plan_cache_hits")
+    built = registry.group_total("session", "plans_built")
+    return hits / (hits + built) if hits + built else 0.0
+
+
+def _result_cache_hit_ratio() -> float:
+    registry = _metrics_registry()
+    hits = registry.group_total("session", "result_cache_hits")
+    queries = registry.group_total("session", "queries")
+    return hits / queries if queries else 0.0
+
+
+# Cache-effectiveness gauges over every live session, computed at
+# collection time from the attached SessionStats group.
+_metrics_registry().gauge(
+    "session.plan_cache_hit_ratio",
+    help="plan-cache hits / (hits + plans built), over live sessions",
+    callback=_plan_cache_hit_ratio,
+)
+_metrics_registry().gauge(
+    "session.result_cache_hit_ratio",
+    help="whole-query result-cache hits / queries, over live sessions",
+    callback=_result_cache_hit_ratio,
+)
 
 
 @dataclass
@@ -158,6 +194,9 @@ class Session:
         self._subscriptions: list[Subscription] = []
         self._listening = False
         self._stats = SessionStats()
+        # Weakly tracked: the registry sums SessionStats fields over
+        # live sessions under the ``session.*`` metric names.
+        _metrics_registry().attach("session", self._stats)
         self._epoch = database.version
 
     @property
@@ -204,7 +243,77 @@ class Session:
         self._sync()
         self._stats.queries += 1
         compiled = self._compile(query)
-        return self._run(compiled.plan, root=True)
+        if not tracing.enabled():
+            return self._run(compiled.plan, root=True)
+        with tracing.span(
+            "session.execute", fingerprint=compiled.fingerprint
+        ) as current:
+            result = self._run(compiled.plan, root=True)
+            current.note(rows=len(result))
+            return result
+
+    def explain_analyze(self, query) -> QueryProfile:
+        """Execute *query* and return the plan annotated with measurements.
+
+        Every node is evaluated through the physical layer exactly as
+        :meth:`execute` would -- same executor, same partitioning --
+        but *bypassing the result caches*, so the timings measure real
+        work.  Each :class:`~repro.obs.profile.NodeProfile` carries the
+        node's wall time, exact input/output row counts (identical
+        under every executor, by the serial-equivalence contract),
+        partition fan-out, and the kernel-vs-fallback combination split
+        (combination counters bumped inside forked process-pool workers
+        stay in the children, so the split can undercount under the
+        process executor; row counts and timings are always measured in
+        this process).  The session's caches and stats are untouched.
+        """
+        self._sync()
+        compiled = self._compile(query)
+        config = current_config()
+        start = time.perf_counter()
+        _, root = self._profile_node(compiled.plan)
+        wall = time.perf_counter() - start
+        text = query if isinstance(query, str) else compiled.plan.label()
+        return QueryProfile(
+            query=text,
+            executor=config.kind,
+            workers=config.workers,
+            root=root,
+            wall_seconds=wall,
+        )
+
+    def _profile_node(self, plan: Plan) -> tuple[ExtendedRelation, NodeProfile]:
+        child_results = []
+        child_profiles = []
+        for child in plan.children():
+            result, profile = self._profile_node(child)
+            child_results.append(result)
+            child_profiles.append(profile)
+        inputs = tuple(child_results)
+        kernel_baseline = KERNEL_STATS.snapshot()
+        exec_baseline = EXEC_STATS.snapshot()
+        start = time.perf_counter()
+        result = apply_node(plan, inputs, self._db)
+        wall = time.perf_counter() - start
+        kernel_delta = KERNEL_STATS.since(kernel_baseline)
+        exec_after = EXEC_STATS.snapshot()
+        rows_in = tuple(len(relation) for relation in inputs)
+        profile = NodeProfile(
+            label=plan.label(),
+            strategy=lower_node(plan).strategy,
+            rows_in=rows_in,
+            rows_out=len(result),
+            wall_seconds=wall,
+            partitions=partition_count(max(rows_in, default=0)),
+            parallel_batches=(
+                exec_after.parallel_batches - exec_baseline.parallel_batches
+            ),
+            tasks=exec_after.tasks - exec_baseline.tasks,
+            kernel_combinations=kernel_delta.kernel_combinations,
+            fallback_combinations=kernel_delta.fallback_combinations,
+            children=tuple(child_profiles),
+        )
+        return result, profile
 
     def collect_all(self, queries) -> list[ExtendedRelation]:
         """Execute many queries, sharing results of common subplans.

@@ -44,9 +44,13 @@ reproduces the engine's state exactly (see
 from __future__ import annotations
 
 import abc
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.errors import SerializationError
+from repro.obs import tracing
+from repro.obs.registry import registry as _metrics_registry
 
 
 class StorageBackend(abc.ABC):
@@ -133,6 +137,40 @@ class StorageBackend(abc.ABC):
                 f"manager, or call open() first)"
             )
 
+    # -- telemetry ----------------------------------------------------------
+
+    def _file_bytes(self) -> int:
+        try:
+            return self._path.stat().st_size
+        except OSError:
+            return 0
+
+    @contextmanager
+    def _instrument(self, op: str, counter: str, save_side: bool):
+        """Meter one public storage call: per-scheme I/O counters, call
+        latency histograms, on-disk size, and a ``storage.<op>`` span.
+
+        Storage calls are disk-bound, so the metrics are always on; only
+        the span obeys the tracing flag.
+        """
+        registry = _metrics_registry()
+        prefix = f"storage.{self.scheme}"
+        registry.counter(f"{prefix}.{counter}").inc()
+        before = self._file_bytes() if save_side else 0
+        start = time.perf_counter()
+        with tracing.span(
+            f"storage.{op}", scheme=self.scheme, path=str(self._path)
+        ):
+            yield
+        elapsed = time.perf_counter() - start
+        side = "save_seconds" if save_side else "load_seconds"
+        registry.histogram(f"{prefix}.{side}").observe(elapsed)
+        if save_side:
+            after = self._file_bytes()
+            if after > before:
+                registry.counter(f"{prefix}.bytes_written").inc(after - before)
+            registry.gauge(f"{prefix}.file_bytes").set(after)
+
     # -- catalog metadata ---------------------------------------------------
 
     @abc.abstractmethod
@@ -171,7 +209,8 @@ class StorageBackend(abc.ABC):
         backend reads only the relation's own rows.
         """
         self._require_open()
-        return self._load_relation(name)
+        with self._instrument("load_relation", "point_loads", False):
+            return self._load_relation(name)
 
     def save_relation(self, relation, partitions: int | None = None) -> None:
         """Insert or replace one relation (creating the store if absent).
@@ -182,7 +221,8 @@ class StorageBackend(abc.ABC):
         Bumps the catalog version.
         """
         self._require_open()
-        self._save_relation(relation, partitions)
+        with self._instrument("save_relation", "saves", True):
+            self._save_relation(relation, partitions)
 
     def delete_relation(self, name: str) -> None:
         """Remove one stored relation; bumps the catalog version."""
@@ -201,7 +241,8 @@ class StorageBackend(abc.ABC):
         mistaken for fresh.
         """
         self._require_open()
-        database = self._load_database()
+        with self._instrument("load_database", "loads", False):
+            database = self._load_database()
         database._version = max(database._version, self.catalog_version())
         return database
 
@@ -212,7 +253,8 @@ class StorageBackend(abc.ABC):
         Bumps the catalog version once for the whole save.
         """
         self._require_open()
-        self._save_database(database, partitions)
+        with self._instrument("save_database", "saves", True):
+            self._save_database(database, partitions)
 
     # -- streaming durability -----------------------------------------------
 
@@ -242,9 +284,10 @@ class StorageBackend(abc.ABC):
         rebuilds the engine exactly.
         """
         self._require_open()
-        if not delta.is_empty() or self._stream_watermark(name) is None:
-            self._save_relation(relation, None)
-        self._set_stream_watermark(name, delta.watermark)
+        with self._instrument("write_batch", "write_batches", True):
+            if not delta.is_empty() or self._stream_watermark(name) is None:
+                self._save_relation(relation, None)
+            self._set_stream_watermark(name, delta.watermark)
 
     def stream_watermark(self, name: str) -> int | None:
         """The last durably recorded watermark of stream *name* (or None)."""

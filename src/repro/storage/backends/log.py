@@ -328,6 +328,10 @@ class LogBackend(StorageBackend):
     def write_batch(self, name: str, delta, events, relation) -> None:
         """Append the batch's write-ahead records + its ``batch`` marker."""
         self._require_open()
+        with self._instrument("write_batch", "write_batches", True):
+            self._write_batch(name, delta, events)
+
+    def _write_batch(self, name: str, delta, events) -> None:
         records = [
             {
                 "record": "event",

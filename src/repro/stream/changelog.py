@@ -35,6 +35,9 @@ class BatchDelta:
     removed: tuple
     conflicted: tuple
     conflicts: tuple = ()
+    #: Optional :class:`repro.obs.profile.FlushProfile` timing breakdown,
+    #: populated when the engine was built with ``profile_batches=True``.
+    profile: object | None = None
 
     @property
     def changed(self) -> tuple:

@@ -32,6 +32,10 @@ sequence number up to which events are durably reflected.
 
 from __future__ import annotations
 
+import threading
+import time
+import weakref
+
 from dataclasses import dataclass
 
 from repro.ds.kernel import STATS as KERNEL_STATS
@@ -42,6 +46,9 @@ from repro.integration.pipeline import coerce_reliability, discount_tuple
 from repro.model.etuple import ExtendedTuple
 from repro.model.membership import CERTAIN
 from repro.model.relation import ExtendedRelation, partition_index
+from repro.obs import tracing
+from repro.obs.profile import FlushProfile
+from repro.obs.registry import registry as _metrics_registry
 from repro.stream.changelog import BatchDelta, ChangeLog
 from repro.stream.state import Contribution, MergeState
 
@@ -93,6 +100,37 @@ class _SourceState:
     tuples: dict
 
 
+#: Live engines, weakly tracked so the lag/age gauges below can sum over
+#: them at collection time without pinning finished engines in memory.
+#: WeakSet is not thread-safe, so registration holds the lock; the gauge
+#: readers copy via list() and tolerate a snapshot racing a constructor.
+_ENGINES: "weakref.WeakSet[StreamEngine]" = weakref.WeakSet()
+_ENGINES_LOCK = threading.Lock()
+
+
+def _ingest_lag_events() -> int:
+    return sum(engine.pending_events for engine in list(_ENGINES))
+
+
+def _watermark_age_seconds() -> float:
+    stamps = [engine._watermark_time for engine in list(_ENGINES)]
+    if not stamps:
+        return 0.0
+    return max(0.0, time.monotonic() - min(stamps))
+
+
+_metrics_registry().gauge(
+    "stream.ingest_lag_events",
+    help="events accepted but not yet flushed, over live engines",
+    callback=_ingest_lag_events,
+)
+_metrics_registry().gauge(
+    "stream.watermark_age_seconds",
+    help="seconds since any live engine last advanced its watermark",
+    callback=_watermark_age_seconds,
+)
+
+
 class StreamEngine:
     """Continuous integration of per-source events into one relation.
 
@@ -130,6 +168,13 @@ class StreamEngine:
         Changelog retention (oldest batches trimmed first); ``None``
         keeps everything.  Default 1024 -- a long-running stream must
         not grow memory without bound.
+    profile_batches:
+        When true, every flush attaches a
+        :class:`~repro.obs.profile.FlushProfile` timing breakdown
+        (refold / materialize / publish phases) to its
+        :class:`~repro.stream.changelog.BatchDelta` under
+        ``delta.profile``.  Off by default: the breakdown costs a few
+        clock reads per flush and is diagnostic, not semantic.
 
     >>> from repro.datasets.restaurants import table_ra, table_rb
     >>> engine = StreamEngine(table_ra().schema, name="R")
@@ -151,6 +196,7 @@ class StreamEngine:
         batch_size: int | None = None,
         max_changelog_batches: int | None = 1024,
         backend=None,
+        profile_batches: bool = False,
     ):
         if database is not None and not str(name).isidentifier():
             raise StreamError(
@@ -174,6 +220,16 @@ class StreamEngine:
         self._relation: ExtendedRelation | None = None
         self._changelog = ChangeLog(max_batches=max_changelog_batches)
         self._stats = StreamStats()
+        # Weakly tracked: the registry sums StreamStats fields over live
+        # engines (``stream.*``) and the lag/age gauges read through the
+        # engine set; per-source counters are cached to keep the per-
+        # event cost at one dict lookup.
+        _metrics_registry().attach("stream", self._stats)
+        with _ENGINES_LOCK:
+            _ENGINES.add(self)
+        self._watermark_time = time.monotonic()
+        self._source_counters: dict[tuple, object] = {}
+        self._profile_batches = bool(profile_batches)
         self._backend = None
         self._wal: list[tuple] = []
         if backend is not None:
@@ -333,7 +389,10 @@ class StreamEngine:
                 self._rollback_upsert(
                     entity, state, source, key, prior, auto_registered
                 )
+                self._count_source(source, "conflicts")
                 raise
+            if entity.conflicted:
+                self._count_source(source, "conflicts")
         else:
             was_dirty = entity.dirty
             entity.dirty = True
@@ -349,11 +408,13 @@ class StreamEngine:
                         entity, state, source, key, prior, auto_registered
                     )
                     entity.dirty = was_dirty
+                    self._count_source(source, "conflicts")
                     raise
         self._journal("upsert", source, etuple)
         self._seq += 1
         self._touched.add(key)
         self._stats.upserts += 1
+        self._count_source(source, "events")
         self._maybe_autoflush()
         return key
 
@@ -381,6 +442,7 @@ class StreamEngine:
         self._seq += 1
         self._touched.add(key)
         self._stats.retractions += 1
+        self._count_source(source, "events")
         self._maybe_autoflush()
 
     def set_reliability(self, source: str, reliability: object) -> None:
@@ -404,6 +466,7 @@ class StreamEngine:
             )
             self._seq += 1
             self._stats.reliability_updates += 1
+            self._count_source(source, "events")
             self._maybe_autoflush()
             return
         old = state.reliability
@@ -444,6 +507,7 @@ class StreamEngine:
         self._journal("reliability", source, new)
         self._seq += 1
         self._stats.reliability_updates += 1
+        self._count_source(source, "events")
         self._maybe_autoflush()
 
     # -- flushing -----------------------------------------------------------
@@ -454,6 +518,8 @@ class StreamEngine:
         Re-folds only the entities the batch touched, materializes the
         relation, publishes it into the attached database (if any),
         appends a :class:`BatchDelta` to the changelog and returns it.
+        With ``profile_batches=True`` the delta carries a
+        :class:`~repro.obs.profile.FlushProfile` phase breakdown.
 
         Under a parallel executor (:mod:`repro.exec`) the pending
         re-folds drain as per-partition merge batches: dirty entities
@@ -463,6 +529,17 @@ class StreamEngine:
         depends on fold timing), so the flushed relation, the delta and
         the conflict records are identical to the serial flush.
         """
+        if not tracing.enabled():
+            return self._flush()
+        with tracing.span("stream.flush", stream=self._schema.name) as current:
+            delta = self._flush()
+            current.note(events=delta.events, changed=len(delta.changed))
+            return delta
+
+    def _flush(self) -> BatchDelta:
+        profiling = self._profile_batches
+        started = time.perf_counter() if profiling else 0.0
+        combinations_before = self._stats.combinations if profiling else 0
         order = tuple(self._sources)
         conflicts: list = []
         # Sorted key order everywhere self._touched (a set) drives work
@@ -482,6 +559,7 @@ class StreamEngine:
         else:
             for entity in dirty:
                 self._refold(entity, order)
+        refold_done = time.perf_counter() if profiling else 0.0
         for key in touched:
             entity = self._state.get(key)
             if entity is not None:
@@ -518,6 +596,7 @@ class StreamEngine:
             conflicted=tuple(conflicted),
             conflicts=tuple(conflicts),
         )
+        materialize_done = time.perf_counter() if profiling else 0.0
         # Commit the engine's own bookkeeping (changelog, watermark,
         # published snapshot) *before* notifying the outside world:
         # Database.add runs catalog listeners, and an exception escaping
@@ -526,6 +605,8 @@ class StreamEngine:
         self._published = current
         self._changelog.append(delta)
         self._touched = set()
+        if self._flushed_seq != self._seq:
+            self._watermark_time = time.monotonic()
         self._flushed_seq = self._seq
         self._stats.flushes += 1
         if self._backend is not None:
@@ -548,6 +629,22 @@ class StreamEngine:
             self._published_once = True
             self._stats.publishes += 1
             self._db.add(relation, replace=True)
+        if profiling:
+            done = time.perf_counter()
+            profile = FlushProfile(
+                events=delta.events,
+                entities_refolded=len(dirty),
+                combinations=self._stats.combinations - combinations_before,
+                partitions=n,
+                refold_seconds=refold_done - started,
+                materialize_seconds=materialize_done - refold_done,
+                publish_seconds=done - materialize_done,
+                total_seconds=done - started,
+                sources=order,
+            )
+            # BatchDelta is frozen for consumers; the engine finishes
+            # constructing it here, once the publish phase has a time.
+            object.__setattr__(delta, "profile", profile)
         return delta
 
     def snapshot_events(self) -> list[tuple]:
@@ -588,6 +685,17 @@ class StreamEngine:
         """
         if self._backend is not None:
             self._wal.append((kind, source, payload))
+
+    def _count_source(self, source: str, kind: str) -> None:
+        """Bump the ``stream.source.<name>.<kind>`` registry counter."""
+        key = (source, kind)
+        counter = self._source_counters.get(key)
+        if counter is None:
+            counter = _metrics_registry().counter(
+                f"stream.source.{source}.{kind}"
+            )
+            self._source_counters[key] = counter
+        counter.inc()
 
     def _refold(self, entity, order, count_refold: bool = True) -> None:
         """Refold one entity, attributing evidence-combination counts.

@@ -1,0 +1,23 @@
+"""OBS fixture: the legal ways to count things.
+
+Same-package stats stay mutable (the owning layer counting its own
+work); everything else goes through the registry; foreign stats may be
+read freely.
+"""
+
+from repro.ds.kernel import STATS as KERNEL_STATS
+from repro.obs.registry import registry
+
+from .kernel import STATS
+
+
+def count_local_work():
+    STATS.bump("kernel_combinations")  # same package: the owner counts
+
+
+def count_via_registry(amount):
+    registry().counter("layer.custom.events").inc(amount)
+
+
+def read_foreign_snapshot():
+    return KERNEL_STATS.snapshot()  # reading is always fine

@@ -17,6 +17,7 @@ from repro.analysis.lint.checkers.backend import BackendChecker
 from repro.analysis.lint.checkers.conc import ConcChecker
 from repro.analysis.lint.checkers.determ import DetermChecker
 from repro.analysis.lint.checkers.exact import ExactChecker
+from repro.analysis.lint.checkers.obs import ObsChecker
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -109,6 +110,35 @@ class TestBackendChecker:
     def test_complete_backend_with_bump_helper_is_clean(self, tmp_path):
         place(tmp_path, "backend_good.py", "repro/storage/backend_good.py")
         result = analyze([tmp_path], checkers=[BackendChecker()])
+        assert result.findings == []
+
+
+class TestObsChecker:
+    def test_cross_package_mutations_flagged(self, tmp_path):
+        place(tmp_path, "obs_bad.py", "repro/stream/obs_bad.py")
+        result = analyze([tmp_path], checkers=[ObsChecker()])
+        rules = rules_of(result)
+        # The .bump() call, the augmented assignment, the attribute store.
+        assert rules == ["OBS001", "OBS001", "OBS001"]
+
+    def test_owner_and_registry_usage_is_clean(self, tmp_path):
+        place(tmp_path, "obs_good.py", "repro/stream/obs_good.py")
+        result = analyze([tmp_path], checkers=[ObsChecker()])
+        assert result.findings == []
+
+    def test_same_package_bump_is_the_owners_business(self, tmp_path):
+        # ds/combination.py bumping ds.kernel's STATS is the canonical
+        # legal case: same package, absolute import.
+        place(tmp_path, "obs_bad.py", "repro/ds/obs_bad.py")
+        result = analyze([tmp_path], checkers=[ObsChecker()])
+        # Only the exec.executors import stays foreign from repro/ds/.
+        assert rules_of(result) == ["OBS001"]
+        assert "repro.exec.executors" in result.findings[0].message
+
+    def test_telemetry_layer_itself_is_exempt(self, tmp_path):
+        place(tmp_path, "obs_bad.py", "repro/obs/obs_bad.py")
+        place(tmp_path, "obs_bad.py", "repro/counters.py")
+        result = analyze([tmp_path], checkers=[ObsChecker()])
         assert result.findings == []
 
 

@@ -1,0 +1,151 @@
+"""Structured tracing: the cost contract, nesting, shipping, sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    JsonlSink,
+    SpanRecord,
+    add_sink,
+    capture,
+    enabled,
+    ingest,
+    remove_sink,
+    set_tracing,
+    span,
+    take_records,
+    tracing_scope,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing_state():
+    """Restore the flag and drain the buffer around every test."""
+    previous = enabled()
+    take_records()
+    yield
+    set_tracing(previous)
+    take_records()
+
+
+class TestCostContract:
+    def test_disabled_span_is_the_shared_noop(self):
+        set_tracing(False)
+        first, second = span("a"), span("b", rows=3)
+        assert first is second  # one singleton, no allocation
+        with first as live:
+            live.note(rows=9)  # discarded, not an error
+        assert take_records() == []
+
+    def test_scope_restores_the_previous_flag(self):
+        set_tracing(False)
+        with tracing_scope():
+            assert enabled()
+            with tracing_scope(False):
+                assert not enabled()
+            assert enabled()
+        assert not enabled()
+
+
+class TestNesting:
+    def test_parent_child_links_and_order(self):
+        with tracing_scope():
+            with span("outer", layer="test") as outer:
+                with span("inner") as inner:
+                    inner.note(rows=3)
+                outer.note(rows=6)
+        records = take_records()
+        assert [r.name for r in records] == ["inner", "outer"]
+        inner_rec, outer_rec = records
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert outer_rec.parent_id is None
+        assert inner_rec.attrs == {"rows": 3}
+        assert outer_rec.attrs == {"layer": "test", "rows": 6}
+        assert all(r.duration >= 0.0 for r in records)
+
+    def test_siblings_share_a_parent(self):
+        with tracing_scope():
+            with span("parent") as parent:
+                with span("first"):
+                    pass
+                with span("second"):
+                    pass
+        first, second, _ = take_records()
+        assert first.parent_id == second.parent_id == parent.span_id
+
+
+class TestWorkerShipping:
+    def test_capture_diverts_from_buffer_and_sinks(self):
+        seen = []
+
+        class Sink:
+            def emit(self, record):
+                seen.append(record)
+
+        sink = Sink()
+        add_sink(sink)
+        try:
+            with tracing_scope():
+                with capture() as shipped:
+                    with span("worker.task"):
+                        pass
+        finally:
+            remove_sink(sink)
+        assert [r.name for r in shipped] == ["worker.task"]
+        assert take_records() == []  # diverted, not buffered
+        assert seen == []  # and kept away from the sinks
+
+    def test_ingest_reparents_top_level_worker_spans(self):
+        worker = [
+            SpanRecord(101, 100, "child.inner", "W", 0.1, {"n": 1}),
+            SpanRecord(100, None, "child.outer", "W", 0.2, {}),
+        ]
+        with tracing_scope():
+            with span("exec.map") as dispatch:
+                ingest(worker)
+        records = {r.name: r for r in take_records()}
+        # The worker-internal link survives; the worker's root hangs off
+        # the dispatching span.
+        assert records["child.inner"].parent_id == 100
+        assert records["child.outer"].parent_id == dispatch.span_id
+        assert records["child.inner"].attrs == {"n": 1}
+
+
+class TestSinks:
+    def test_jsonl_sink_appends_one_object_per_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        add_sink(sink)
+        try:
+            with tracing_scope():
+                with span("a", step=1):
+                    pass
+                with span("b"):
+                    pass
+        finally:
+            remove_sink(sink)
+            sink.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert [line["name"] for line in lines] == ["a", "b"]
+        assert lines[0]["attrs"] == {"step": 1}
+        assert set(lines[0]) == {
+            "span", "parent", "name", "thread", "duration", "attrs",
+        }
+
+
+class TestEnvironmentFlag:
+    def test_env_values(self, monkeypatch):
+        for raw, expect in (("", False), ("0", False), ("1", True),
+                            ("yes", True)):
+            monkeypatch.setenv("REPRO_TRACE", raw)
+            assert tracing._env_enabled() is expect
+        monkeypatch.delenv("REPRO_TRACE")
+        assert tracing._env_enabled() is False

@@ -231,6 +231,49 @@ class TestRepl:
         assert "no relation" in output
         assert "ashiana" in output
 
+    def test_stats_includes_the_metrics_registry(self, demo_db, monkeypatch):
+        script = "SELECT rname FROM RA\n:stats\n:quit\n"
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0
+        assert "metrics:" in output
+        assert "kernel.kernel_combinations" in output
+        assert "session.queries" in output
+
+    def test_profile_annotates_the_plan(self, demo_db, monkeypatch):
+        script = ":profile RA UNION RB BY (rname)\n:quit\n"
+        status, output = self.run_repl(monkeypatch, demo_db, script)
+        assert status == 0
+        assert "EXPLAIN ANALYZE" in output
+        assert "rows=6+5->6" in output
+        assert "Scan RA" in output and "Scan RB" in output
+        assert "time=" in output
+        assert "combine=" in output
+
+    def test_profile_without_query_is_usage_error(self, demo_db, monkeypatch):
+        status, output = self.run_repl(
+            monkeypatch, demo_db, ":profile\n:quit\n"
+        )
+        assert status == 0
+        assert "usage: :profile" in output
+
+    def test_trace_out_writes_span_records(
+        self, demo_db, tmp_path, monkeypatch
+    ):
+        trace = tmp_path / "repl-trace.jsonl"
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("SELECT rname FROM RA\n:quit\n")
+        )
+        status, _ = run_cli("repl", str(demo_db), "--trace-out", str(trace))
+        assert status == 0
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        names = {record["name"] for record in records}
+        assert "session.execute" in names
+        assert "physical.scan" in names
+
 
 class TestStream:
     @pytest.fixture
@@ -348,6 +391,105 @@ class TestStream:
             recovered = backend.recover_stream("R_LIVE", attach=False)
             assert recovered.watermark == 11
             assert len(recovered.relation) == 6
+
+
+    def test_zero_elapsed_replay_elides_the_rate(
+        self, demo_db, events_file, monkeypatch
+    ):
+        """A replay finishing between clock ticks must not print
+        'inf events/s'."""
+        import time
+
+        monkeypatch.setattr(time, "perf_counter", lambda: 42.0)
+        status, output = run_cli(
+            "stream", str(demo_db), str(events_file), "--schema", "RA"
+        )
+        assert status == 0
+        assert "inf" not in output
+        assert "events/s: n/a" in output
+
+    def test_trace_out_writes_flush_spans(
+        self, demo_db, events_file, tmp_path
+    ):
+        trace = tmp_path / "stream-trace.jsonl"
+        status, _ = run_cli(
+            "stream",
+            str(demo_db),
+            str(events_file),
+            "--schema",
+            "RA",
+            "--trace-out",
+            str(trace),
+        )
+        assert status == 0
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        names = [record["name"] for record in records]
+        # The events file carries an explicit mid-file flush marker and
+        # replay flushes once more at the end.
+        assert names.count("stream.flush") == 2
+
+
+class TestStats:
+    def test_registry_table_without_a_database(self):
+        status, output = run_cli("stats")
+        assert status == 0
+        assert output.startswith("metrics:")
+        assert "kernel.kernel_combinations" in output
+        assert "stream.ingest_lag_events" in output
+
+    def test_query_runs_against_the_database(self, demo_db):
+        status, output = run_cli(
+            "stats", str(demo_db), "--query", "RA UNION RB BY (rname)"
+        )
+        assert status == 0
+        assert "session.queries" in output
+        assert "storage backend" not in output  # registry table only
+
+    def test_query_without_database_is_a_clean_error(self, capsys):
+        status, _ = run_cli("stats", "--query", "RA")
+        assert status == 1
+        assert "--query needs a DATABASE" in capsys.readouterr().err
+
+    def test_json_round_trips_with_stable_names(self, demo_db):
+        status, output = run_cli(
+            "stats", str(demo_db), "--query", "RA UNION RB BY (rname)",
+            "--json",
+        )
+        assert status == 0
+        payload = json.loads(output)
+        for name in (
+            "kernel.kernel_combinations",
+            "kernel.fallback_combinations",
+            "exec.tasks",
+            "session.queries",
+            "session.plans_built",
+            "session.result_cache_hit_ratio",
+            "stream.ingest_lag_events",
+        ):
+            assert name in payload
+        assert payload["session.queries"] >= 1
+        # Storage I/O of the demo-database load is accounted per scheme.
+        assert any(name.startswith("storage.") for name in payload)
+        # Histogram values arrive as structured objects.
+        latencies = [
+            value
+            for name, value in payload.items()
+            if name.endswith("_seconds") and isinstance(value, dict)
+        ]
+        assert any(value["count"] >= 1 for value in latencies)
+
+    def test_prometheus_exposition(self, demo_db):
+        status, output = run_cli(
+            "stats", str(demo_db), "--query", "RA", "--prometheus"
+        )
+        assert status == 0
+        assert "# TYPE repro_kernel_kernel_combinations counter" in output
+        assert "# TYPE repro_session_result_cache_hit_ratio gauge" in output
+        assert '_bucket{le="+Inf"}' in output
 
 
 class TestConvert:

@@ -3,11 +3,15 @@
 #   make test           run the test suite (tier-1 gate)
 #   make test-parallel  the same suite under a 4-worker thread executor
 #   make test-sqlite    the same suite with SQLite as the default backend
+#   make test-auto      the same suite under the cost-model-driven
+#                       adaptive executor (REPRO_EXECUTOR=auto)
 #   make bench          run the benchmark harness (timings + assertions)
 #   make bench-stream   incremental-vs-recompute ingestion benchmark
 #   make bench-kernel   kernel-vs-frozenset combination benchmark
 #   make bench-parallel federation/stream scaling across worker counts
 #   make bench-storage  save/load/point-load per storage backend
+#   make bench-adaptive warm-pool dispatch, dirty-shard flush bytes,
+#                       auto-vs-serial routing
 #   make lint           ruff check (fails in CI when ruff is absent;
 #                       skipped with a notice locally)
 #   make lint-analysis  reprolint: invariant static analysis (EXACT,
@@ -16,8 +20,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test test-parallel test-sqlite bench bench-stream bench-kernel \
-	bench-parallel bench-storage lint lint-analysis quickstart
+.PHONY: test test-parallel test-sqlite test-auto bench bench-stream \
+	bench-kernel bench-parallel bench-storage bench-adaptive lint \
+	lint-analysis quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +32,9 @@ test-parallel:
 
 test-sqlite:
 	REPRO_STORAGE=sqlite $(PYTHON) -m pytest -x -q
+
+test-auto:
+	REPRO_EXECUTOR=auto REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
@@ -42,6 +50,9 @@ bench-parallel:
 
 bench-storage:
 	$(PYTHON) -m pytest benchmarks/bench_storage_backends.py -q -s
+
+bench-adaptive:
+	$(PYTHON) -m pytest benchmarks/bench_adaptive_runtime.py -q -s
 
 # Real ruff findings always fail; only a *missing* ruff is forgiven,
 # and only outside CI (GitHub Actions exports CI=true).

@@ -14,7 +14,10 @@ This walks the paper's core loop with the fluent lazy API:
 5. inspect the compact evidence kernel that runs underneath it all,
 6. fan the same work out over a worker pool: the physical execution
    layer shards entity work into hash partitions, and any executor /
-   partition count reproduces the serial result exactly,
+   partition count reproduces the serial result exactly -- including
+   the adaptive runtime (REPRO_EXECUTOR=auto), where a cost model
+   routes each batch to the serial loop, the thread pool or the warm
+   process pool,
 7. persist everything through a pluggable storage backend (json /
    sqlite / append-only log), with write-ahead durability for streams,
 8. watch it all through the unified telemetry layer (repro.obs):
@@ -166,6 +169,36 @@ def main() -> None:
         assert [t.key() for t in parallel] == [t.key() for t in serial_union]
         print(exec_stats().summary())
     print(f"back to the default: {current_config().describe()}")
+    print()
+
+    # The adaptive runtime.  Picking an executor and partition count by
+    # hand is itself a tuning burden, so `REPRO_EXECUTOR=auto` (or
+    # executor="auto") hands the choice to a cost model (repro.exec.cost):
+    # each batch is priced from its entity count, sources per entity,
+    # focal-set sizes and the live kernel-vs-fallback ratio, then routed
+    # to the serial loop, the thread pool, or the process pool --
+    # whichever the estimate says finishes first.  Process batches with
+    # picklable payloads dispatch through a *warm* worker pool
+    # (repro.exec.warmpool, disable with REPRO_WARM_POOL=0): the fork is
+    # paid once and every later batch ships as compact pickled chunks,
+    # which is what makes process workers profitable on the small
+    # batches a stream engine flushes all day.  Routing is invisible in
+    # the results -- auto is property-tested bit-for-bit against serial.
+    from repro.exec import cost
+
+    with executor_scope(executor="auto", workers=4):
+        with cost.workload(sources=2.0, focal=4.0):
+            decision = cost.decide_for(len(serial_union), workers=4)
+        print(f"cost model on this workload: {decision.describe()}")
+        adaptive = Session(db).execute("RA UNION RB BY (rname)")
+        assert adaptive.same_tuples(serial_union)
+        assert [t.key() for t in adaptive] == [t.key() for t in serial_union]
+    # Persistence is adaptive too: sqlite stream flushes rewrite only
+    # the hash shards the batch touched (bytes written scale with the
+    # *delta*, watch storage.sqlite.bytes_written), quiet flushes skip
+    # the backend entirely, and REPRO_AUTOCOMPACT=1 keeps a log:
+    # journal bounded by compacting once it outgrows its last compact
+    # size (`repro compact DB` does the same on demand).
     print()
 
     # Persistence & backends.  Storage locations are URLs -- `json:`

@@ -16,10 +16,15 @@ concurrent code whether it planned to be or not.  Two rules:
 * **CONC002** -- a closure captured into a process-pool task while
   holding a fork-unsafe resource: a nested def/lambda that references an
   enclosing variable bound from ``open(...)``, ``sqlite3.connect(...)``
-  or a ``threading`` lock, passed to ``.submit``/``.map``/
-  ``.apply_async``/``.imap*``.  File offsets, sqlite connections and
-  held locks do not survive ``fork`` -- the child inherits corrupt
-  state.
+  or a ``threading`` lock (by assignment or as a ``with ... as`` target),
+  passed to ``.submit``/``.map``/``.apply_async``/``.imap*`` -- or to
+  the *long-lived* warm-pool dispatches ``.submit_batch``/
+  ``.map_encoded`` (:mod:`repro.exec.warmpool`), where the hazard is
+  worse: the workers were forked long before the capture, so any handle
+  state is stale in the worker by construction, not merely racy.
+  Keyword arguments are scanned as well as positional ones.  File
+  offsets, sqlite connections and held locks do not survive ``fork`` --
+  the child inherits corrupt state.
 """
 
 from __future__ import annotations
@@ -53,7 +58,20 @@ _MUTATING_METHODS = {
     "setdefault",
     "update",
 }
-_POOL_DISPATCH = {"submit", "map", "apply", "apply_async", "imap", "imap_unordered"}
+#: Pool-dispatch method names.  ``submit_batch``/``map_encoded`` are the
+#: warm persistent pool's entry points (repro.exec.warmpool): their
+#: submissions outlive any batch, so a captured handle is stale in the
+#: long-ago-forked worker by construction.
+_POOL_DISPATCH = {
+    "submit",
+    "map",
+    "apply",
+    "apply_async",
+    "imap",
+    "imap_unordered",
+    "submit_batch",
+    "map_encoded",
+}
 _FORK_UNSAFE_CONSTRUCTORS = {"open", "sqlite3.connect", "connect"}
 
 
@@ -216,23 +234,40 @@ class _ForkCaptureVisitor(ScopedVisitor):
             ):
                 stack.extend(ast.iter_child_nodes(node))
 
+    @staticmethod
+    def _risky_origin(value: ast.AST) -> str | None:
+        """The constructor name when *value* builds a fork-unsafe handle."""
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        tail = name.split(".")[-1] if name else None
+        if (
+            name in _FORK_UNSAFE_CONSTRUCTORS
+            or tail in _FORK_UNSAFE_CONSTRUCTORS
+            or tail in _LOCK_CONSTRUCTORS
+        ):
+            return name or tail or "?"
+        return None
+
     def _scan_function(self, func: ast.AST) -> None:
         scope = list(self._scope_nodes(func))
         risky: dict[str, str] = {}
         for statement in scope:
-            if isinstance(statement, ast.Assign) and isinstance(
-                statement.value, ast.Call
-            ):
-                name = dotted_name(statement.value.func)
-                tail = name.split(".")[-1] if name else None
-                if (
-                    name in _FORK_UNSAFE_CONSTRUCTORS
-                    or tail in _FORK_UNSAFE_CONSTRUCTORS
-                    or tail in _LOCK_CONSTRUCTORS
-                ):
+            if isinstance(statement, ast.Assign):
+                origin = self._risky_origin(statement.value)
+                if origin is not None:
                     for target in statement.targets:
                         if isinstance(target, ast.Name):
-                            risky[target.id] = name or tail or "?"
+                            risky[target.id] = origin
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                # `with open(...) as handle:` binds the same fork-unsafe
+                # resource as an assignment would.
+                for item in statement.items:
+                    origin = self._risky_origin(item.context_expr)
+                    if origin is not None and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        risky[item.optional_vars.id] = origin
         if not risky:
             return
         closures: dict[str, tuple[ast.AST, set[str]]] = {}
@@ -252,7 +287,10 @@ class _ForkCaptureVisitor(ScopedVisitor):
                 and call.func.attr in _POOL_DISPATCH
             ):
                 continue
-            for arg in call.args:
+            operands = list(call.args) + [
+                keyword.value for keyword in call.keywords
+            ]
+            for arg in operands:
                 if isinstance(arg, ast.Name) and arg.id in closures:
                     inner, captured = closures[arg.id]
                     resources = ", ".join(

@@ -25,6 +25,11 @@ else JSON).
     (``--partitions N`` re-shards the persisted tuple layout on the
     way).
 
+``repro compact DB``
+    Fold an append-only ``log:`` store's history into its live
+    snapshots (:meth:`repro.storage.backends.log.LogBackend.compact`)
+    and report bytes before/after.
+
 ``repro repl DB``
     Interactive query loop over one database, running through a caching
     :class:`repro.session.Session`: repeated queries hit the
@@ -200,9 +205,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument(
         "--executor",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "auto"],
         default=None,
-        help="physical executor (default: REPRO_EXECUTOR or serial)",
+        help="physical executor; 'auto' picks per batch via the cost "
+        "model (default: REPRO_EXECUTOR or serial)",
     )
     stream.add_argument(
         "--durable",
@@ -273,6 +279,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="decimal",
         help="mass rendering style",
     )
+
+    compact = commands.add_parser(
+        "compact",
+        help="fold an append-only log store's history away "
+        "(log: URLs only)",
+    )
+    compact.add_argument("database", help="store location (URL or path)")
     return parser
 
 
@@ -575,6 +588,28 @@ def _command_stream(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_compact(args: argparse.Namespace, out) -> int:
+    with open_backend(args.database) as backend:
+        compact = getattr(backend, "compact", None)
+        if compact is None:
+            print(
+                f"error: {backend.url()} does not support compaction "
+                f"(only log: stores do)",
+                file=sys.stderr,
+            )
+            return 1
+        digest = compact()
+    saved = digest["bytes_before"] - digest["bytes_after"]
+    ratio = saved / digest["bytes_before"] if digest["bytes_before"] else 0.0
+    print(
+        f"compacted {backend.url()}: {digest['bytes_before']:,} -> "
+        f"{digest['bytes_after']:,} bytes ({digest['records']} record(s), "
+        f"{saved:,} bytes / {ratio:.0%} reclaimed)",
+        file=out,
+    )
+    return 0
+
+
 def _command_show(args: argparse.Namespace, out) -> int:
     db = open_database(args.database)
     try:
@@ -602,6 +637,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "compact": _command_compact,
         "demo": _command_demo,
         "query": _command_query,
         "convert": _command_convert,

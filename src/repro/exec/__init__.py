@@ -7,9 +7,16 @@ entity work into hash partitions and fans the partition tasks out over
 a pluggable worker pool:
 
 * :mod:`repro.exec.executors` -- the :class:`Executor` abstraction
-  (serial / thread-pool / fork process-pool), the process-global
-  configuration (:func:`configure`, ``REPRO_EXECUTOR`` /
+  (serial / thread-pool / fork process-pool / cost-model ``auto``), the
+  process-global configuration (:func:`configure`, ``REPRO_EXECUTOR`` /
   ``REPRO_WORKERS`` / ``REPRO_PARTITIONS``), and fan-out counters;
+* :mod:`repro.exec.cost` -- the adaptive cost model behind
+  ``REPRO_EXECUTOR=auto``: per-entity merge cost from focal-set sizes x
+  source count x kernel-vs-fallback share, choosing partition count and
+  executor kind per call site;
+* :mod:`repro.exec.warmpool` -- the persistent warm ``fork`` worker
+  pool (compact task encoding) behind
+  :meth:`Executor.map_encoded`, disabled via ``REPRO_WARM_POOL=0``;
 * :mod:`repro.exec.rewrite` -- the logical rewrite-pass pipeline
   (selection fusion/pushdown, projection pruning) run before lowering,
   so physical operators see normalized plans;
@@ -33,6 +40,7 @@ any other executor and any partition count, every partition-aware path
 
 from repro.exec.executors import (
     EXECUTOR_KINDS,
+    AdaptiveExecutor,
     ExecConfig,
     ExecStats,
     Executor,
@@ -46,6 +54,8 @@ from repro.exec.executors import (
     get_executor,
     partition_count,
 )
+from repro.exec import cost
+from repro.exec.cost import Decision, WorkloadProfile
 from repro.model.relation import partition_index
 
 # The physical/rewrite halves import the plan IR, whose algebra imports
@@ -73,9 +83,13 @@ def __getattr__(name):
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "AdaptiveExecutor",
+    "Decision",
     "ExecConfig",
     "ExecStats",
     "Executor",
+    "WorkloadProfile",
+    "cost",
     "PassPipeline",
     "PhysicalOperator",
     "ProcessExecutor",

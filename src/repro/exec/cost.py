@@ -1,0 +1,316 @@
+"""The self-tuning cost model behind ``REPRO_EXECUTOR=auto``.
+
+Fixed executor configuration makes the partitioned layer an
+all-or-nothing bet: ``REPRO_EXECUTOR=process`` wins on thousand-entity
+folds and loses badly on four-entity stream batches, while ``serial``
+leaves cores idle on the big ones.  This module closes the loop: every
+partition-aware call site (``Session._run`` via the physical operators,
+``Federation.integrate``, ``StreamEngine.flush``) describes its
+workload, the model prices it, and the adaptive executor
+(:class:`repro.exec.executors.AdaptiveExecutor`) routes the batch to
+whichever path the estimate favors -- inline, the thread pool, or the
+warm process pool (:mod:`repro.exec.warmpool`).
+
+Cost model inputs
+=================
+
+A :class:`WorkloadProfile` prices one fan-out:
+
+``entities``
+    How many independent per-entity merges the batch holds (the
+    decomposition unit of the paper's integration semantics).
+``sources``
+    Average contributions per entity; an n-source entity folds with
+    ``n - 1`` pairwise Dempster combinations.
+``focal``
+    Average focal-set size of the evidence being combined; a pairwise
+    combination walks the ``focal x focal`` cross product.
+``kernel_fraction``
+    The share of combinations expected on the compiled bitmask kernel
+    path (:mod:`repro.ds.kernel`) rather than the symbolic frozenset
+    fallback.  When the caller supplies no hint this is *observed* from
+    the process-wide ``kernel.kernel_combinations`` /
+    ``kernel.fallback_combinations`` telemetry counters -- the model
+    literally feeds off what the kernel has been doing.
+
+Call sites refine the defaults through the :func:`workload` hint
+context (the stream engine samples its dirty entities, the federation
+knows its source count); everything degrades gracefully to defaults.
+
+Every choice the model makes is an *executor* choice, never a
+*semantics* choice: the equivalence contract of :mod:`repro.exec`
+(any executor x any partition count == serial, bit for bit) holds for
+every decision, so a mispriced workload costs time, not correctness.
+The decision counters surface as ``exec.auto.*_decisions`` metrics.
+
+Cost units are calibrated microseconds of pure-Python merge work on a
+commodity core; only the *ratios* matter, so the constants need to be
+plausible, not exact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.ds.kernel import STATS as _KERNEL_STATS
+from repro.obs.registry import registry as _metrics_registry
+
+#: Fixed per-entity overhead of a merge (dict walks, report and
+#: membership bookkeeping), independent of the evidence combined.
+ENTITY_BASE_COST = 3.0
+#: Pairwise combination on the compiled bitmask kernel path:
+#: ``base + cell * focal**2`` (the kernel walks the mask cross product).
+KERNEL_COMBINATION_BASE = 2.0
+KERNEL_CELL_COST = 0.05
+#: The symbolic frozenset fallback has the same shape with much larger
+#: constants (Python-object set intersections per focal pair).
+FALLBACK_COMBINATION_BASE = 10.0
+FALLBACK_CELL_COST = 1.0
+
+#: Thread-pool dispatch: per-batch setup plus per-task handoff, and the
+#: GIL serializes all but the interpreter-released share of the work.
+THREAD_BATCH_COST = 250.0
+THREAD_TASK_COST = 40.0
+THREAD_PARALLEL_FRACTION = 0.35
+#: Warm process pool: per-batch pickling/bookkeeping, per-task pipe
+#: round trip, plus per-entity state shipping both ways.
+PROCESS_BATCH_COST = 1500.0
+PROCESS_TASK_COST = 300.0
+PROCESS_SHIP_COST = 4.0
+#: Floor on the useful work one parallel task should carry; partition
+#: counts are capped so tasks stay at least this expensive.
+MIN_TASK_COST = {"thread": 2000.0, "process": 10000.0}
+
+#: Defaults when a call site supplies no hint.
+DEFAULT_SOURCES = 2.0
+DEFAULT_FOCAL = 4.0
+#: Below this many observed combinations the kernel counters carry too
+#: little signal; assume the kernel path (enumerated domains dominate).
+MIN_OBSERVED_COMBINATIONS = 100
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The cost model's view of one fan-out (see the module docstring)."""
+
+    entities: int
+    sources: float = DEFAULT_SOURCES
+    focal: float = DEFAULT_FOCAL
+    kernel_fraction: float = 1.0
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"{self.entities} entities x {self.sources:.1f} sources, "
+            f"focal ~{self.focal:.1f}, "
+            f"{self.kernel_fraction:.0%} kernel-path"
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One routing decision: executor kind, partition count, estimate."""
+
+    kind: str
+    partitions: int
+    estimated_cost: float
+    reason: str
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"auto -> {self.kind} x {self.partitions} "
+            f"(~{self.estimated_cost:.0f} units: {self.reason})"
+        )
+
+
+def combination_cost(focal: float, kernel_fraction: float) -> float:
+    """Estimated cost of one pairwise Dempster combination.
+
+    Monotone in *focal* and non-increasing in *kernel_fraction* (the
+    fallback constants dominate the kernel's).
+    """
+    focal = max(float(focal), 1.0)
+    fraction = min(max(float(kernel_fraction), 0.0), 1.0)
+    cells = focal * focal
+    kernel = KERNEL_COMBINATION_BASE + KERNEL_CELL_COST * cells
+    fallback = FALLBACK_COMBINATION_BASE + FALLBACK_CELL_COST * cells
+    return fraction * kernel + (1.0 - fraction) * fallback
+
+
+def entity_cost(
+    sources: float,
+    focal: float,
+    kernel_fraction: float,
+) -> float:
+    """Estimated cost of merging one entity.
+
+    An entity with ``sources`` contributions folds with
+    ``sources - 1`` pairwise combinations.  Monotone in *sources* and
+    *focal*: more evidence never lowers the estimate (asserted by the
+    estimator property tests).
+    """
+    combinations = max(float(sources) - 1.0, 0.0)
+    return ENTITY_BASE_COST + combinations * combination_cost(
+        focal, kernel_fraction
+    )
+
+
+def estimate(profile: WorkloadProfile) -> float:
+    """Total estimated cost of a workload (cost units)."""
+    return max(int(profile.entities), 0) * entity_cost(
+        profile.sources, profile.focal, profile.kernel_fraction
+    )
+
+
+def _partitions_for(kind: str, total: float, entities: int, workers: int) -> int:
+    by_work = max(int(total // MIN_TASK_COST[kind]), 1)
+    return min(workers, entities, by_work)
+
+
+def decide(profile: WorkloadProfile, workers: int) -> Decision:
+    """Price *profile* and pick the cheapest executor kind + partitions.
+
+    Serial wins ties: a parallel path must beat the serial estimate
+    strictly, so cheap workloads never pay dispatch overhead.
+    """
+    total = estimate(profile)
+    entities = max(int(profile.entities), 0)
+    if entities <= 1 or workers <= 1:
+        return Decision("serial", 1, total, "nothing to fan out")
+    best_kind, best_partitions, best_time = "serial", 1, total
+    reason = f"serial beats dispatch overhead ({total:.0f} units)"
+    thread_p = _partitions_for("thread", total, entities, workers)
+    if thread_p >= 2:
+        thread_time = (
+            THREAD_BATCH_COST
+            + thread_p * THREAD_TASK_COST
+            + total * (1.0 - THREAD_PARALLEL_FRACTION)
+            + total * THREAD_PARALLEL_FRACTION / thread_p
+        )
+        if thread_time < best_time:
+            best_kind, best_partitions, best_time = "thread", thread_p, thread_time
+            reason = f"thread overlap wins at {thread_p} partitions"
+    process_p = _partitions_for("process", total, entities, workers)
+    if process_p >= 2:
+        process_time = (
+            PROCESS_BATCH_COST
+            + process_p * PROCESS_TASK_COST
+            + entities * PROCESS_SHIP_COST
+            + total / process_p
+        )
+        if process_time < best_time:
+            best_kind, best_partitions, best_time = (
+                "process",
+                process_p,
+                process_time,
+            )
+            reason = f"process workers win at {process_p} partitions"
+    return Decision(best_kind, best_partitions, total, reason)
+
+
+# -- observed inputs and per-thread hints -------------------------------------
+
+_LOCAL = threading.local()
+
+#: Decision counters, one per executor kind the model can pick.
+_DECISION_COUNTERS = {
+    kind: _metrics_registry().counter(
+        f"exec.auto.{kind}_decisions",
+        f"auto-mode batches routed to the {kind} path",
+    )
+    for kind in ("serial", "thread", "process")
+}
+
+
+def observed_kernel_fraction() -> float:
+    """The kernel-path share of all combinations observed so far.
+
+    Reads the process-wide kernel telemetry
+    (:data:`repro.ds.kernel.STATS`, surfaced as the
+    ``kernel.kernel_combinations`` / ``kernel.fallback_combinations``
+    registry counters); defaults to 1.0 until enough signal accrues.
+    """
+    snapshot = _KERNEL_STATS.snapshot()
+    total = snapshot.kernel_combinations + snapshot.fallback_combinations
+    if total < MIN_OBSERVED_COMBINATIONS:
+        return 1.0
+    return snapshot.kernel_combinations / total
+
+
+@contextmanager
+def workload(
+    entities: int | None = None,
+    sources: float | None = None,
+    focal: float | None = None,
+    kernel_fraction: float | None = None,
+):
+    """Scope a workload hint for the cost model (thread-local, nestable).
+
+    Call sites that know their workload's shape (the stream engine
+    samples its dirty entities; the federation knows its source count)
+    wrap their fan-out in this context so
+    :func:`repro.exec.executors.partition_count` and the adaptive
+    executor price the *actual* work rather than the defaults.  ``None``
+    fields inherit from the enclosing hint (or the defaults).
+    """
+    previous = getattr(_LOCAL, "hint", None)
+    merged = dict(previous or {})
+    for name, value in (
+        ("entities", entities),
+        ("sources", sources),
+        ("focal", focal),
+        ("kernel_fraction", kernel_fraction),
+    ):
+        if value is not None:
+            merged[name] = float(value)
+    _LOCAL.hint = merged
+    try:
+        yield
+    finally:
+        _LOCAL.hint = previous
+
+
+def profile_for(size: int) -> WorkloadProfile:
+    """The effective profile for a workload of *size* entities.
+
+    Merges the active :func:`workload` hint with the observed kernel
+    fraction; *size* always wins over a hinted entity count (the call
+    site's batch is what actually runs).
+    """
+    hint = getattr(_LOCAL, "hint", None) or {}
+    return WorkloadProfile(
+        entities=max(int(size), 0),
+        sources=hint.get("sources", DEFAULT_SOURCES),
+        focal=hint.get("focal", DEFAULT_FOCAL),
+        kernel_fraction=hint.get(
+            "kernel_fraction", observed_kernel_fraction()
+        ),
+    )
+
+
+def decide_for(size: int, workers: int) -> Decision:
+    """Decide routing for a *size*-entity workload under the active hint."""
+    decision = decide(profile_for(size), workers)
+    _DECISION_COUNTERS[decision.kind].inc()
+    return decision
+
+
+def remember(decision: Decision) -> None:
+    """Stash *decision* for the adaptive executor's next batch.
+
+    ``partition_count`` decides; the ``map``/``map_encoded`` that
+    follows on the same thread consumes the decision, so the partition
+    count and the executor kind always come from the same pricing.
+    """
+    _LOCAL.last = decision
+
+
+def consume() -> Decision | None:
+    """Pop the remembered decision (``None`` when there is none)."""
+    decision = getattr(_LOCAL, "last", None)
+    _LOCAL.last = None
+    return decision

@@ -28,6 +28,16 @@ through :func:`get_executor` / :func:`partition_count`.  Nested fan-out
 inline: the outer fan-out already owns the worker pool, and nesting
 would deadlock a bounded pool.
 
+``REPRO_EXECUTOR=auto`` opts into the **adaptive runtime**:
+:class:`AdaptiveExecutor` prices each batch with the cost model
+(:mod:`repro.exec.cost` -- focal-set sizes x source count x
+kernel-vs-fallback path, fed by the live telemetry counters) and routes
+it to the serial loop, the thread pool, or the warm process pool
+(:mod:`repro.exec.warmpool`), picking the partition count to match.
+Picklable batches submitted through :meth:`Executor.map_encoded` reach
+process workers over the persistent warm pool instead of forking per
+batch (disable with ``REPRO_WARM_POOL=0``).
+
 Whatever the executor and partition count, every partition-aware code
 path reassembles results so they *equal the serial result exactly* --
 same tuples, same exact Fractions, bit-for-bit identical floats (the
@@ -48,8 +58,8 @@ from repro.errors import ExecutionError
 from repro.obs import tracing
 from repro.obs.registry import registry as _metrics_registry
 
-#: Accepted executor kinds.
-EXECUTOR_KINDS = ("serial", "thread", "process")
+#: Accepted executor kinds (``auto`` defers to the cost model per batch).
+EXECUTOR_KINDS = ("serial", "thread", "process", "auto")
 
 
 @dataclass
@@ -187,6 +197,26 @@ class Executor(ABC):
     def _map(self, task, items: list) -> list:
         """Fan a multi-task batch out (pool executors override)."""
 
+    def map_encoded(self, fn, common, items) -> list:
+        """``[fn(common, item) for item in items]``, possibly in parallel.
+
+        The encoded variant of :meth:`map` for *picklable* work: *fn*
+        must be a module-level callable and ``common``/*items* must
+        pickle.  Executors with persistent workers (the process
+        executor's warm pool, :mod:`repro.exec.warmpool`) ship the
+        batch as compact pickled payloads -- ``common`` crosses the
+        pipe once per chunk, not once per item -- instead of forking;
+        in-process executors simply close over ``common``.  Same
+        contract as :meth:`map`: results in item order, first exception
+        propagates.
+        """
+        items = list(items)
+
+        def task(item):
+            return fn(common, item)
+
+        return self.map(task, items)
+
     def close(self) -> None:
         """Release pool resources (no-op for poolless executors)."""
 
@@ -265,17 +295,57 @@ def _fork_invoke(index: int):
         return result, spans
 
 
-class ProcessExecutor(Executor):
-    """A fork-per-batch process pool.
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
 
-    The pool is created per batch *after* publishing the payload in
-    :data:`_FORK_PAYLOAD`, so forked workers inherit tasks through
-    memory rather than pickling (plans and thresholds hold closures and
-    cannot cross a pipe); only task *results* are pickled back.  Where
-    the ``fork`` start method is unavailable the batch runs inline.
+
+class ProcessExecutor(Executor):
+    """A process pool: warm persistent workers, forking as the fallback.
+
+    :meth:`map` batches carry arbitrary closures, so they fork a pool
+    per batch *after* publishing the payload in :data:`_FORK_PAYLOAD` --
+    forked workers inherit tasks through memory rather than pickling
+    (plans and thresholds hold closures and cannot cross a pipe); only
+    task *results* are pickled back.  :meth:`map_encoded` batches are
+    picklable by contract, so they dispatch to the persistent warm pool
+    (:mod:`repro.exec.warmpool`) instead -- the fork tax is paid once,
+    making process workers profitable on small stream batches.  *warm*
+    defaults to the ``REPRO_WARM_POOL`` flag (on); payloads that turn
+    out not to pickle fall back to the fork path transparently.  Where
+    the ``fork`` start method is unavailable batches run inline.
     """
 
     kind = "process"
+
+    def __init__(self, workers: int, warm: bool | None = None):
+        super().__init__(workers)
+        self.warm = (
+            _env_flag("REPRO_WARM_POOL", default=True) if warm is None else warm
+        )
+
+    def map_encoded(self, fn, common, items) -> list:
+        items = list(items)
+        if (
+            not self.warm
+            or len(items) <= 1
+            or self.workers <= 1
+            or _task_depth() > 0
+        ):
+            return super().map_encoded(fn, common, items)
+        from repro.exec import warmpool
+
+        pool = warmpool.get_pool(self.workers)
+        if pool is None:
+            return super().map_encoded(fn, common, items)
+        results = pool.submit_batch(fn, common, items)
+        if results is None:  # unpicklable payload: inherit-by-fork path
+            return super().map_encoded(fn, common, items)
+        STATS.bump("parallel_batches")
+        STATS.bump("tasks", len(items))
+        return results
 
     def _map(self, task, items):
         global _FORK_PAYLOAD
@@ -300,6 +370,62 @@ class ProcessExecutor(Executor):
                 tracing.ingest(spans)
             results.append(result)
         return results
+
+
+class AdaptiveExecutor(Executor):
+    """The cost-model router behind ``REPRO_EXECUTOR=auto``.
+
+    Holds one inner executor per kind and delegates each batch to the
+    one the cost model (:mod:`repro.exec.cost`) picked: the preceding
+    :func:`partition_count` call prices the workload (under whatever
+    :func:`repro.exec.cost.workload` hint the call site scoped) and
+    remembers the decision thread-locally; this executor consumes it,
+    so partitioning and executor kind always come from the same
+    pricing.  A batch with no usable remembered decision (or more items
+    than the decision partitioned for) is re-priced from its item
+    count.  Every route is exact -- the equivalence contract holds for
+    any executor -- so routing only ever changes *when* the answer
+    arrives.
+    """
+
+    kind = "auto"
+
+    def __init__(self, workers: int):
+        super().__init__(workers)
+        self._inner = {
+            "serial": SerialExecutor(),
+            "thread": ThreadExecutor(workers),
+            "process": ProcessExecutor(workers),
+        }
+
+    def _delegate(self, n_items: int) -> Executor:
+        from repro.exec import cost as _cost
+
+        decision = _cost.consume()
+        if decision is None or n_items > decision.partitions:
+            decision = _cost.decide_for(n_items, self.workers)
+        return self._inner[decision.kind]
+
+    def map(self, task, items) -> list:
+        items = list(items)
+        if len(items) <= 1 or _task_depth() > 0:
+            STATS.bump("inline_batches")
+            return [task(item) for item in items]
+        return self._delegate(len(items)).map(task, items)
+
+    def map_encoded(self, fn, common, items) -> list:
+        items = list(items)
+        if len(items) <= 1 or _task_depth() > 0:
+            STATS.bump("inline_batches")
+            return [fn(common, item) for item in items]
+        return self._delegate(len(items)).map_encoded(fn, common, items)
+
+    def _map(self, task, items):  # pragma: no cover -- map() delegates
+        return [task(item) for item in items]
+
+    def close(self) -> None:
+        for executor in self._inner.values():
+            executor.close()
 
 
 # -- configuration ------------------------------------------------------------
@@ -376,6 +502,8 @@ def _build_executor(config: ExecConfig) -> Executor:
         return SerialExecutor()
     if config.kind == "thread":
         return ThreadExecutor(config.workers)
+    if config.kind == "auto":
+        return AdaptiveExecutor(config.workers)
     return ProcessExecutor(config.workers)
 
 
@@ -437,10 +565,26 @@ def partition_count(size: int) -> int:
 
     1 (meaning: stay on the serial code path) when the configuration
     does not partition or the workload is too small to split.
+
+    Under ``REPRO_EXECUTOR=auto`` the count comes from the cost model
+    (:mod:`repro.exec.cost`), priced with the call site's active
+    :func:`~repro.exec.cost.workload` hint; the decision is remembered
+    thread-locally so the :class:`AdaptiveExecutor`'s next ``map`` /
+    ``map_encoded`` routes to the matching executor kind.  An explicit
+    ``REPRO_PARTITIONS`` still pins the partition count.
     """
     if size <= 1 or _task_depth() > 0:
         return 1
-    return min(_current().effective_partitions(), size)
+    config = _current()
+    if config.kind == "auto":
+        from repro.exec import cost as _cost
+
+        decision = _cost.decide_for(size, config.workers)
+        _cost.remember(decision)
+        if config.partitions is not None:
+            return min(config.partitions, size)
+        return min(decision.partitions, size)
+    return min(config.effective_partitions(), size)
 
 
 @contextmanager

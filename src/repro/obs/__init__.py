@@ -24,6 +24,14 @@ kernel.compilations                     counter    mass functions compiled to ke
 exec.parallel_batches                   counter    Executor.map batches fanned out to workers
 exec.inline_batches                     counter    batches run inline (serial / nested / too small)
 exec.tasks                              counter    individual partition tasks dispatched
+exec.auto.serial_decisions              counter    auto-mode batches the cost model kept serial
+exec.auto.thread_decisions              counter    auto-mode batches routed to the thread pool
+exec.auto.process_decisions             counter    auto-mode batches routed to the process pool
+exec.warmpool.dispatches                counter    batches dispatched to the warm worker pool
+exec.warmpool.tasks                     counter    items shipped to warm workers
+exec.warmpool.spawns                    counter    warm pool (re)creations -- forks actually paid
+exec.warmpool.fallbacks                 counter    unpicklable batches sent back to fork-per-batch
+exec.warmpool.dispatch_seconds          histogram  warm-pool batch dispatch latency
 session.queries                         counter    queries executed, summed over live sessions
 session.plans_built                     counter    plans compiled (cache misses)
 session.plan_cache_hits                 counter    plan-cache hits
@@ -40,6 +48,7 @@ stream.retractions                      counter    retraction events accepted
 stream.reliability_updates              counter    source-reliability change events accepted
 stream.flushes                          counter    flush() calls
 stream.publishes                        counter    flushes that published into a catalog
+stream.empty_flush_skips                counter    quiet flushes that skipped the backend entirely
 stream.combinations                     counter    pairwise Dempster combinations performed
 stream.refolds                          counter    entity refolds performed
 stream.kernel_combinations              counter    stream combinations on the kernel path
@@ -56,6 +65,7 @@ storage.<scheme>.bytes_written          counter    bytes on disk after mutating 
 storage.<scheme>.save_seconds           histogram  save-side call latency
 storage.<scheme>.load_seconds           histogram  load-side call latency
 storage.<scheme>.file_bytes             gauge      current on-disk size of the last-touched store
+storage.log.autocompactions             counter    journal compactions triggered by REPRO_AUTOCOMPACT
 ======================================  =========  ==================================================
 
 ``<scheme>`` is the backend scheme (``json``/``sqlite``/``log``);

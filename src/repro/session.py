@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 from repro.ds.kernel import STATS as KERNEL_STATS
 from repro.errors import PlanError, ReproError
+from repro.exec import cost as _cost
 from repro.exec.executors import STATS as EXEC_STATS
 from repro.exec.executors import current_config, partition_count
 from repro.exec.physical import apply_node, lower_node
@@ -379,13 +380,14 @@ class Session:
         """
         changed = self._db.changed_names_since(self._epoch) | frozenset(names)
         self._sync()
+        affected: list[Subscription] = []
         for subscription in list(self._subscriptions):
             if subscription.error is not None:
                 # Broken by an earlier change (e.g. its relation was
                 # dropped): retry on any mutation, so a drop + re-add --
                 # which surfaces as a plain add with no changed names --
                 # recovers the subscription.
-                subscription.refresh()
+                affected.append(subscription)
                 continue
             try:
                 dependencies = self._compile(subscription.query).relations
@@ -395,6 +397,32 @@ class Session:
             if dependencies & changed:
                 # Covers never-collected (eager=False) subscriptions
                 # too: they wait, untouched, until a dependency changes.
+                affected.append(subscription)
+        self._refresh_batch(affected)
+
+    def _refresh_batch(self, affected: list[Subscription]) -> None:
+        """Refresh the affected subscriptions, grouped by compiled plan.
+
+        Subscriptions over the same query (same plan fingerprint)
+        refresh back to back, so every group-mate after the first hits
+        the still-warm result cache, and each distinct query executes
+        once per sweep; within a query, the physical layer fans its
+        node work out through the configured executor.  Refresh order
+        stays registration order within a group and
+        first-member-registration order across groups, so callbacks
+        fire in a deterministic sequence.
+        """
+        groups: dict[str, list[Subscription]] = {}
+        for subscription in affected:
+            try:
+                fingerprint = self._compile(subscription.query).fingerprint
+            except ReproError:
+                # Still uncompilable (e.g. its relation stayed dropped):
+                # refresh alone so the error lands on the subscription.
+                fingerprint = f"?{id(subscription)}"
+            groups.setdefault(fingerprint, []).append(subscription)
+        for group in groups.values():
+            for subscription in group:
                 subscription.refresh()
 
     # -- cache management ---------------------------------------------------
@@ -484,9 +512,15 @@ class Session:
             return cached
         inputs = tuple(self._run(child) for child in plan.children())
         # Evaluate through the physical layer: the node may shard its
-        # work over the configured executor.  Cache keys (per-subtree
-        # plan fingerprints) are untouched by physical lowering.
-        result = apply_node(plan, inputs, self._db)
+        # work over the configured executor, and the input cardinalities
+        # hint the cost model so ``auto`` mode prices the node's actual
+        # fan-out.  Cache keys (per-subtree plan fingerprints) are
+        # untouched by physical lowering.
+        with _cost.workload(
+            entities=max((len(relation) for relation in inputs), default=0),
+            sources=max(len(inputs), 1),
+        ):
+            result = apply_node(plan, inputs, self._db)
         self._stats.node_executions += 1
         self._remember(self._results, key, result)
         self._result_deps[key] = scan_names(plan)

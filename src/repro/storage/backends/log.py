@@ -37,6 +37,14 @@ snapshot, and each stream's event history is folded into its final
 per-source snapshots (re-emitted in registration order, so replay
 reproduces the same registration-order fold) plus one ``batch`` record
 with the original watermark.
+
+Auto-compaction (off by default) bounds the unbounded growth:
+``REPRO_AUTOCOMPACT=1`` compacts whenever the journal grows past 4x its
+last compacted size (any other numeric value sets that growth ratio,
+e.g. ``REPRO_AUTOCOMPACT=2.5``), gated by a
+``REPRO_AUTOCOMPACT_MIN_BYTES`` floor (default 65536) so small journals
+never churn.  Compactions triggered this way are counted by the
+``storage.log.autocompactions`` metric.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ import os
 from pathlib import Path
 
 from repro.errors import SerializationError
+from repro.obs.registry import registry as _metrics_registry
 from repro.storage.backends.base import StorageBackend
 from repro.storage.serialization import (
     FORMAT_VERSION,
@@ -62,6 +71,27 @@ from repro.storage.serialization import (
 )
 
 
+def _autocompact_ratio() -> float | None:
+    """The growth ratio from ``REPRO_AUTOCOMPACT`` (None = disabled)."""
+    raw = os.environ.get("REPRO_AUTOCOMPACT", "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return None
+    if raw in ("1", "true", "yes", "on"):
+        return 4.0
+    try:
+        # A compaction at ratio <= 1 would re-trigger on every append.
+        return max(float(raw), 1.1)
+    except ValueError:
+        return 4.0
+
+
+def _autocompact_min_bytes() -> int:
+    try:
+        return int(os.environ.get("REPRO_AUTOCOMPACT_MIN_BYTES", "65536"))
+    except ValueError:
+        return 65536
+
+
 class LogBackend(StorageBackend):
     """An append-only JSONL journal of snapshots and stream events."""
 
@@ -74,8 +104,19 @@ class LogBackend(StorageBackend):
         # a save does not re-parse the whole journal just to bump the
         # catalog version (single-writer, like the append handle itself).
         self._meta_cache: dict | None = None
+        self._autocompact = _autocompact_ratio()
+        self._min_compact_bytes = _autocompact_min_bytes()
+        # Size the journal had when last known compact; auto-compaction
+        # triggers on growth *relative to this*, so a naturally large
+        # database is not mistaken for accumulated history.
+        self._compact_baseline: int | None = None
 
     # -- lifecycle ----------------------------------------------------------
+
+    def _do_open(self) -> None:
+        self._compact_baseline = (
+            self._file_bytes() if self.exists() else None
+        )
 
     def _do_close(self) -> None:
         if self._handle is not None:
@@ -239,6 +280,7 @@ class LogBackend(StorageBackend):
             self._meta_record(meta),
         )
         self._meta_cache = meta
+        self._maybe_autocompact()
 
     def _delete_relation(self, name: str) -> None:
         meta, relations = self._catalog_state()
@@ -290,6 +332,7 @@ class LogBackend(StorageBackend):
         records.append(self._meta_record(meta))
         self._append(*records)
         self._meta_cache = meta
+        self._maybe_autocompact()
 
     # -- streaming durability (the write-ahead log) -------------------------
 
@@ -353,6 +396,7 @@ class LogBackend(StorageBackend):
             }
         )
         self._append(*records)
+        self._maybe_autocompact()
 
     def _set_stream_watermark(self, name: str, watermark: int) -> None:
         self._append(
@@ -480,11 +524,38 @@ class LogBackend(StorageBackend):
             "".join(json.dumps(record) + "\n" for record in records)
         )
         os.replace(replacement, self._path)
+        after = self._path.stat().st_size
+        self._compact_baseline = after
         return {
             "records": len(records),
             "bytes_before": before,
-            "bytes_after": self._path.stat().st_size,
+            "bytes_after": after,
         }
+
+    def _maybe_autocompact(self) -> None:
+        """Compact when the journal outgrew its last compact size.
+
+        Called after every mutating append; a no-op unless
+        ``REPRO_AUTOCOMPACT`` enabled it (see the module docstring).
+        The first triggering-eligible append just records the baseline,
+        so growth is always measured against a size this process
+        actually observed.
+        """
+        if self._autocompact is None:
+            return
+        size = self._file_bytes()
+        if self._compact_baseline is None:
+            self._compact_baseline = size
+            return
+        if size < self._min_compact_bytes:
+            return
+        if size < self._autocompact * max(self._compact_baseline, 1):
+            return
+        self.compact()
+        _metrics_registry().counter(
+            "storage.log.autocompactions",
+            "journal compactions triggered by REPRO_AUTOCOMPACT growth",
+        ).inc()
 
     def _compacted_stream_records(self, name: str) -> list[dict]:
         header = self._stream_header(name)

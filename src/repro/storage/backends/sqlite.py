@@ -23,15 +23,29 @@ indexed scan -- the rest of the database is never parsed -- and a
 relation saved with ``partitions=n`` reloads through
 :meth:`ExtendedRelation.from_partitions` into the identical shard
 layout, so a sharded engine resumes without re-hashing mismatches.
+
+Streaming durability is **O(delta)**: :meth:`SqliteBackend.write_batch`
+stamps a stream's rows into :data:`STREAM_SHARDS` stable CRC32 hash
+shards (plus a ``key_json`` identity column) on the first flush, and
+every later flush rewrites only the shards holding the batch's
+inserted/updated/removed entities -- bytes written scale with the
+*changed* partitions, not the relation size (metered by the
+``storage.sqlite.bytes_written`` counter).  Changes the shard layout
+cannot express exactly (an entity resurrected mid-order, rows from an
+older layout) fall back to a full stamped rewrite, so the reloaded
+relation always equals the stream's published relation bit for bit.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import time
 
 from repro.errors import SerializationError
 from repro.model.relation import ExtendedRelation, partition_index
+from repro.obs import tracing
+from repro.obs.registry import registry as _metrics_registry
 from repro.storage.backends.base import StorageBackend
 from repro.storage.database import Database
 from repro.storage.serialization import (
@@ -41,6 +55,11 @@ from repro.storage.serialization import (
     schema_from_json,
     schema_to_json,
 )
+
+#: Hash-shard count for stream relations: fine enough that a small
+#: batch touches a small fraction of the rows, coarse enough that a
+#: full rewrite stays a handful of multi-row inserts.
+STREAM_SHARDS = 16
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -58,9 +77,17 @@ CREATE TABLE IF NOT EXISTS tuples (
     partition INTEGER NOT NULL DEFAULT 0,
     position INTEGER NOT NULL,
     row_json TEXT    NOT NULL,
+    key_json TEXT,
     PRIMARY KEY (relation, position)
 );
 """
+
+
+def _key_text(key: tuple) -> str:
+    """Canonical JSON identity of an entity key (stable across runs)."""
+    from repro.stream.connectors import _atom_to_json
+
+    return json.dumps([_atom_to_json(part) for part in key])
 
 
 class SqliteBackend(StorageBackend):
@@ -71,6 +98,7 @@ class SqliteBackend(StorageBackend):
     def __init__(self, location):
         super().__init__(location)
         self._connection: sqlite3.Connection | None = None
+        self._key_column_ok = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -108,6 +136,7 @@ class SqliteBackend(StorageBackend):
     def _ensure_store(self) -> None:
         """Create tables + default metadata on first write."""
         if self._has_store():
+            self._ensure_key_column()
             return
         self._db.executescript(_SCHEMA)
         self._db.executemany(
@@ -119,6 +148,23 @@ class SqliteBackend(StorageBackend):
             ],
         )
         self._db.commit()
+
+    def _ensure_key_column(self) -> None:
+        """Migrate pre-shard stores: add the ``key_json`` column once.
+
+        Rows written before the migration keep ``NULL`` keys; the
+        dirty-shard path detects them and falls back to a full stamped
+        rewrite, after which the layout is current.
+        """
+        if getattr(self, "_key_column_ok", False):
+            return
+        columns = {
+            row[1] for row in self._db.execute("PRAGMA table_info(tuples)")
+        }
+        if "key_json" not in columns:
+            self._db.execute("ALTER TABLE tuples ADD COLUMN key_json TEXT")
+            self._db.commit()
+        self._key_column_ok = True
 
     def _meta(self, key: str, default: str | None = None) -> str | None:
         row = self._db.execute(
@@ -226,8 +272,18 @@ class SqliteBackend(StorageBackend):
             self._insert_relation(relation, partitions)
             self._bump_catalog_version()
 
-    def _insert_relation(self, relation, partitions: int | None) -> None:
-        """Write one relation inside the caller's transaction."""
+    def _insert_relation(
+        self, relation, partitions: int | None, stream_shards: int | None = None
+    ) -> int:
+        """Write one relation inside the caller's transaction.
+
+        With *stream_shards* the rows are stamped for the dirty-shard
+        stream layout instead: partition = the key's stable hash shard,
+        ``key_json`` = the key's identity, while ``relations.partitions``
+        stays 0 so :meth:`_load_relation` reads the flat
+        ``ORDER BY position`` path (global order is authoritative).
+        Returns the serialized payload bytes written.
+        """
         row = self._db.execute(
             "SELECT position FROM relations WHERE name = ?", (relation.name,)
         ).fetchone()
@@ -250,19 +306,26 @@ class SqliteBackend(StorageBackend):
         self._db.execute(
             "DELETE FROM tuples WHERE relation = ?", (relation.name,)
         )
+        rows = []
+        written = 0
+        for index, etuple in enumerate(relation):
+            key = etuple.key()
+            row_json = json.dumps(_tuple_to_json(etuple))
+            if stream_shards:
+                shard = partition_index(key, stream_shards)
+                key_json = _key_text(key)
+            else:
+                shard = partition_index(key, n) if sharded else 0
+                key_json = None
+            written += len(row_json) + len(key_json or "")
+            rows.append((relation.name, shard, index, row_json, key_json))
         self._db.executemany(
-            "INSERT INTO tuples (relation, partition, position, row_json) "
-            "VALUES (?, ?, ?, ?)",
-            (
-                (
-                    relation.name,
-                    partition_index(etuple.key(), n) if sharded else 0,
-                    index,
-                    json.dumps(_tuple_to_json(etuple)),
-                )
-                for index, etuple in enumerate(relation)
-            ),
+            "INSERT INTO tuples "
+            "(relation, partition, position, row_json, key_json) "
+            "VALUES (?, ?, ?, ?, ?)",
+            rows,
         )
+        return written
 
     def _delete_relation(self, name: str) -> None:
         self._require_store()
@@ -313,6 +376,149 @@ class SqliteBackend(StorageBackend):
             self._bump_catalog_version()
 
     # -- streaming durability -----------------------------------------------
+
+    def write_batch(self, name: str, delta, events, relation) -> None:
+        """Persist one flushed micro-batch with O(delta) row writes.
+
+        The first flush stamps the whole relation into
+        :data:`STREAM_SHARDS` hash shards (recorded in the
+        ``stream:<name>:shards`` meta key); later flushes rewrite only
+        the shards containing the batch's changed entities, so bytes
+        written scale with the changed partitions rather than the
+        relation size.  Quiet batches advance the watermark only.
+        Metering is manual (the base ``_instrument`` counts file growth,
+        which in-place SQLite page rewrites do not show):
+        ``storage.sqlite.bytes_written`` counts the serialized payload
+        bytes of the rows actually inserted.
+        """
+        self._require_open()
+        registry = _metrics_registry()
+        prefix = f"storage.{self.scheme}"
+        registry.counter(f"{prefix}.write_batches").inc()
+        started = time.perf_counter()
+        with tracing.span(
+            "storage.write_batch", scheme=self.scheme, path=str(self._path)
+        ):
+            written = self._write_batch(name, delta, relation)
+        registry.histogram(f"{prefix}.save_seconds").observe(
+            time.perf_counter() - started
+        )
+        if written:
+            registry.counter(f"{prefix}.bytes_written").inc(written)
+        registry.gauge(f"{prefix}.file_bytes").set(self._file_bytes())
+
+    def _write_batch(self, name: str, delta, relation) -> int:
+        self._ensure_store()
+        self._check_format()
+        shards_meta = self._meta(f"stream:{name}:shards")
+        if delta.is_empty() and shards_meta is not None:
+            with self._db:
+                self._set_meta(f"stream:{name}:watermark", int(delta.watermark))
+            return 0
+        with self._db:
+            if shards_meta is None:
+                written = self._insert_relation(
+                    relation, None, stream_shards=STREAM_SHARDS
+                )
+                self._set_meta(f"stream:{name}:shards", STREAM_SHARDS)
+            else:
+                shards = int(shards_meta)
+                written = self._write_dirty_shards(relation, shards, delta)
+                if written is None:
+                    # The shard layout cannot express this change
+                    # exactly: rewrite the whole relation stamped.
+                    written = self._insert_relation(
+                        relation, None, stream_shards=shards
+                    )
+            self._set_meta(f"stream:{name}:watermark", int(delta.watermark))
+            self._bump_catalog_version()
+        return written
+
+    def _write_dirty_shards(self, relation, shards: int, delta) -> int | None:
+        """Rewrite only the hash shards the batch touched.
+
+        Returns the payload bytes written, or ``None`` when the
+        incremental layout cannot represent the change exactly (rows
+        predating the ``key_json`` migration, an entity re-inserted
+        mid-order, or stored rows that disagree with the relation) --
+        the caller then falls back to a full stamped rewrite.  Global
+        tuple order is the exactness contract: surviving rows keep
+        their stored positions, and inserted entities are only assigned
+        past-the-end positions when they really form a suffix of the
+        relation's order.
+        """
+        inserted = set(delta.inserted)
+        changed = inserted | set(delta.updated) | set(delta.removed)
+        dirty = sorted(
+            {partition_index(key, shards) for key in sorted(changed, key=repr)}
+        )
+        placeholders = ", ".join("?" for _ in dirty)
+        stored: dict[str, tuple[int, str]] = {}
+        rows_query = self._db.execute(
+            f"SELECT key_json, position, row_json FROM tuples "
+            f"WHERE relation = ? AND partition IN ({placeholders})",
+            (relation.name, *dirty),
+        )
+        for key_json, position, row_json in rows_query:
+            if key_json is None:
+                return None
+            stored[key_json] = (position, row_json)
+        order = [etuple.key() for etuple in relation]
+        index_of = {key: index for index, key in enumerate(order)}
+        last_survivor = max(
+            (
+                index
+                for key, index in index_of.items()
+                if key not in inserted
+            ),
+            default=-1,
+        )
+        if any(
+            index_of.get(key, -1) <= last_survivor for key in delta.inserted
+        ):
+            return None
+        (next_position,) = self._db.execute(
+            "SELECT COALESCE(MAX(position), -1) + 1 FROM tuples "
+            "WHERE relation = ?",
+            (relation.name,),
+        ).fetchone()
+        updated = set(delta.updated)
+        dirty_set = set(dirty)
+        rows = []
+        written = 0
+        for etuple in relation:
+            key = etuple.key()
+            if partition_index(key, shards) not in dirty_set:
+                continue
+            key_json = _key_text(key)
+            if key in inserted:
+                # Inserted keys form the relation's suffix (checked
+                # above), so they take past-the-end positions in order.
+                position = next_position + (
+                    index_of[key] - (last_survivor + 1)
+                )
+                row_json = json.dumps(_tuple_to_json(etuple))
+            else:
+                entry = stored.get(key_json)
+                if entry is None:
+                    return None
+                position, row_json = entry
+                if key in updated:
+                    row_json = json.dumps(_tuple_to_json(etuple))
+            written += len(row_json) + len(key_json)
+            rows.append((relation.name, partition_index(key, shards), position, row_json, key_json))
+        self._db.execute(
+            f"DELETE FROM tuples "
+            f"WHERE relation = ? AND partition IN ({placeholders})",
+            (relation.name, *dirty),
+        )
+        self._db.executemany(
+            "INSERT INTO tuples "
+            "(relation, partition, position, row_json, key_json) "
+            "VALUES (?, ?, ?, ?, ?)",
+            rows,
+        )
+        return written
 
     def _set_stream_watermark(self, name: str, watermark: int) -> None:
         self._ensure_store()

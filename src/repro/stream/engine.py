@@ -32,6 +32,7 @@ sequence number up to which events are durably reflected.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
@@ -40,8 +41,10 @@ from dataclasses import dataclass
 
 from repro.ds.kernel import STATS as KERNEL_STATS
 from repro.errors import StreamError, TotalConflictError
+from repro.exec import cost as _exec_cost
 from repro.exec.executors import get_executor, partition_count
 from repro.integration.merging import MergeReport, TupleMerger
+from repro.model.evidence import EvidenceSet
 from repro.integration.pipeline import coerce_reliability, discount_tuple
 from repro.model.etuple import ExtendedTuple
 from repro.model.membership import CERTAIN
@@ -68,6 +71,7 @@ class StreamStats:
     reliability_updates: int = 0
     flushes: int = 0
     publishes: int = 0
+    empty_flush_skips: int = 0
     combinations: int = 0
     refolds: int = 0
     kernel_combinations: int = 0
@@ -129,6 +133,48 @@ _metrics_registry().gauge(
     help="seconds since any live engine last advanced its watermark",
     callback=_watermark_age_seconds,
 )
+
+
+def _refold_bucket(common, bucket):
+    """Re-fold one shipped partition of ``(key, parts)`` pairs.
+
+    Module-level so the warm pool (:mod:`repro.exec.warmpool`) can
+    pickle it by reference; ``common`` is the batch-constant
+    ``(merger, schema, order)`` triple (``order`` rides along for
+    symmetry with the in-process task, though the parts were already
+    selected in order by the driver).  Mirrors
+    :meth:`repro.stream.state.EntityState.refold` exactly -- same
+    empty/conflict semantics, same combination count -- but operates on
+    the shipped parts, so the state graph never crosses the pipe.
+    """
+    merger, schema, _order = common
+    baseline = KERNEL_STATS.snapshot()
+    combinations = 0
+    states = []
+    error = None
+    for key, parts in bucket:
+        if not parts:
+            states.append((key, None, False, []))
+            continue
+        report = MergeReport()
+        try:
+            merged = merger.merge_entity(parts, schema, report)
+        except TotalConflictError as exc:
+            error = exc
+            break
+        combinations += len(parts) - 1
+        states.append(
+            (key, merged, merged is None, list(report.conflicts))
+        )
+    delta = KERNEL_STATS.since(baseline)
+    return (
+        states,
+        combinations,
+        delta.kernel_combinations,
+        delta.fallback_combinations,
+        error,
+        os.getpid(),
+    )
 
 
 class StreamEngine:
@@ -232,6 +278,7 @@ class StreamEngine:
         self._profile_batches = bool(profile_batches)
         self._backend = None
         self._wal: list[tuple] = []
+        self._durable_once = False
         if backend is not None:
             backend.begin_stream(
                 self._schema.name, self._schema, self._merger.on_conflict
@@ -553,12 +600,16 @@ class StreamEngine:
             for key in touched
             if (entity := self._state.get(key)) is not None and entity.dirty
         ]
-        n = partition_count(len(dirty))
-        if n > 1:
-            self._refold_partitioned(dirty, order, n)
-        else:
-            for entity in dirty:
-                self._refold(entity, order)
+        # Describe the batch to the cost model (entity/source/focal shape
+        # sampled from the dirty set) so ``auto`` mode prices the actual
+        # refold workload rather than the defaults.
+        with _exec_cost.workload(**self._workload_hint(dirty)):
+            n = partition_count(len(dirty))
+            if n > 1:
+                self._refold_partitioned(dirty, order, n)
+            else:
+                for entity in dirty:
+                    self._refold(entity, order)
         refold_done = time.perf_counter() if profiling else 0.0
         for key in touched:
             entity = self._state.get(key)
@@ -616,13 +667,20 @@ class StreamEngine:
             # next batch attempt instead of silently vanishing from the
             # journal while the watermark advances past them.
             events, self._wal = self._wal, []
-            try:
-                self._backend.write_batch(
-                    self._schema.name, delta, events, relation
-                )
-            except BaseException:
-                self._wal = events + self._wal
-                raise
+            if events or not delta.is_empty() or not self._durable_once:
+                try:
+                    self._backend.write_batch(
+                        self._schema.name, delta, events, relation
+                    )
+                except BaseException:
+                    self._wal = events + self._wal
+                    raise
+                self._durable_once = True
+            else:
+                # No events journaled and no visible change: the store
+                # already holds exactly this relation and watermark, so
+                # skip the backend round trip entirely.
+                self._stats.empty_flush_skips += 1
         if self._db is not None and (
             not self._published_once or not delta.is_empty()
         ):
@@ -721,6 +779,35 @@ class StreamEngine:
         self._stats.kernel_combinations += delta.kernel_combinations
         self._stats.fallback_combinations += delta.fallback_combinations
 
+    def _workload_hint(self, dirty) -> dict:
+        """Sample the dirty set into :func:`repro.exec.cost.workload` kwargs.
+
+        A small prefix sample (the dirty list is already in stable
+        sorted-key order) estimates the average source count and the
+        largest focal-set size per entity -- the two inputs the cost
+        model cannot observe from global counters.  Sampling keeps the
+        hint O(1) per flush regardless of batch size.
+        """
+        if not dirty:
+            return {}
+        sample = dirty[:8]
+        sources = sum(
+            len(entity.contributions) for entity in sample
+        ) / len(sample)
+        focal_sizes = []
+        for entity in sample:
+            largest = 0
+            for contribution in entity.contributions.values():
+                for _name, value in contribution.discounted.items():
+                    if isinstance(value, EvidenceSet):
+                        largest = max(largest, len(value.mass_function))
+            if largest:
+                focal_sizes.append(largest)
+        hint = {"entities": len(dirty), "sources": sources}
+        if focal_sizes:
+            hint["focal"] = sum(focal_sizes) / len(focal_sizes)
+        return hint
+
     def _refold_partitioned(self, dirty, order, n: int) -> None:
         """Drain the pending re-folds as per-partition merge batches.
 
@@ -750,41 +837,64 @@ class StreamEngine:
         buckets = [bucket for bucket in buckets if bucket]
         merger, schema = self._merger, self._schema
 
-        def task(bucket):
-            baseline = KERNEL_STATS.snapshot()
-            combinations = 0
-            states = []
-            error = None
-            for entity in bucket:
-                try:
-                    combinations += entity.refold(merger, schema, order)
-                except TotalConflictError as exc:
-                    error = exc
-                    break
-                states.append(
-                    (
-                        entity.key,
-                        entity.combined,
-                        entity.conflicted,
-                        list(entity.fold_conflicts),
-                    )
-                )
-            delta = KERNEL_STATS.since(baseline)
-            return (
-                states,
-                combinations,
-                delta.kernel_combinations,
-                delta.fallback_combinations,
-                error,
-            )
-
         batch_baseline = KERNEL_STATS.snapshot()
-        outcomes = executor.map(task, buckets)
+        if executor.kind in ("process", "auto"):
+            # Compact task encoding for the warm pool: ship each
+            # entity's surviving parts rather than the EntityState
+            # graph, with the merger/schema/order pickled once for the
+            # whole batch.  Each outcome tags the worker pid so kernel
+            # attribution below can tell child work from inline work.
+            payloads = [
+                [(entity.key, entity.parts(order)) for entity in bucket]
+                for bucket in buckets
+            ]
+            outcomes = executor.map_encoded(
+                _refold_bucket, (merger, schema, order), payloads
+            )
+        else:
+
+            def task(bucket):
+                baseline = KERNEL_STATS.snapshot()
+                combinations = 0
+                states = []
+                error = None
+                for entity in bucket:
+                    try:
+                        combinations += entity.refold(merger, schema, order)
+                    except TotalConflictError as exc:
+                        error = exc
+                        break
+                    states.append(
+                        (
+                            entity.key,
+                            entity.combined,
+                            entity.conflicted,
+                            list(entity.fold_conflicts),
+                        )
+                    )
+                delta = KERNEL_STATS.since(baseline)
+                return (
+                    states,
+                    combinations,
+                    delta.kernel_combinations,
+                    delta.fallback_combinations,
+                    error,
+                    os.getpid(),
+                )
+
+            outcomes = executor.map(task, buckets)
         errors = []
-        for states, combinations, kernel_delta, fallback_delta, error in outcomes:
+        own_pid = os.getpid()
+        from_children = False
+        for states, combinations, kernel_delta, fallback_delta, error, pid in (
+            outcomes
+        ):
             self._stats.combinations += combinations
             self._stats.refolds += len(states)
-            if executor.kind == "process":
+            if pid != own_pid:
+                # Child processes measured their own kernel usage; the
+                # parent's process-wide counters never saw that work.
+                from_children = True
                 self._stats.kernel_combinations += kernel_delta
                 self._stats.fallback_combinations += fallback_delta
             for key, combined, conflicted, fold_conflicts in states:
@@ -795,7 +905,7 @@ class StreamEngine:
                 entity.dirty = False
             if error is not None:
                 errors.append(error)
-        if executor.kind != "process":
+        if not from_children:
             self._attribute_kernel_usage(batch_baseline)
         if errors:
             raise errors[0]

@@ -18,3 +18,12 @@ def run(pool, path):
         return connection.execute("SELECT 1").fetchone()
 
     return pool.map(task, ["a"])
+
+
+def ship(pool, path):
+    with open(path) as handle:
+
+        def encoded(common, item):
+            return handle.readline()
+
+        return pool.submit_batch(fn=encoded, common=None, items=["a"])

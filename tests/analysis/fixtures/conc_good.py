@@ -22,3 +22,11 @@ def run(pool, path):
             return connection.execute("SELECT 1").fetchone()
 
     return pool.map(task, ["a"])
+
+
+def ship(pool, path):
+    def encoded(common, item):
+        with open(path) as handle:
+            return handle.readline()
+
+    return pool.submit_batch(encoded, None, ["a"])

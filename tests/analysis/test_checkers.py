@@ -85,8 +85,13 @@ class TestConcChecker:
         place(tmp_path, "conc_bad.py", "repro/exec/conc_bad.py")
         result = analyze([tmp_path], checkers=[ConcChecker()])
         rules = rules_of(result)
-        # STATS["hits"] += 1, HISTORY.append, and the captured connection.
-        assert rules == ["CONC001", "CONC001", "CONC002"]
+        # STATS["hits"] += 1, HISTORY.append, the captured connection,
+        # and the with-bound handle shipped (by keyword) to the warm
+        # pool's long-lived submit_batch.
+        assert rules == ["CONC001", "CONC001", "CONC002", "CONC002"]
+        captures = [f for f in result.findings if f.rule == "CONC002"]
+        assert any("handle" in f.message for f in captures)
+        assert any("connection" in f.message for f in captures)
 
     def test_locked_writes_and_local_handles_are_clean(self, tmp_path):
         place(tmp_path, "conc_good.py", "repro/exec/conc_good.py")

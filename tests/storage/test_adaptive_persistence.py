@@ -1,0 +1,362 @@
+"""O(delta) persistence: sqlite dirty shards and log autocompaction.
+
+The exactness contract is absolute -- whatever the incremental layout
+does, ``load_relation`` must return the stream's published relation bit
+for bit, same tuple order -- while the *cost* contract is what this PR
+adds: sqlite flush bytes scale with the changed hash shards, not the
+relation size, and an autocompacting journal stays bounded under a
+steady update load.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.datasets.restaurants import table_ra
+from repro.integration import TupleMerger
+from repro.model.attribute import Attribute
+from repro.model.domain import EnumeratedDomain, TextDomain
+from repro.model.etuple import ExtendedTuple
+from repro.model.evidence import EvidenceSet
+from repro.model.relation import ExtendedRelation
+from repro.model.schema import RelationSchema
+from repro.obs import registry
+from repro.storage import open_backend
+from repro.stream import StreamEngine
+from repro.stream.changelog import BatchDelta
+
+COLOURS = ("red", "green", "blue")
+
+
+def _schema(name="R"):
+    domain = EnumeratedDomain("colour", COLOURS)
+    return RelationSchema(
+        name,
+        [
+            Attribute("name", TextDomain("name"), key=True),
+            Attribute("colour", domain, uncertain=True),
+        ],
+    )
+
+
+def _etuple(schema, key: str, colour: str) -> ExtendedTuple:
+    domain = schema.attribute("colour").domain
+    return ExtendedTuple(
+        schema,
+        {"name": key, "colour": EvidenceSet.definite(colour, domain)},
+    )
+
+
+def _engine(backend, schema):
+    return StreamEngine(
+        schema,
+        name=schema.name,
+        backend=backend,
+        merger=TupleMerger(on_conflict="vacuous"),
+    )
+
+
+def _assert_exact_reload(backend, engine):
+    loaded = backend.load_relation(engine.relation.name)
+    assert loaded == engine.relation
+    assert list(loaded.keys()) == list(engine.relation.keys())
+
+
+def _bytes_written():
+    return registry().counter("storage.sqlite.bytes_written").value
+
+
+class TestSqliteDirtyShards:
+    def test_flush_cycles_reload_exactly(self, tmp_path):
+        """Inserts, updates and removals through many flushes: the store
+        equals the published relation after every one of them."""
+        schema = _schema()
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as backend:
+            engine = _engine(backend, schema)
+            for index in range(12):
+                engine.upsert(
+                    "a", _etuple(schema, f"e{index}", COLOURS[index % 3])
+                )
+            engine.flush()
+            _assert_exact_reload(backend, engine)
+            # Update a few entities (the source replaces its assertion).
+            for index in (0, 5, 11):
+                engine.upsert(
+                    "a", _etuple(schema, f"e{index}", COLOURS[(index + 1) % 3])
+                )
+            engine.flush()
+            _assert_exact_reload(backend, engine)
+            # Remove some, insert fresh ones past the end.
+            engine.retract("a", ("e3",))
+            engine.retract("a", ("e7",))
+            engine.upsert("a", _etuple(schema, "late-1", "red"))
+            engine.flush()
+            _assert_exact_reload(backend, engine)
+            engine.upsert("a", _etuple(schema, "late-2", "blue"))
+            engine.retract("a", ("e0",))
+            engine.flush()
+            _assert_exact_reload(backend, engine)
+        # ... and the final state survives a reopen.
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as reopened:
+            loaded = reopened.load_relation("R")
+            assert loaded == engine.relation
+            assert list(loaded.keys()) == list(engine.relation.keys())
+
+    def test_flush_bytes_scale_with_changed_shards_not_relation_size(
+        self, tmp_path
+    ):
+        schema = _schema()
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as backend:
+            engine = _engine(backend, schema)
+            for index in range(64):
+                engine.upsert(
+                    "a", _etuple(schema, f"entity-{index:03d}", "red")
+                )
+            before = _bytes_written()
+            engine.flush()
+            full = _bytes_written() - before
+            assert full > 0
+            # One updated entity dirties one of the 16 hash shards: the
+            # flush rewrites ~1/16th of the rows, nowhere near the full
+            # relation payload.
+            engine.upsert("a", _etuple(schema, "entity-000", "green"))
+            before = _bytes_written()
+            engine.flush()
+            delta = _bytes_written() - before
+            assert 0 < delta < full / 4
+            _assert_exact_reload(backend, engine)
+
+    def test_quiet_batch_writes_zero_payload_bytes(self, tmp_path):
+        """An empty delta against a stamped stream advances the
+        watermark without touching a single row."""
+        relation = table_ra()
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as backend:
+            first = BatchDelta(
+                batch=1,
+                watermark=6,
+                events=6,
+                inserted=tuple(relation.keys()),
+                updated=(),
+                removed=(),
+                conflicted=(),
+            )
+            backend.write_batch("RA", first, [], relation)
+            before = _bytes_written()
+            quiet = BatchDelta(
+                batch=2,
+                watermark=9,
+                events=0,
+                inserted=(),
+                updated=(),
+                removed=(),
+                conflicted=(),
+            )
+            backend.write_batch("RA", quiet, [], relation)
+            assert _bytes_written() == before
+            assert backend.stream_watermark("RA") == 9
+
+    def test_mid_order_insert_falls_back_to_a_full_rewrite(self, tmp_path):
+        """A delta the shard layout cannot express exactly (an entity
+        re-entering mid-order) rewrites the whole relation stamped --
+        and still reloads bit for bit."""
+        relation = table_ra()
+        keys = list(relation.keys())
+        mid_key = keys[2]
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as backend:
+            first = BatchDelta(
+                batch=1,
+                watermark=len(keys),
+                events=len(keys),
+                inserted=tuple(keys),
+                updated=(),
+                removed=(),
+                conflicted=(),
+            )
+            backend.write_batch("RA", first, [], relation)
+
+            full_rewrites = []
+            original = backend._insert_relation
+            backend._insert_relation = lambda *a, **k: (
+                full_rewrites.append(a) or original(*a, **k)
+            )
+            resurrection = BatchDelta(
+                batch=2,
+                watermark=len(keys) + 1,
+                events=1,
+                inserted=(mid_key,),
+                updated=(),
+                removed=(),
+                conflicted=(),
+            )
+            backend.write_batch("RA", resurrection, [], relation)
+            backend._insert_relation = original
+            assert len(full_rewrites) == 1
+            loaded = backend.load_relation("RA")
+            assert loaded == relation
+            assert list(loaded.keys()) == keys
+
+    def test_pre_shard_store_gains_the_key_column(self, tmp_path):
+        """A store created before the ``key_json`` migration opens,
+        gains the column on first write, and streams exactly."""
+        path = tmp_path / "old.sqlite"
+        connection = sqlite3.connect(str(path))
+        connection.executescript(
+            """
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            CREATE TABLE relations (
+                name TEXT PRIMARY KEY, position INTEGER NOT NULL,
+                partitions INTEGER NOT NULL DEFAULT 0,
+                schema_json TEXT NOT NULL
+            );
+            CREATE TABLE tuples (
+                relation TEXT NOT NULL, partition INTEGER NOT NULL DEFAULT 0,
+                position INTEGER NOT NULL, row_json TEXT NOT NULL,
+                PRIMARY KEY (relation, position)
+            );
+            INSERT INTO meta VALUES ('format_version', '1');
+            INSERT INTO meta VALUES ('name', 'db');
+            INSERT INTO meta VALUES ('catalog_version', '0');
+            """
+        )
+        connection.commit()
+        connection.close()
+        schema = _schema()
+        with open_backend(f"sqlite:{path}") as backend:
+            engine = _engine(backend, schema)
+            engine.upsert("a", _etuple(schema, "e0", "red"))
+            engine.flush()
+            columns = {
+                row[1]
+                for row in backend._db.execute("PRAGMA table_info(tuples)")
+            }
+            assert "key_json" in columns
+            _assert_exact_reload(backend, engine)
+
+    def test_null_key_rows_force_one_full_rewrite_then_go_incremental(
+        self, tmp_path
+    ):
+        """Rows written by a non-stream save carry NULL keys; the first
+        dirty-shard attempt detects them, rewrites stamped, and the
+        *next* flush is incremental again."""
+        relation = table_ra()
+        keys = list(relation.keys())
+        with open_backend(f"sqlite:{tmp_path / 'r.sqlite'}") as backend:
+            backend.save_relation(relation)  # flat rows: key_json NULL
+            # Forge the stream marker an interrupted migration would
+            # leave behind: shards recorded, rows unstamped.
+            with backend._db:
+                backend._set_meta("stream:RA:shards", 16)
+            update = BatchDelta(
+                batch=1,
+                watermark=1,
+                events=1,
+                inserted=(),
+                updated=(keys[0],),
+                removed=(),
+                conflicted=(),
+            )
+            backend.write_batch("RA", update, [], relation)
+            loaded = backend.load_relation("RA")
+            assert loaded == relation
+            assert list(loaded.keys()) == keys
+            nulls = backend._db.execute(
+                "SELECT COUNT(*) FROM tuples "
+                "WHERE relation = 'RA' AND key_json IS NULL"
+            ).fetchone()[0]
+            assert nulls == 0
+            # Now stamped: a one-entity update stays O(delta).
+            before = _bytes_written()
+            backend.write_batch(
+                "RA",
+                BatchDelta(
+                    batch=2,
+                    watermark=2,
+                    events=1,
+                    inserted=(),
+                    updated=(keys[0],),
+                    removed=(),
+                    conflicted=(),
+                ),
+                [],
+                relation,
+            )
+            delta = _bytes_written() - before
+            full = sum(
+                len(row)
+                for (row,) in backend._db.execute(
+                    "SELECT row_json FROM tuples WHERE relation = 'RA'"
+                )
+            )
+            assert 0 < delta < full
+
+
+class TestLogAutocompaction:
+    def _relation(self, rounds: int) -> ExtendedRelation:
+        schema = _schema("R")
+        return ExtendedRelation(
+            schema,
+            [_etuple(schema, f"e{i}", COLOURS[rounds % 3]) for i in range(6)],
+        )
+
+    def test_journal_stays_bounded_under_resaves(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOCOMPACT", "1.5")
+        monkeypatch.setenv("REPRO_AUTOCOMPACT_MIN_BYTES", "1")
+        compactions = registry().counter("storage.log.autocompactions")
+        before = compactions.value
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as backend:
+            backend.save_relation(self._relation(0))
+            single = backend._file_bytes()
+            for round_number in range(1, 30):
+                backend.save_relation(self._relation(round_number))
+            # An append-only journal would hold ~30 copies; compaction
+            # keeps it within the configured growth ratio of one.
+            assert backend._file_bytes() < 3 * single
+            assert compactions.value > before
+            final = backend.load_relation("R")
+        # The compacted journal still replays the exact final state.
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as reopened:
+            assert reopened.load_relation("R") == final
+
+    def test_disabled_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_AUTOCOMPACT", raising=False)
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as backend:
+            backend.save_relation(self._relation(0))
+            single = backend._file_bytes()
+            for round_number in range(1, 10):
+                backend.save_relation(self._relation(round_number))
+            assert backend._file_bytes() > 5 * single  # history kept
+
+    def test_named_flag_values_and_floor(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOCOMPACT", "yes")
+        monkeypatch.setenv("REPRO_AUTOCOMPACT_MIN_BYTES", "10000000")
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as backend:
+            assert backend._autocompact == pytest.approx(4.0)
+            backend.save_relation(self._relation(0))
+            single = backend._file_bytes()
+            for round_number in range(1, 10):
+                backend.save_relation(self._relation(round_number))
+            # Under the byte floor nothing compacts, whatever the ratio.
+            assert backend._file_bytes() > 5 * single
+
+    def test_streamed_batches_autocompact_too(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOCOMPACT", "1.5")
+        monkeypatch.setenv("REPRO_AUTOCOMPACT_MIN_BYTES", "1")
+        schema = _schema()
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as backend:
+            engine = _engine(backend, schema)
+            for index in range(6):
+                engine.upsert("a", _etuple(schema, f"e{index}", "red"))
+            engine.flush()
+            single = backend._file_bytes()
+            for round_number in range(40):
+                engine.upsert(
+                    "a", _etuple(schema, "e0", COLOURS[round_number % 3])
+                )
+                engine.flush()
+            assert backend._file_bytes() < 4 * single
+            relation, watermark = engine.relation, engine.watermark
+        with open_backend(f"log:{tmp_path / 'wal.jsonl'}") as reopened:
+            recovered = reopened.recover_stream("R")
+            assert recovered.relation == relation
+            assert list(recovered.relation.keys()) == list(relation.keys())
+            assert recovered.watermark == watermark

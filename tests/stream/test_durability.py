@@ -216,9 +216,9 @@ class TestLogRecovery:
             assert recovered.watermark == watermark
             assert len(recovered.relation) == 3  # garden survived the outage
 
-    def test_empty_flush_only_advances_snapshot_watermark(self, tmp_path):
-        """A quiet periodic flush must not rewrite the whole relation on
-        snapshot backends -- only the watermark moves."""
+    def test_empty_flush_skips_the_backend_entirely(self, tmp_path):
+        """A quiet periodic flush must not even reach the backend: the
+        store already holds this relation and watermark exactly."""
         url = f"sqlite:{tmp_path / 'snap.sqlite'}"
         with open_backend(url) as backend:
             engine = durable_engine(backend, table_ra().schema)
@@ -226,13 +226,17 @@ class TestLogRecovery:
             engine.flush()
 
             calls = []
-            original = backend._save_relation
-            backend._save_relation = lambda *a: calls.append(a) or original(*a)
-            engine.flush()  # no events accepted: empty batch
+            original = backend.write_batch
+            backend.write_batch = (
+                lambda *a, **k: calls.append(a) or original(*a, **k)
+            )
+            skips_before = engine.stats().empty_flush_skips
+            engine.flush()  # no events accepted: empty batch, skipped
             engine.set_reliability("daily", Fraction(1, 2))
             engine.flush()
-            backend._save_relation = original
-            assert len(calls) == 1  # only the non-empty batch snapshots
+            backend.write_batch = original
+            assert len(calls) == 1  # only the non-empty batch persists
+            assert engine.stats().empty_flush_skips == skips_before + 1
             assert backend.stream_watermark("R") == engine.watermark
 
     def test_unknown_stream_is_clean_error(self, tmp_path):

@@ -528,3 +528,35 @@ class TestConvert:
             "convert", str(tmp_path / "absent.json"), str(tmp_path / "out.db")
         )
         assert status == 1
+
+
+class TestCompact:
+    @pytest.fixture
+    def grown_log(self, demo_db, tmp_path):
+        """A journal with history: the demo converted in, then resaved."""
+        destination = tmp_path / "wal.jsonl"
+        status, _ = run_cli("convert", str(demo_db), f"log:{destination}")
+        assert status == 0
+        from repro.storage import open_backend
+
+        with open_backend(f"log:{destination}") as backend:
+            for name in backend.list_relations():
+                backend.save_relation(backend.load_relation(name))
+        return destination
+
+    def test_reports_bytes_before_and_after(self, grown_log):
+        before = grown_log.stat().st_size
+        status, output = run_cli("compact", f"log:{grown_log}")
+        assert status == 0
+        after = grown_log.stat().st_size
+        assert after < before
+        assert f"{before:,} -> {after:,} bytes" in output
+        assert "reclaimed" in output
+        # The compacted store still loads every relation.
+        db = read_database(f"log:{grown_log}")
+        assert len(db.names()) == 6
+
+    def test_snapshot_backends_are_a_clean_error(self, demo_db, capsys):
+        status, _ = run_cli("compact", f"json:{demo_db}")
+        assert status == 1
+        assert "does not support compaction" in capsys.readouterr().err

@@ -5,6 +5,8 @@
 #   make test-sqlite    the same suite with SQLite as the default backend
 #   make test-auto      the same suite under the cost-model-driven
 #                       adaptive executor (REPRO_EXECUTOR=auto)
+#   make test-remote    the same suite scattered over a 4-worker
+#                       loopback socket cluster (repro worker run)
 #   make bench          run the benchmark harness (timings + assertions)
 #   make bench-stream   incremental-vs-recompute ingestion benchmark
 #   make bench-kernel   kernel-vs-frozenset combination benchmark
@@ -12,6 +14,8 @@
 #   make bench-storage  save/load/point-load per storage backend
 #   make bench-adaptive warm-pool dispatch, dirty-shard flush bytes,
 #                       auto-vs-serial routing
+#   make bench-remote   remote scatter/gather vs serial across local
+#                       cluster sizes
 #   make lint           ruff check (fails in CI when ruff is absent;
 #                       skipped with a notice locally)
 #   make lint-analysis  reprolint: invariant static analysis (EXACT,
@@ -20,9 +24,9 @@
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test test-parallel test-sqlite test-auto bench bench-stream \
-	bench-kernel bench-parallel bench-storage bench-adaptive lint \
-	lint-analysis quickstart
+.PHONY: test test-parallel test-sqlite test-auto test-remote bench \
+	bench-stream bench-kernel bench-parallel bench-storage \
+	bench-adaptive bench-remote lint lint-analysis quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +39,12 @@ test-sqlite:
 
 test-auto:
 	REPRO_EXECUTOR=auto REPRO_WORKERS=4 $(PYTHON) -m pytest -x -q
+
+# `repro worker run` forks a 4-daemon loopback cluster, exports
+# REPRO_EXECUTOR=remote / REPRO_WORKERS_ADDRS, and tears the cluster
+# down when the suite exits.
+test-remote:
+	$(PYTHON) -m repro.cli worker run -n 4 -- $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
@@ -53,6 +63,9 @@ bench-storage:
 
 bench-adaptive:
 	$(PYTHON) -m pytest benchmarks/bench_adaptive_runtime.py -q -s
+
+bench-remote:
+	$(PYTHON) -m pytest benchmarks/bench_remote_exec.py -q -s
 
 # Real ruff findings always fail; only a *missing* ruff is forgiven,
 # and only outside CI (GitHub Actions exports CI=true).

@@ -1,0 +1,181 @@
+"""Remote scatter/gather: federation integrate over a loopback cluster.
+
+The claim the remote executor exists for: with real cores behind the
+daemons, scattering encoded partition batches over sockets beats the
+serial loop while producing the identical relation.  This bench
+integrates a >= 2k-entity, 3-source federation serially and against
+1/2/4-worker local clusters, asserts every remote result equals the
+serial relation exactly (tuples *and* order), and -- on a machine with
+at least 4 cores -- requires >= 2x at 4 workers
+(``REMOTE_BENCH_RATIO_FLOOR`` relaxes the bar on noisy shared runners;
+smaller boxes run the equivalence checks and record the timings).
+
+It also pins the cost gate: a handful-of-items batch must never leave
+the process, whatever the cluster looks like -- the wire threshold is
+what keeps remote execution safe to leave enabled.
+
+Float masses, as in ``bench_parallel_integration``: exact fractions
+would measure bigint growth rather than the execution layer.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.datasets.generators import SyntheticConfig, synthetic_relation
+from repro.exec import executor_scope
+from repro.integration import Federation, TupleMerger
+from repro.obs import registry
+
+#: Entities per source (3 sources -> 3x this many stored tuples).
+N_ENTITIES = int(os.environ.get("REMOTE_BENCH_ENTITIES", "2000"))
+N_SOURCES = 3
+CLUSTER_SIZES = (1, 2, 4)
+#: Required federation speedup at 4 remote workers on a 4+-core box.
+RATIO_FLOOR = float(os.environ.get("REMOTE_BENCH_RATIO_FLOOR", "2"))
+
+
+def _timed(operation, repeats: int = 3):
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = operation()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def federation():
+    federation = Federation(TupleMerger(on_conflict="vacuous"))
+    for index in range(N_SOURCES):
+        config = SyntheticConfig(
+            n_tuples=N_ENTITIES,
+            conflict=0.4,
+            ignorance=1.0,
+            exact=False,
+            seed=71 + index,
+        )
+        name = f"s{index}"
+        federation.add_source(name, synthetic_relation(config, name))
+    return federation
+
+
+@pytest.fixture(scope="module")
+def serial_result(federation):
+    with executor_scope(executor="serial", workers=1, partitions=None):
+        elapsed, (relation, _) = _timed(lambda: federation.integrate(name="F"))
+    return elapsed, relation
+
+
+def _remote_scope(addr_spec: str, workers: int, threshold: str | None):
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_WORKERS_ADDRS", "REPRO_REMOTE_THRESHOLD")
+    }
+
+    class _Scope:
+        def __enter__(self):
+            os.environ["REPRO_WORKERS_ADDRS"] = addr_spec
+            if threshold is None:
+                os.environ.pop("REPRO_REMOTE_THRESHOLD", None)
+            else:
+                os.environ["REPRO_REMOTE_THRESHOLD"] = threshold
+            self._exec = executor_scope(
+                executor="remote", workers=workers, partitions=workers * 2
+            )
+            self._exec.__enter__()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._exec.__exit__(*exc_info)
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    return _Scope()
+
+
+def test_remote_scaling_is_exact_and_recorded(
+    federation, serial_result, bench_record
+):
+    """Integrate against 1/2/4-worker clusters; record, require equality."""
+    from repro.exec.remote import spawn_local_cluster
+
+    serial_elapsed, serial_relation = serial_result
+    print(f"\nfederation integrate, serial: {serial_elapsed * 1e3:.1f} ms")
+    bench_record("remote_integrate_serial_seconds", serial_elapsed)
+    for size in CLUSTER_SIZES:
+        with spawn_local_cluster(size) as cluster:
+            with _remote_scope(cluster.addr_spec, size, threshold="0"):
+                batches_before = registry().collect()["exec.remote.batches"]
+                elapsed, (relation, _) = _timed(
+                    lambda: federation.integrate(name="F")
+                )
+                batches = (
+                    registry().collect()["exec.remote.batches"]
+                    - batches_before
+                )
+        ratio = serial_elapsed / elapsed
+        print(
+            f"federation integrate, {size}-worker cluster: "
+            f"{elapsed * 1e3:.1f} ms ({ratio:.2f}x vs serial, "
+            f"{batches} remote batch(es))"
+        )
+        bench_record(f"remote_integrate_{size}_workers_seconds", elapsed)
+        bench_record(f"remote_integrate_{size}_workers_speedup", ratio)
+        assert batches >= 1, "the batch must actually cross the wire"
+        assert relation == serial_relation
+        assert list(relation.keys()) == list(serial_relation.keys())
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup floor only meaningful with >= 4 cores",
+)
+def test_remote_4_workers_beats_serial(federation, serial_result):
+    """The acceptance bar: >= 2x at a 4-worker cluster on a 4+-core box."""
+    from repro.exec.remote import spawn_local_cluster
+
+    serial_elapsed, serial_relation = serial_result
+    with spawn_local_cluster(4) as cluster:
+        with _remote_scope(cluster.addr_spec, 4, threshold="0"):
+            elapsed, (relation, _) = _timed(
+                lambda: federation.integrate(name="F")
+            )
+    ratio = serial_elapsed / elapsed
+    print(f"\n4-worker cluster: {ratio:.2f}x vs serial (floor {RATIO_FLOOR}x)")
+    assert relation == serial_relation
+    assert ratio >= RATIO_FLOOR
+
+
+def test_sub_threshold_batches_never_leave_the_process(bench_record):
+    """The cost gate: a tiny federation stays local even with a cluster."""
+    from repro.exec import cost
+    from repro.exec.remote import spawn_local_cluster
+
+    cost.reset_remote_samples()
+    tiny = Federation(TupleMerger(on_conflict="vacuous"))
+    for index in range(2):
+        config = SyntheticConfig(
+            n_tuples=6, conflict=0.4, ignorance=1.0, exact=False, seed=index
+        )
+        tiny.add_source(f"s{index}", synthetic_relation(config, f"s{index}"))
+    with executor_scope(executor="serial", workers=1, partitions=None):
+        expected, _ = tiny.integrate(name="T")
+    with spawn_local_cluster(2) as cluster:
+        # threshold=None: the cost model itself must keep this local
+        with _remote_scope(cluster.addr_spec, 2, threshold=None):
+            batches_before = registry().collect()["exec.remote.batches"]
+            actual, _ = tiny.integrate(name="T")
+            shipped = (
+                registry().collect()["exec.remote.batches"] - batches_before
+            )
+    bench_record("remote_sub_threshold_batches_shipped", shipped)
+    assert shipped == 0, "a 6-entity batch must never pay a round trip"
+    assert actual == expected
+    assert list(actual.keys()) == list(expected.keys())

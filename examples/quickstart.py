@@ -29,6 +29,7 @@ This walks the paper's core loop with the fluent lazy API:
 Run:  python examples/quickstart.py
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -199,6 +200,44 @@ def main() -> None:
     # the backend entirely, and REPRO_AUTOCOMPACT=1 keeps a log:
     # journal bounded by compacting once it outgrows its last compact
     # size (`repro compact DB` does the same on demand).
+    print()
+
+    # Distributed execution.  Beyond one machine's cores, the remote
+    # executor (repro.exec.remote) scatters encoded partition batches
+    # to worker daemons over TCP or unix sockets and gathers replies in
+    # exact serial order.  Start daemons with `repro worker serve
+    # HOST:PORT`, point REPRO_WORKERS_ADDRS at them (comma-separated)
+    # and set REPRO_EXECUTOR=remote -- or let `repro worker run -n 4 --
+    # CMD` wire up a loopback cluster around any command.  Transport
+    # failures re-scatter the dead worker's chunks to survivors
+    # (exec.remote.retries); with no cluster at all the executor
+    # degrades to local execution, so remote is always safe to enable.
+    # The cost model prices every batch against the measured round-trip
+    # latency and bytes-per-item, so small batches never leave the
+    # process (REPRO_REMOTE_THRESHOLD pins the gate; 0 forces the wire).
+    from repro.exec.remote import spawn_local_cluster
+    from repro.obs import registry as obs_registry
+
+    with spawn_local_cluster(2) as cluster:
+        os.environ["REPRO_WORKERS_ADDRS"] = cluster.addr_spec
+        os.environ["REPRO_REMOTE_THRESHOLD"] = "0"
+        try:
+            with executor_scope(executor="remote", workers=2, partitions=4):
+                distributed = Session(db).execute("RA UNION RB BY (rname)")
+            assert distributed.same_tuples(serial_union)
+            assert [t.key() for t in distributed] == [
+                t.key() for t in serial_union
+            ]
+        finally:
+            del os.environ["REPRO_WORKERS_ADDRS"]
+            del os.environ["REPRO_REMOTE_THRESHOLD"]
+        wire = obs_registry().collect()
+        print(f"distributed over {cluster!r}")
+        print(
+            f"  exec.remote.batches={wire['exec.remote.batches']} "
+            f"tasks={wire['exec.remote.tasks']} "
+            f"bytes_sent={wire['exec.remote.bytes_sent']}"
+        )
     print()
 
     # Persistence & backends.  Storage locations are URLs -- `json:`

@@ -187,6 +187,20 @@ def _union_serial(
     )
 
 
+def _merge_shard(common, pair):
+    """One shard of a partitioned merge (module-level: remote-shippable).
+
+    *common* is the per-batch constant ``(serial_core, schema,
+    on_conflict)``; total-conflict errors return as data so the
+    coordinator can pick the serial-order winner across shards.
+    """
+    serial_core, schema, on_conflict = common
+    try:
+        return serial_core(pair[0], pair[1], schema, on_conflict), None
+    except TotalConflictError as exc:
+        return None, exc
+
+
 def _merge_partitioned(
     left: ExtendedRelation,
     right: ExtendedRelation,
@@ -208,14 +222,20 @@ def _merge_partitioned(
     entity comes earliest in left-iteration order wins).
     """
     pairs = list(zip(left.partitions(n), right.partitions(n)))
+    executor = get_executor()
+    if executor.kind == "remote":
+        # The encoded form pickles (serial_core, schema, on_conflict)
+        # once per batch, so shards can ship to worker daemons; the
+        # closure below would pin the whole batch to the local fallback.
+        outcomes = executor.map_encoded(
+            _merge_shard, (serial_core, schema, on_conflict), pairs
+        )
+    else:
 
-    def task(pair):
-        try:
-            return serial_core(pair[0], pair[1], schema, on_conflict), None
-        except TotalConflictError as exc:
-            return None, exc
+        def task(pair):
+            return _merge_shard((serial_core, schema, on_conflict), pair)
 
-    outcomes = get_executor().map(task, pairs)
+        outcomes = executor.map(task, pairs)
     errors = [exc for _, exc in outcomes if exc is not None]
     if errors:
         position = {key: index for index, key in enumerate(left.keys())}

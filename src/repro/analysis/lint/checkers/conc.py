@@ -25,6 +25,15 @@ concurrent code whether it planned to be or not.  Two rules:
   Keyword arguments are scanned as well as positional ones.  File
   offsets, sqlite connections and held locks do not survive ``fork`` --
   the child inherits corrupt state.
+* **CONC003** -- a closure capturing a **socket** (``socket.socket``,
+  ``socket.create_connection``, ``socketpair``) shipped through the
+  encoded batch dispatches ``.map_encoded``/``.submit_batch``.  Those
+  dispatches cross a process -- with ``REPRO_EXECUTOR=remote``, a
+  machine -- boundary by pickling the task, and sockets do not pickle
+  at all: the capture is a guaranteed runtime failure (or a silent
+  local fallback), not merely a race.  Plain ``.submit``/``.map``
+  dispatches are deliberately out of scope: a thread pool shares the
+  address space, where handing a socket to a task is legitimate.
 """
 
 from __future__ import annotations
@@ -73,6 +82,14 @@ _POOL_DISPATCH = {
     "map_encoded",
 }
 _FORK_UNSAFE_CONSTRUCTORS = {"open", "sqlite3.connect", "connect"}
+#: Socket constructors (CONC003).  ``socket.socket`` and a bare
+#: ``socket(...)`` both end in ``socket``; ``create_connection`` and
+#: ``socketpair`` are the stdlib's other two ways to mint one.
+_SOCKET_CONSTRUCTORS = {"socket", "create_connection", "socketpair"}
+#: The encoded batch dispatches that pickle the task across a process
+#: (or, remotely, a machine) boundary -- where a captured socket is a
+#: guaranteed failure rather than a race.
+_WIRE_DISPATCH = {"submit_batch", "map_encoded"}
 
 
 def _call_tail(node: ast.AST) -> str | None:
@@ -249,34 +266,56 @@ class _ForkCaptureVisitor(ScopedVisitor):
             return name or tail or "?"
         return None
 
+    @staticmethod
+    def _socket_origin(value: ast.AST) -> str | None:
+        """The constructor name when *value* builds a socket (CONC003)."""
+        if not isinstance(value, ast.Call):
+            return None
+        name = dotted_name(value.func)
+        tail = name.split(".")[-1] if name else None
+        if tail in _SOCKET_CONSTRUCTORS:
+            return name or tail or "?"
+        return None
+
     def _scan_function(self, func: ast.AST) -> None:
         scope = list(self._scope_nodes(func))
         risky: dict[str, str] = {}
+        sockets: dict[str, str] = {}
         for statement in scope:
             if isinstance(statement, ast.Assign):
-                origin = self._risky_origin(statement.value)
-                if origin is not None:
-                    for target in statement.targets:
-                        if isinstance(target, ast.Name):
-                            risky[target.id] = origin
+                for target in statement.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    socket_origin = self._socket_origin(statement.value)
+                    if socket_origin is not None:
+                        sockets[target.id] = socket_origin
+                        continue
+                    origin = self._risky_origin(statement.value)
+                    if origin is not None:
+                        risky[target.id] = origin
             elif isinstance(statement, (ast.With, ast.AsyncWith)):
                 # `with open(...) as handle:` binds the same fork-unsafe
                 # resource as an assignment would.
                 for item in statement.items:
+                    if not isinstance(item.optional_vars, ast.Name):
+                        continue
+                    socket_origin = self._socket_origin(item.context_expr)
+                    if socket_origin is not None:
+                        sockets[item.optional_vars.id] = socket_origin
+                        continue
                     origin = self._risky_origin(item.context_expr)
-                    if origin is not None and isinstance(
-                        item.optional_vars, ast.Name
-                    ):
+                    if origin is not None:
                         risky[item.optional_vars.id] = origin
-        if not risky:
+        if not risky and not sockets:
             return
+        tainted = {**risky, **sockets}
         closures: dict[str, tuple[ast.AST, set[str]]] = {}
         for inner in scope:
             if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 captured = {
                     leaf.id
                     for leaf in ast.walk(inner)
-                    if isinstance(leaf, ast.Name) and leaf.id in risky
+                    if isinstance(leaf, ast.Name) and leaf.id in tainted
                 }
                 if captured:
                     closures[inner.name] = (inner, captured)
@@ -292,39 +331,60 @@ class _ForkCaptureVisitor(ScopedVisitor):
             ]
             for arg in operands:
                 if isinstance(arg, ast.Name) and arg.id in closures:
-                    inner, captured = closures[arg.id]
-                    resources = ", ".join(
-                        f"{name} (from {risky[name]})" for name in sorted(captured)
-                    )
-                    self.report(
-                        "CONC002",
-                        call,
-                        f"closure {arg.id!r} captures fork-unsafe "
-                        f"resource(s) {resources} and is dispatched to a "
-                        f"worker pool; pass paths/keys and reopen in the "
-                        f"task instead",
-                        f"fork-capture:{arg.id}",
-                    )
+                    _inner, captured = closures[arg.id]
+                    self._report_capture(call, arg.id, captured, risky, sockets)
                 elif isinstance(arg, ast.Lambda):
                     captured = {
                         leaf.id
                         for leaf in ast.walk(arg)
-                        if isinstance(leaf, ast.Name) and leaf.id in risky
+                        if isinstance(leaf, ast.Name) and leaf.id in tainted
                     }
                     if captured:
-                        resources = ", ".join(
-                            f"{name} (from {risky[name]})"
-                            for name in sorted(captured)
+                        self._report_capture(
+                            call, "<lambda>", captured, risky, sockets
                         )
-                        self.report(
-                            "CONC002",
-                            call,
-                            f"lambda captures fork-unsafe resource(s) "
-                            f"{resources} and is dispatched to a worker "
-                            f"pool; pass paths/keys and reopen in the "
-                            f"task instead",
-                            "fork-capture:<lambda>",
-                        )
+
+    def _report_capture(
+        self,
+        call: ast.Call,
+        closure_name: str,
+        captured: set[str],
+        risky: dict[str, str],
+        sockets: dict[str, str],
+    ) -> None:
+        """One dispatch of one closure: emit CONC002 and/or CONC003."""
+        label = (
+            f"closure {closure_name!r}" if closure_name != "<lambda>"
+            else "lambda"
+        )
+        fork_unsafe = sorted(name for name in captured if name in risky)
+        if fork_unsafe:
+            resources = ", ".join(
+                f"{name} (from {risky[name]})" for name in fork_unsafe
+            )
+            self.report(
+                "CONC002",
+                call,
+                f"{label} captures fork-unsafe resource(s) {resources} "
+                f"and is dispatched to a worker pool; pass paths/keys "
+                f"and reopen in the task instead",
+                f"fork-capture:{closure_name}",
+            )
+        captured_sockets = sorted(name for name in captured if name in sockets)
+        if captured_sockets and call.func.attr in _WIRE_DISPATCH:
+            resources = ", ".join(
+                f"{name} (from {sockets[name]})" for name in captured_sockets
+            )
+            self.report(
+                "CONC003",
+                call,
+                f"{label} captures socket(s) {resources} and is shipped "
+                f"through .{call.func.attr}(), which pickles the task "
+                f"across a process or machine boundary; sockets never "
+                f"survive that hop -- pass the address and connect "
+                f"inside the task instead",
+                f"socket-capture:{closure_name}",
+            )
 
 
 class ConcChecker(Checker):
@@ -343,6 +403,7 @@ class ConcChecker(Checker):
     rules = {
         "CONC001": "unsynchronized write to a module-level mutable global",
         "CONC002": "fork-unsafe resource captured into a pool task",
+        "CONC003": "socket captured into a wire-shipped batch task",
     }
 
     def check(self, module: Module) -> list[Finding]:

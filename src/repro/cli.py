@@ -65,6 +65,16 @@ else JSON).
     persists the resulting database, ``--show`` prints the integrated
     table, ``--trace-out FILE`` traces the replay into FILE as JSONL.
 
+``repro worker serve ADDRESS`` / ``repro worker run -n N -- CMD``
+    Distributed execution (:mod:`repro.exec.remote`).  ``serve`` runs
+    one worker daemon on ``HOST:PORT`` (or ``unix:/path``); point
+    coordinators at it with ``REPRO_EXECUTOR=remote`` and
+    ``REPRO_WORKERS_ADDRS=host:port,host:port,...``.  ``run`` spawns a
+    loopback cluster of N daemons, executes CMD with the remote
+    executor configured against it, and tears the cluster down --
+    ``make test-remote`` uses it to drive the tier-1 suite over the
+    wire.
+
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
 """
@@ -72,6 +82,7 @@ Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from contextlib import contextmanager
@@ -286,6 +297,55 @@ def _build_parser() -> argparse.ArgumentParser:
         "(log: URLs only)",
     )
     compact.add_argument("database", help="store location (URL or path)")
+
+    worker = commands.add_parser(
+        "worker",
+        help="distributed execution: serve a worker daemon or run a "
+        "command against a local cluster",
+    )
+    worker_actions = worker.add_subparsers(
+        dest="worker_command", required=True
+    )
+    serve = worker_actions.add_parser(
+        "serve",
+        help="run one worker daemon on ADDRESS (HOST:PORT or unix:/path; "
+        "port 0 picks a free one)",
+    )
+    serve.add_argument("address", help="address to bind (HOST:PORT)")
+    serve.add_argument(
+        "--pool-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan batches over N local warm-pool processes (default 1)",
+    )
+    run = worker_actions.add_parser(
+        "run",
+        help="spawn a loopback cluster, run CMD against it "
+        "(REPRO_EXECUTOR=remote), tear the cluster down",
+    )
+    run.add_argument(
+        "-n",
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cluster size (default 4)",
+    )
+    run.add_argument(
+        "--threshold",
+        type=int,
+        default=0,
+        metavar="N",
+        help="REPRO_REMOTE_THRESHOLD for the command (default 0: "
+        "every batch goes remote)",
+    )
+    run.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        metavar="CMD",
+        help="command to run (prefix with -- to stop option parsing)",
+    )
     return parser
 
 
@@ -631,6 +691,53 @@ def _command_show(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace, out) -> int:
+    if args.worker_command == "serve":
+        from repro.exec.remote import WorkerServer
+
+        server = WorkerServer(args.address, pool_workers=args.pool_workers)
+        server.start()
+        print(
+            f"worker serving on {server.address} "
+            f"(pid {os.getpid()}, {args.pool_workers} pool worker(s)); "
+            f"Ctrl-C to stop",
+            file=out,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    # worker run -n N -- CMD...
+    import subprocess
+
+    from repro.exec.remote import spawn_local_cluster
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        print("error: worker run needs a command after --", file=sys.stderr)
+        return 2
+    cluster = spawn_local_cluster(args.workers)
+    env = dict(os.environ)
+    env["REPRO_EXECUTOR"] = "remote"
+    env["REPRO_WORKERS_ADDRS"] = cluster.addr_spec
+    env["REPRO_REMOTE_THRESHOLD"] = str(args.threshold)
+    print(
+        f"cluster of {args.workers} worker(s) at {cluster.addr_spec}; "
+        f"running: {' '.join(cmd)}",
+        file=out,
+    )
+    try:
+        return subprocess.call(cmd, env=env)
+    finally:
+        cluster.stop()
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the exit status."""
     out = out if out is not None else sys.stdout
@@ -645,6 +752,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "show": _command_show,
         "stats": _command_stats,
         "stream": _command_stream,
+        "worker": _command_worker,
     }
     try:
         return handlers[args.command](args, out)

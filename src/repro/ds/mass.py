@@ -473,11 +473,31 @@ class MassFunction:
     def __hash__(self) -> int:
         return hash(frozenset(self._resolved_masses().items()))
 
+    @classmethod
+    def _from_state(
+        cls, masses: dict, frame: FrameOfDiscernment | None
+    ) -> "MassFunction":
+        """Rebuild from pickled state without re-validating.
+
+        The state came out of a live instance's :meth:`__reduce__`, so
+        the masses are already coerced, canonicalized and total-checked
+        -- repeating that work made unpickling ~5x slower than the
+        pickle itself, which dominated the wire cost of shipping
+        evidence batches to remote executor workers
+        (:mod:`repro.exec.remote`).
+        """
+        self = object.__new__(cls)
+        self._masses = masses
+        self._frame = frame
+        self._compiled = None
+        return self
+
     def __reduce__(self):
-        # Pickle/deepcopy through the constructor: the compiled kernel
-        # form (interned frame, masks) is a cache, re-derived on demand,
-        # and must not be duplicated into the serialized state.
-        return (MassFunction, (self._mass_dict(), self._frame))
+        # Pickle/deepcopy through _from_state: the values were validated
+        # at construction, and the compiled kernel form (interned frame,
+        # masks) is a cache, re-derived on demand, that must not be
+        # duplicated into the serialized state.
+        return (MassFunction._from_state, (dict(self._mass_dict()), self._frame))
 
     def __repr__(self) -> str:
         from repro.ds.notation import format_evidence

@@ -11,7 +11,9 @@ The exceptions mirror the layers of the system:
   :class:`MembershipError`, :class:`RelationError`),
 * algebra layer (:class:`PredicateError`, :class:`OperationError`),
 * query layer (:class:`QueryError` and its lexing/parsing/planning
-  subclasses, plus :class:`ExecutionError` for the physical layer),
+  subclasses, plus :class:`ExecutionError` for the physical layer and
+  its :class:`ConfigError` / :class:`ProtocolError` /
+  :class:`TaskDecodeError` refinements),
 * integration layer (:class:`IntegrationError`),
 * storage layer (:class:`SerializationError`, :class:`CatalogError`).
 """
@@ -136,6 +138,40 @@ class PlanError(QueryError):
 class ExecutionError(ReproError):
     """The physical execution layer was misconfigured (unknown executor
     kind, invalid worker or partition count)."""
+
+
+class ConfigError(ExecutionError):
+    """An execution-layer configuration value is invalid.
+
+    Raised by :func:`repro.exec.configure` and the ``REPRO_EXECUTOR`` /
+    ``REPRO_WORKERS`` / ``REPRO_PARTITIONS`` / ``REPRO_WORKERS_ADDRS``
+    environment parsing; the message always names the accepted values
+    (``serial|thread|process|auto|remote``) so an operator sees the fix,
+    not just the failure.  Subclasses :class:`ExecutionError`, so
+    existing handlers keep working.
+    """
+
+
+class ProtocolError(ExecutionError):
+    """The remote-execution wire protocol was violated.
+
+    Raised by :mod:`repro.exec.remote.protocol` on a truncated frame,
+    bad magic, version mismatch, CRC failure or undecodable payload.
+    The coordinator treats it as a transport failure: the worker is
+    declared dead and the chunk is re-scattered to a survivor.
+    """
+
+
+class TaskDecodeError(ExecutionError):
+    """A worker daemon could not unpickle a shipped task.
+
+    Typically the task function lives in a module the daemon cannot
+    import (a test module, a ``__main__`` script) -- pickling by
+    reference succeeded on the coordinator but the reference does not
+    resolve on the worker.  This says nothing bad about the worker or
+    the task, so the coordinator treats the batch as unshippable and
+    runs it locally instead of retrying or failing.
+    """
 
 
 # ---------------------------------------------------------------------------

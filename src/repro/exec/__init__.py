@@ -17,6 +17,10 @@ a pluggable worker pool:
 * :mod:`repro.exec.warmpool` -- the persistent warm ``fork`` worker
   pool (compact task encoding) behind
   :meth:`Executor.map_encoded`, disabled via ``REPRO_WARM_POOL=0``;
+* :mod:`repro.exec.remote` -- distributed shard-by-key execution:
+  ``REPRO_EXECUTOR=remote`` scatters encoded batches to socket worker
+  daemons (``REPRO_WORKERS_ADDRS``), gathers in exact serial order,
+  and retries dead workers' chunks on survivors;
 * :mod:`repro.exec.rewrite` -- the logical rewrite-pass pipeline
   (selection fusion/pushdown, projection pruning) run before lowering,
   so physical operators see normalized plans;
@@ -60,7 +64,9 @@ from repro.model.relation import partition_index
 
 # The physical/rewrite halves import the plan IR, whose algebra imports
 # the executors above -- so they are exposed lazily to keep the package
-# importable from either end of that chain.
+# importable from either end of that chain.  The remote half is lazy
+# for a different reason: importing it registers its metrics and pulls
+# in the socket machinery, which serial-only processes never need.
 _LAZY = {
     "PhysicalOperator": "repro.exec.physical",
     "apply_node": "repro.exec.physical",
@@ -70,6 +76,11 @@ _LAZY = {
     "PassPipeline": "repro.exec.rewrite",
     "RewritePass": "repro.exec.rewrite",
     "default_pipeline": "repro.exec.rewrite",
+    "LocalCluster": "repro.exec.remote",
+    "RemoteExecutor": "repro.exec.remote",
+    "WorkerClient": "repro.exec.remote",
+    "WorkerServer": "repro.exec.remote",
+    "spawn_local_cluster": "repro.exec.remote",
 }
 
 
@@ -88,14 +99,18 @@ __all__ = [
     "ExecConfig",
     "ExecStats",
     "Executor",
+    "LocalCluster",
     "WorkloadProfile",
     "cost",
     "PassPipeline",
     "PhysicalOperator",
     "ProcessExecutor",
+    "RemoteExecutor",
     "RewritePass",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkerClient",
+    "WorkerServer",
     "apply_node",
     "configure",
     "current_config",
@@ -108,4 +123,5 @@ __all__ = [
     "partition_count",
     "partition_index",
     "run_plan",
+    "spawn_local_cluster",
 ]

@@ -80,6 +80,17 @@ THREAD_PARALLEL_FRACTION = 0.35
 PROCESS_BATCH_COST = 1500.0
 PROCESS_TASK_COST = 300.0
 PROCESS_SHIP_COST = 4.0
+#: Remote tier (``REPRO_EXECUTOR=remote``): per-batch encode/scatter
+#: setup, per-chunk framing, plus the *measured* inputs -- round-trip
+#: latency from heartbeats and bytes-on-wire per item from shipped
+#: batches (:func:`note_remote_sample`) -- so the gate prices the
+#: actual network, not a guess.  Until samples accrue the defaults
+#: model a loopback cluster.
+REMOTE_BATCH_COST = 2000.0
+REMOTE_CHUNK_COST = 500.0
+REMOTE_BYTE_COST = 0.001
+DEFAULT_REMOTE_RTT = 0.0005
+DEFAULT_REMOTE_BYTES_PER_ITEM = 512.0
 #: Floor on the useful work one parallel task should carry; partition
 #: counts are capped so tasks stay at least this expensive.
 MIN_TASK_COST = {"thread": 2000.0, "process": 10000.0}
@@ -210,6 +221,108 @@ def decide(profile: WorkloadProfile, workers: int) -> Decision:
             )
             reason = f"process workers win at {process_p} partitions"
     return Decision(best_kind, best_partitions, total, reason)
+
+
+# -- the remote tier ----------------------------------------------------------
+
+#: EWMA smoothing for the remote-tier observations; a handful of
+#: samples dominates the default, one outlier does not.
+REMOTE_EWMA_ALPHA = 0.3
+
+#: Measured remote-tier inputs, EWMA-smoothed.  Written by the
+#: coordinator's heartbeat and dispatch paths from multiple threads,
+#: so every write happens under :data:`_REMOTE_LOCK`.
+_REMOTE_LOCK = threading.Lock()
+_remote_rtt: float | None = None
+_remote_bytes_per_item: float | None = None
+
+
+def note_remote_sample(
+    rtt_seconds: float | None = None,
+    bytes_per_item: float | None = None,
+) -> None:
+    """Feed the remote tier one measurement (either or both inputs).
+
+    *rtt_seconds* comes from heartbeat PING/PONG round trips (pure
+    latency -- chunk round trips include compute and would poison the
+    signal); *bytes_per_item* from the framed size of shipped batches.
+    """
+    global _remote_rtt, _remote_bytes_per_item
+    with _REMOTE_LOCK:
+        if rtt_seconds is not None and rtt_seconds >= 0.0:
+            if _remote_rtt is None:
+                _remote_rtt = float(rtt_seconds)
+            else:
+                _remote_rtt += REMOTE_EWMA_ALPHA * (
+                    float(rtt_seconds) - _remote_rtt
+                )
+        if bytes_per_item is not None and bytes_per_item >= 0.0:
+            if _remote_bytes_per_item is None:
+                _remote_bytes_per_item = float(bytes_per_item)
+            else:
+                _remote_bytes_per_item += REMOTE_EWMA_ALPHA * (
+                    float(bytes_per_item) - _remote_bytes_per_item
+                )
+
+
+def reset_remote_samples() -> None:
+    """Forget the observed RTT/bytes (tests; a new cluster topology)."""
+    global _remote_rtt, _remote_bytes_per_item
+    with _REMOTE_LOCK:
+        _remote_rtt = None
+        _remote_bytes_per_item = None
+
+
+def observed_remote_rtt() -> float:
+    """The smoothed heartbeat RTT in seconds (default: loopback-ish)."""
+    with _REMOTE_LOCK:
+        return DEFAULT_REMOTE_RTT if _remote_rtt is None else _remote_rtt
+
+
+def observed_remote_bytes_per_item() -> float:
+    """The smoothed wire bytes per shipped item (default: a small tuple)."""
+    with _REMOTE_LOCK:
+        return (
+            DEFAULT_REMOTE_BYTES_PER_ITEM
+            if _remote_bytes_per_item is None
+            else _remote_bytes_per_item
+        )
+
+
+def remote_cost(profile: WorkloadProfile, workers: int) -> float:
+    """Estimated cost of scattering *profile* across *workers* daemons.
+
+    ``batch setup + per-chunk framing + one smoothed round trip +
+    serialization per item + the compute divided across workers`` --
+    cost units are microseconds, so the measured RTT converts at 1e6.
+    Chunk round trips overlap across connections, so latency is paid
+    once on the critical path, not once per chunk.
+    """
+    entities = max(int(profile.entities), 0)
+    total = estimate(profile)
+    chunks = min(max(int(workers), 1), max(entities, 1))
+    rtt_units = observed_remote_rtt() * 1e6
+    ship = entities * observed_remote_bytes_per_item() * REMOTE_BYTE_COST
+    return (
+        REMOTE_BATCH_COST
+        + chunks * REMOTE_CHUNK_COST
+        + rtt_units
+        + ship
+        + total / chunks
+    )
+
+
+def remote_worthwhile(size: int, workers: int) -> bool:
+    """Should a *size*-item batch leave the process?
+
+    ``True`` when the remote estimate strictly beats the serial one
+    under the active :func:`workload` hint -- the same tie-breaking
+    rule :func:`decide` uses, so cheap batches never pay the wire.
+    """
+    if size <= 1 or workers < 1:
+        return False
+    profile = profile_for(size)
+    return remote_cost(profile, workers) < estimate(profile)
 
 
 # -- observed inputs and per-thread hints -------------------------------------

@@ -46,6 +46,7 @@ property tests in ``tests/exec`` assert this).
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 
@@ -54,12 +55,14 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 
 from repro.counters import ThreadLocalCounters
-from repro.errors import ExecutionError
+from repro.errors import ConfigError, ExecutionError
 from repro.obs import tracing
 from repro.obs.registry import registry as _metrics_registry
 
-#: Accepted executor kinds (``auto`` defers to the cost model per batch).
-EXECUTOR_KINDS = ("serial", "thread", "process", "auto")
+#: Accepted executor kinds (``auto`` defers to the cost model per
+#: batch; ``remote`` scatters across socket worker daemons, see
+#: :mod:`repro.exec.remote`).
+EXECUTOR_KINDS = ("serial", "thread", "process", "auto", "remote")
 
 
 @dataclass
@@ -144,6 +147,22 @@ _metrics_registry().register_source(
 def exec_stats() -> ExecStats:
     """The process-wide :data:`STATS` object (live, not a copy)."""
     return STATS
+
+
+def note_inline_batch() -> None:
+    """Count a batch the calling executor ran inline (no fan-out).
+
+    Owning-layer entry point for executors living in subpackages (the
+    remote coordinator): they report through here rather than bumping
+    :data:`STATS` from another package.
+    """
+    STATS.bump("inline_batches")
+
+
+def note_parallel_batch(tasks: int) -> None:
+    """Count a fanned-out batch of *tasks* items (see :func:`note_inline_batch`)."""
+    STATS.bump("parallel_batches")
+    STATS.bump("tasks", tasks)
 
 
 # -- nested-task guard --------------------------------------------------------
@@ -465,20 +484,38 @@ def _env_int(name: str) -> int | None:
     try:
         return int(raw)
     except ValueError:
-        raise ExecutionError(
+        raise ConfigError(
             f"{name} must be an integer, got {raw!r}"
         ) from None
+
+
+def _default_workers(kind: str) -> int:
+    """The worker count a *kind* gets when none is configured.
+
+    Serial needs one; the remote executor defaults to one worker per
+    configured ``REPRO_WORKERS_ADDRS`` address (the natural scatter
+    width) and falls back to the CPU count with no cluster configured;
+    everything else takes the CPU count.
+    """
+    if kind == "serial":
+        return 1
+    if kind == "remote":
+        raw = os.environ.get("REPRO_WORKERS_ADDRS", "")
+        addresses = [part for part in raw.split(",") if part.strip()]
+        if addresses:
+            return len(addresses)
+    return os.cpu_count() or 1
 
 
 def _config_from_env() -> ExecConfig:
     kind = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
     if kind not in EXECUTOR_KINDS:
-        raise ExecutionError(
+        raise ConfigError(
             f"REPRO_EXECUTOR must be one of {EXECUTOR_KINDS}, got {kind!r}"
         )
     workers = _env_int("REPRO_WORKERS")
     if workers is None or workers <= 0:
-        workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+        workers = _default_workers(kind)
     return ExecConfig(kind, workers, _env_int("REPRO_PARTITIONS"))
 
 
@@ -504,6 +541,10 @@ def _build_executor(config: ExecConfig) -> Executor:
         return ThreadExecutor(config.workers)
     if config.kind == "auto":
         return AdaptiveExecutor(config.workers)
+    if config.kind == "remote":
+        from repro.exec.remote import RemoteExecutor
+
+        return RemoteExecutor(config.workers)
     return ProcessExecutor(config.workers)
 
 
@@ -528,18 +569,18 @@ def configure(
     current = _current()
     kind = current.kind if executor is None else str(executor).strip().lower()
     if kind not in EXECUTOR_KINDS:
-        raise ExecutionError(
+        raise ConfigError(
             f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
         )
     if workers is None:
         if kind == current.kind:
             workers = current.workers
         else:
-            workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+            workers = _default_workers(kind)
     if workers < 1:
-        raise ExecutionError(f"workers must be >= 1, got {workers!r}")
+        raise ConfigError(f"workers must be >= 1, got {workers!r}")
     if partitions is not None and partitions < 1:
-        raise ExecutionError(f"partitions must be >= 1, got {partitions!r}")
+        raise ConfigError(f"partitions must be >= 1, got {partitions!r}")
     if _executor is not None:
         _executor.close()
     _config = ExecConfig(kind, int(workers), partitions)
@@ -558,6 +599,25 @@ def get_executor() -> Executor:
     if _executor is None:
         _executor = _build_executor(_current())
     return _executor
+
+
+def _shutdown_at_exit() -> None:
+    """Close the global executor when the interpreter exits.
+
+    A session that never calls ``close()`` explicitly would otherwise
+    leak pool threads and remote connections past its useful life;
+    every executor's ``close()`` is idempotent, so this hook is safe to
+    run after (or race with) an explicit close.  The warm fork pool has
+    its own hook (:mod:`repro.exec.warmpool`) because it deliberately
+    outlives any one executor.
+    """
+    global _executor
+    executor, _executor = _executor, None
+    if executor is not None:
+        executor.close()
+
+
+atexit.register(_shutdown_at_exit)
 
 
 def partition_count(size: int) -> int:

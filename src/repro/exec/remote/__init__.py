@@ -1,0 +1,60 @@
+"""repro.exec.remote -- distributed shard-by-key execution over sockets.
+
+The executor abstraction (:mod:`repro.exec.executors`) historically
+stopped at one host: serial, thread-pool and fork process-pool
+executors all spend the same machine.  This package carries the same
+``Executor`` contract across a wire:
+
+* :mod:`repro.exec.remote.protocol` -- the length-prefixed, CRC-checked
+  binary framing both ends speak.  Batches reuse the warm pool's
+  compact task encoding (:meth:`Executor.map_encoded`): ``(fn, common)``
+  pickled once per batch and reused for every chunk frame, per-chunk
+  item blobs, and reply frames that ship results *plus* the worker-side
+  kernel-stats deltas and tracing spans, so telemetry crosses the wire
+  with the data.
+* :mod:`repro.exec.remote.worker` -- the worker daemon
+  (``repro worker serve HOST:PORT``): accepts connections, runs batch
+  frames through the local machinery (optionally fanned over a local
+  warm pool with ``--pool-workers``), and answers heartbeats.
+  :func:`spawn_local_cluster` forks *n* daemons on loopback ports for
+  tests, benchmarks and ``repro worker run``.
+* :mod:`repro.exec.remote.coordinator` -- :class:`RemoteExecutor`, the
+  ``Executor`` that scatters encoded partition batches across the
+  configured workers (``REPRO_WORKERS_ADDRS``), gathers results in
+  exact serial order, retries a dead worker's chunks on survivors with
+  backoff, and transparently falls back to the local adaptive executor
+  when a payload cannot pickle or the cluster is gone.  Batches the
+  cost model (:mod:`repro.exec.cost`, remote tier) prices below the
+  wire overhead never leave the process.
+
+Whatever the cluster size and whatever fails mid-batch, the equivalence
+contract of :mod:`repro.exec` holds: results equal the serial path
+exactly -- same tuples, same order, exact Fractions, bit-for-bit floats
+(property-tested in ``tests/exec``).  Activity surfaces as the
+``exec.remote.*`` metrics in the :mod:`repro.obs` registry.
+"""
+
+from repro.exec.remote.coordinator import RemoteExecutor, WorkerClient
+from repro.exec.remote.protocol import (
+    FrameKind,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.exec.remote.worker import (
+    LocalCluster,
+    WorkerServer,
+    spawn_local_cluster,
+)
+
+__all__ = [
+    "FrameKind",
+    "LocalCluster",
+    "ProtocolError",
+    "RemoteExecutor",
+    "WorkerClient",
+    "WorkerServer",
+    "recv_frame",
+    "send_frame",
+    "spawn_local_cluster",
+]

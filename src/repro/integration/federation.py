@@ -94,6 +94,37 @@ def _tree_fold(
     return layer[0][1], steps
 
 
+def _integrate_shard(common, row):
+    """Fold one shard row: the per-partition task of the sharded fold.
+
+    Module-level and fully picklable so the batch can ship through
+    :meth:`Executor.map_encoded` -- including across a wire to remote
+    worker daemons (:mod:`repro.exec.remote`).  *common* is the
+    per-batch constant ``(merger, name, metas)`` where ``metas`` pairs
+    each source's name with its reliability, aligned with *row*'s
+    shards.  Returns ``((relation, steps), survivors, error)`` with
+    *error* carrying a mid-fold :class:`TotalConflictError` instead of
+    raising it, so which shard conflicts first stays
+    executor-independent.
+    """
+    merger, name, metas = common
+    layer = []
+    survivors = []
+    for (source_name, reliability), shard in zip(metas, row):
+        relation = (
+            shard
+            if reliability == 1
+            else _discount_relation(shard, reliability)
+        )
+        layer.append((source_name, relation))
+        survivors.append(frozenset(relation.keys()))
+    try:
+        relation, steps = _tree_fold(merger, layer, name)
+    except TotalConflictError as exc:
+        return None, survivors, exc
+    return (relation, steps), survivors, None
+
+
 def _serial_fold_order(
     source_orders: list[list[tuple]], dropped_per_step: list[set]
 ) -> list[tuple]:
@@ -232,25 +263,26 @@ class Federation:
         shard_rows = list(
             zip(*[source.relation.partitions(n) for source in sources])
         )
+        common = (
+            merger,
+            name,
+            tuple((source.name, source.reliability) for source in sources),
+        )
+        executor = get_executor()
+        if executor.kind == "remote":
+            # The encoded path: shard rows and the (merger, name, metas)
+            # header are picklable by construction, so the fold can
+            # scatter across worker daemons; in-process executors keep
+            # the closure path below (nothing to pickle).
+            outcomes = executor.map_encoded(
+                _integrate_shard, common, shard_rows
+            )
+        else:
 
-        def shard_task(row):
-            layer = []
-            survivors = []
-            for source, shard in zip(sources, row):
-                relation = (
-                    shard
-                    if source.reliability == 1
-                    else _discount_relation(shard, source.reliability)
-                )
-                layer.append((source.name, relation))
-                survivors.append(frozenset(relation.keys()))
-            try:
-                relation, steps = _tree_fold(merger, layer, name)
-            except TotalConflictError as exc:
-                return None, survivors, exc
-            return (relation, steps), survivors, None
+            def shard_task(row):
+                return _integrate_shard(common, row)
 
-        outcomes = get_executor().map(shard_task, shard_rows)
+            outcomes = executor.map(shard_task, shard_rows)
         if any(error is not None for _, _, error in outcomes):
             # A raise-policy conflict aborts the integration anyway, so
             # re-run the serial fold to surface the exact error the

@@ -32,6 +32,15 @@ exec.warmpool.tasks                     counter    items shipped to warm workers
 exec.warmpool.spawns                    counter    warm pool (re)creations -- forks actually paid
 exec.warmpool.fallbacks                 counter    unpicklable batches sent back to fork-per-batch
 exec.warmpool.dispatch_seconds          histogram  warm-pool batch dispatch latency
+exec.remote.batches                     counter    batches scattered to remote workers
+exec.remote.tasks                       counter    items shipped to remote workers
+exec.remote.bytes_sent                  counter    payload bytes put on the wire
+exec.remote.bytes_received              counter    payload bytes read off the wire
+exec.remote.retries                     counter    chunks re-scattered after a transport failure
+exec.remote.worker_deaths               counter    workers declared dead mid-batch
+exec.remote.fallbacks                   counter    batches run locally (no workers / unpicklable)
+exec.remote.local_batches               counter    batches the cost model kept below the wire
+exec.remote.rtt_seconds                 histogram  per-chunk round-trip latency
 session.queries                         counter    queries executed, summed over live sessions
 session.plans_built                     counter    plans compiled (cache misses)
 session.plan_cache_hits                 counter    plan-cache hits
@@ -71,7 +80,8 @@ storage.log.autocompactions             counter    journal compactions triggered
 ``<scheme>`` is the backend scheme (``json``/``sqlite``/``log``);
 ``<name>`` is the caller-chosen stream source name.  Span names mirror
 the layer prefixes: ``session.execute``, ``physical.<op>``,
-``exec.map``, ``stream.flush``, ``storage.<op>``.
+``exec.map``, ``exec.remote.scatter``, ``stream.flush``,
+``storage.<op>``.
 """
 
 from repro.obs.profile import FlushProfile, NodeProfile, QueryProfile

@@ -838,7 +838,7 @@ class StreamEngine:
         merger, schema = self._merger, self._schema
 
         batch_baseline = KERNEL_STATS.snapshot()
-        if executor.kind in ("process", "auto"):
+        if executor.kind in ("process", "auto", "remote"):
             # Compact task encoding for the warm pool: ship each
             # entity's surviving parts rather than the EntityState
             # graph, with the merger/schema/order pickled once for the

@@ -98,6 +98,24 @@ class TestConcChecker:
         result = analyze([tmp_path], checkers=[ConcChecker()])
         assert result.findings == []
 
+    def test_sockets_shipped_through_wire_dispatches_flagged(self, tmp_path):
+        place(tmp_path, "conc_socket_bad.py", "repro/exec/conc_socket_bad.py")
+        result = analyze([tmp_path], checkers=[ConcChecker()])
+        rules = rules_of(result)
+        # the assigned socket into submit_batch, the lambda capture into
+        # map_encoded, and the with-bound socket into submit_batch (by
+        # keyword) -- three CONC003s, and nothing misfiled as CONC002
+        assert rules == ["CONC003", "CONC003", "CONC003"]
+        messages = [f.message for f in result.findings]
+        assert any("connection" in message for message in messages)
+        assert any("lambda" in message for message in messages)
+        assert any("wire" in message for message in messages)
+
+    def test_worker_side_connects_and_thread_submits_are_clean(self, tmp_path):
+        place(tmp_path, "conc_socket_good.py", "repro/exec/conc_socket_good.py")
+        result = analyze([tmp_path], checkers=[ConcChecker()])
+        assert result.findings == []
+
 
 class TestBackendChecker:
     def test_incomplete_and_forgetful_backends_flagged(self, tmp_path):

@@ -1,0 +1,61 @@
+"""Shared fixtures for the executor suites: loopback worker clusters.
+
+The remote tests need real daemons on real sockets.  The cluster
+fixture is session-scoped so hypothesis ``@given`` tests may use it
+(function-scoped fixtures are rejected there), and because forking a
+daemon per test would dominate the suite's runtime.  Fault-injection
+tests that kill workers spawn their own throwaway clusters instead.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import pytest
+
+
+@contextlib.contextmanager
+def _remote_env(addr_spec: str, threshold: str | None = "0"):
+    """Point ``REPRO_WORKERS_ADDRS`` at *addr_spec* for the duration.
+
+    *threshold* pins ``REPRO_REMOTE_THRESHOLD`` (``"0"`` forces every
+    batch onto the wire -- the default here, so tests exercise the
+    sockets rather than the cost gate); ``None`` leaves the cost model
+    in charge.
+    """
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_WORKERS_ADDRS", "REPRO_REMOTE_THRESHOLD")
+    }
+    os.environ["REPRO_WORKERS_ADDRS"] = addr_spec
+    if threshold is None:
+        os.environ.pop("REPRO_REMOTE_THRESHOLD", None)
+    else:
+        os.environ["REPRO_REMOTE_THRESHOLD"] = threshold
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@pytest.fixture(scope="session")
+def remote_env():
+    """The :func:`_remote_env` context manager, as a fixture."""
+    return _remote_env
+
+
+@pytest.fixture(scope="session")
+def remote_cluster():
+    """Two loopback worker daemons shared by the whole session."""
+    from repro.exec.remote import spawn_local_cluster
+
+    cluster = spawn_local_cluster(2)
+    try:
+        yield cluster
+    finally:
+        cluster.stop()

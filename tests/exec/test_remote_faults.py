@@ -1,0 +1,190 @@
+"""Fault injection: the cluster misbehaves, the results never do.
+
+Every test computes the same batch serially first and requires the
+faulted remote run to be **bit-for-bit identical** -- fault tolerance
+that changed answers would be worse than crashing.  Faults injected:
+
+* a worker process killed mid-batch (``SIGTERM`` while its chunk is in
+  flight);
+* a fake worker that accepts the connection and drops it without
+  replying;
+* a fake worker that replies with a deliberately truncated frame.
+
+In each case the coordinator must declare the worker dead, re-scatter
+the chunk to a survivor (counted in ``exec.remote.retries``), and --
+when nothing survives -- finish the batch locally.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.exec.remote import RemoteExecutor, protocol, spawn_local_cluster
+from repro.obs.registry import registry
+
+
+def _metric(name: str) -> int:
+    return registry().collect()[name]
+
+
+def _slow_square(common, item):
+    time.sleep(common)
+    return item * item
+
+
+def _square(common, item):
+    return item * item
+
+
+# -- fake workers -------------------------------------------------------------
+
+
+class _FakeWorker:
+    """A listener that handshakes like a worker, then sabotages BATCH.
+
+    *mode* is ``"drop"`` (close the connection instead of replying) or
+    ``"truncate"`` (send a frame header promising more payload bytes
+    than follow, then close).  Either way the coordinator sees a
+    transport failure, never a result.
+    """
+
+    def __init__(self, mode: str):
+        self.mode = mode
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        host, port = self._listener.getsockname()
+        self.address = f"{host}:{port}"
+        self.batches_seen = 0
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                connection, _peer = self._listener.accept()
+            except OSError:
+                return
+            try:
+                while True:
+                    kind, _payload, _ = protocol.recv_frame(connection)
+                    if kind == protocol.FrameKind.HELLO:
+                        protocol.send_frame(
+                            connection,
+                            protocol.FrameKind.HELLO_REPLY,
+                            protocol.encode_info({"pid": -1}),
+                        )
+                    elif kind == protocol.FrameKind.PING:
+                        protocol.send_frame(
+                            connection, protocol.FrameKind.PONG, b""
+                        )
+                    elif kind == protocol.FrameKind.BATCH:
+                        self.batches_seen += 1
+                        if self.mode == "truncate":
+                            payload = b"never fully sent"
+                            header = protocol._HEADER.pack(
+                                protocol.MAGIC,
+                                protocol.VERSION,
+                                int(protocol.FrameKind.RESULT),
+                                len(payload) * 4,
+                                0,
+                            )
+                            connection.sendall(header + payload)
+                        break  # drop the connection mid-exchange
+            except Exception:
+                pass
+            finally:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+
+    def stop(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+# -- worker death -------------------------------------------------------------
+
+
+def test_kill_worker_mid_batch_retries_on_survivor(remote_env):
+    items = list(range(8))
+    expected = [item * item for item in items]
+    with spawn_local_cluster(2) as cluster:
+        with remote_env(cluster.addr_spec):
+            executor = RemoteExecutor()
+            try:
+                # Warm the connections so the kill lands mid-batch, not
+                # mid-handshake.
+                assert executor.map_encoded(_square, None, items) == expected
+                retries = _metric("exec.remote.retries")
+                deaths = _metric("exec.remote.worker_deaths")
+                killer = threading.Timer(
+                    0.15, cluster.kill_worker, args=(0,)
+                )
+                killer.start()
+                try:
+                    results = executor.map_encoded(_slow_square, 0.1, items)
+                finally:
+                    killer.cancel()
+                assert results == expected
+                assert _metric("exec.remote.worker_deaths") > deaths
+                assert _metric("exec.remote.retries") > retries
+            finally:
+                executor.close()
+
+
+def test_whole_cluster_gone_finishes_locally(remote_env):
+    items = list(range(6))
+    expected = [item * item for item in items]
+    with spawn_local_cluster(2) as cluster:
+        with remote_env(cluster.addr_spec):
+            executor = RemoteExecutor()
+            try:
+                assert executor.map_encoded(_square, None, items) == expected
+                cluster.kill_worker(0)
+                cluster.kill_worker(1)
+                # Both peers are gone: the chunks must complete locally,
+                # quietly, and exactly.
+                assert executor.map_encoded(_square, None, items) == expected
+            finally:
+                executor.close()
+
+
+# -- transport sabotage -------------------------------------------------------
+
+
+def _faulted_run(remote_env, mode: str) -> None:
+    """One real worker plus one fake *mode* worker: results stay exact."""
+    items = list(range(10))
+    expected = [item * item for item in items]
+    fake = _FakeWorker(mode)
+    with spawn_local_cluster(1) as cluster:
+        addr_spec = f"{fake.address},{cluster.addr_spec}"
+        with remote_env(addr_spec):
+            executor = RemoteExecutor()
+            try:
+                retries = _metric("exec.remote.retries")
+                deaths = _metric("exec.remote.worker_deaths")
+                results = executor.map_encoded(_square, None, items)
+                assert results == expected
+                assert fake.batches_seen >= 1, (
+                    "the fake worker must have been offered a chunk"
+                )
+                assert _metric("exec.remote.worker_deaths") > deaths
+                assert _metric("exec.remote.retries") > retries
+            finally:
+                executor.close()
+                fake.stop()
+
+
+def test_dropped_connection_retries_on_survivor(remote_env):
+    _faulted_run(remote_env, "drop")
+
+
+def test_truncated_frame_retries_on_survivor(remote_env):
+    _faulted_run(remote_env, "truncate")

@@ -1,0 +1,208 @@
+"""Wire-level tests: framing, CRC, truncation, and payload codecs."""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ExecutionError, ProtocolError
+from repro.exec.remote import protocol
+from repro.exec.remote.protocol import FrameKind
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    return left, right
+
+
+# -- frames -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", list(FrameKind))
+@pytest.mark.parametrize("payload", [b"", b"x", b"a" * 5000])
+def test_frame_round_trip(kind, payload):
+    left, right = _pair()
+    try:
+        sent = protocol.send_frame(left, kind, payload)
+        got_kind, got_payload, received = protocol.recv_frame(right)
+        assert got_kind is kind
+        assert got_payload == payload
+        assert sent == received == protocol._HEADER.size + len(payload)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_bad_magic_rejected():
+    left, right = _pair()
+    try:
+        frame = protocol._HEADER.pack(b"ZZ", 1, int(FrameKind.PING), 0, 0)
+        left.sendall(frame)
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_version_mismatch_rejected():
+    left, right = _pair()
+    try:
+        frame = protocol._HEADER.pack(b"RX", 99, int(FrameKind.PING), 0, 0)
+        left.sendall(frame)
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_unknown_frame_kind_rejected():
+    left, right = _pair()
+    try:
+        frame = protocol._HEADER.pack(b"RX", 1, 200, 0, 0)
+        left.sendall(frame)
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            protocol.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_oversized_length_rejected():
+    left, right = _pair()
+    try:
+        frame = protocol._HEADER.pack(
+            b"RX", 1, int(FrameKind.BATCH), protocol.MAX_PAYLOAD_BYTES + 1, 0
+        )
+        left.sendall(frame)
+        with pytest.raises(ProtocolError, match="oversized"):
+            protocol.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_crc_mismatch_rejected():
+    left, right = _pair()
+    try:
+        payload = b"payload bytes"
+        header = protocol._HEADER.pack(
+            b"RX",
+            1,
+            int(FrameKind.RESULT),
+            len(payload),
+            zlib.crc32(payload) ^ 0xFFFF,
+        )
+        left.sendall(header + payload)
+        with pytest.raises(ProtocolError, match="CRC mismatch"):
+            protocol.recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_truncated_header_raises():
+    left, right = _pair()
+    try:
+        left.sendall(b"RX\x01")  # 3 of 12 header bytes, then gone
+        left.close()
+        with pytest.raises(ProtocolError, match="closed mid-frame"):
+            protocol.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_truncated_payload_raises():
+    left, right = _pair()
+    try:
+        payload = b"only half arrives"
+        header = protocol._HEADER.pack(
+            b"RX", 1, int(FrameKind.RESULT), len(payload) * 2, 0
+        )
+        left.sendall(header + payload)
+        left.close()
+        with pytest.raises(ProtocolError, match="closed mid-frame"):
+            protocol.recv_frame(right)
+    finally:
+        right.close()
+
+
+# -- batch / result payloads --------------------------------------------------
+
+
+def test_batch_payload_round_trip():
+    common = protocol.encode_common(len, "unused-common")
+    chunk = protocol.encode_chunk([1, "two", 3.0])
+    for trace in (False, True):
+        payload = protocol.encode_batch(common, chunk, trace)
+        got_common, got_chunk, got_trace = protocol.decode_batch(payload)
+        assert got_common == common
+        assert got_chunk == chunk
+        assert got_trace is trace
+
+
+def test_batch_payload_truncation_detected():
+    with pytest.raises(ProtocolError, match="shorter than its own header"):
+        protocol.decode_batch(b"\x00\x00")
+    common = protocol.encode_common(len, None)
+    payload = protocol.encode_batch(common, b"", False)
+    with pytest.raises(ProtocolError, match="truncated inside the common"):
+        protocol.decode_batch(payload[: 1 + 4 + len(common) // 2])
+
+
+def test_result_round_trip():
+    payload = protocol.encode_result([1, 2, 3], (4, 5, 6), ["span"])
+    assert protocol.decode_result(payload) == ([1, 2, 3], (4, 5, 6), ["span"])
+
+
+def test_undecodable_result_raises():
+    with pytest.raises(ProtocolError, match="undecodable RESULT"):
+        protocol.decode_result(b"not a pickle")
+
+
+def test_error_round_trip():
+    carried = protocol.decode_error(
+        protocol.encode_error(ValueError("task went wrong"))
+    )
+    assert isinstance(carried, ValueError)
+    assert "task went wrong" in str(carried)
+
+
+def test_unpicklable_error_becomes_execution_error():
+    class Unpicklable(Exception):
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    carried = protocol.decode_error(protocol.encode_error(Unpicklable("boom")))
+    assert isinstance(carried, ExecutionError)
+    assert "remote task failed" in str(carried)
+
+
+def test_error_payload_must_be_an_exception():
+    with pytest.raises(ProtocolError, match="not an exception"):
+        protocol.decode_error(pickle.dumps("just a string"))
+    with pytest.raises(ProtocolError, match="undecodable TASK_ERROR"):
+        protocol.decode_error(b"garbage")
+
+
+def test_info_round_trip():
+    info = {"pid": 1234, "pool_workers": 2, "version": protocol.VERSION}
+    assert protocol.decode_info(protocol.encode_info(info)) == info
+    with pytest.raises(ProtocolError, match="not a dict"):
+        protocol.decode_info(pickle.dumps([1, 2]))
+    with pytest.raises(ProtocolError, match="undecodable HELLO_REPLY"):
+        protocol.decode_info(b"\x00garbage")
+
+
+def test_header_layout_is_stable():
+    """The on-wire header is 12 bytes: magic, version, kind, length, crc."""
+    assert protocol._HEADER.size == 12
+    packed = protocol._HEADER.pack(b"RX", 1, 5, 7, 9)
+    assert struct.unpack(">2sBBLL", packed) == (b"RX", 1, 5, 7, 9)

@@ -7,6 +7,8 @@
 #                       adaptive executor (REPRO_EXECUTOR=auto)
 #   make test-remote    the same suite scattered over a 4-worker
 #                       loopback socket cluster (repro worker run)
+#   make test-remote-sharded  the same cluster with per-worker shard
+#                       stores: eligible batches ship entity keys
 #   make bench          run the benchmark harness (timings + assertions)
 #   make bench-stream   incremental-vs-recompute ingestion benchmark
 #   make bench-kernel   kernel-vs-frozenset combination benchmark
@@ -24,9 +26,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:.:$(PYTHONPATH)
 
-.PHONY: test test-parallel test-sqlite test-auto test-remote bench \
-	bench-stream bench-kernel bench-parallel bench-storage \
-	bench-adaptive bench-remote lint lint-analysis quickstart
+.PHONY: test test-parallel test-sqlite test-auto test-remote \
+	test-remote-sharded bench bench-stream bench-kernel bench-parallel \
+	bench-storage bench-adaptive bench-remote lint lint-analysis \
+	quickstart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +48,13 @@ test-auto:
 # down when the suite exits.
 test-remote:
 	$(PYTHON) -m repro.cli worker run -n 4 -- $(PYTHON) -m pytest -x -q
+
+# Same cluster, but every daemon owns a temporary SQLite shard store:
+# batches that can be described as entity keys scatter key lists and
+# workers point-load their rows locally (tuple shipping on fallback).
+test-remote-sharded:
+	$(PYTHON) -m repro.cli worker run -n 4 --store -- \
+		$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only

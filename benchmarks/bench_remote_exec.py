@@ -14,6 +14,11 @@ It also pins the cost gate: a handful-of-items batch must never leave
 the process, whatever the cluster looks like -- the wire threshold is
 what keeps remote execution safe to leave enabled.
 
+The shard-locality claim rides along: against workers owning shard
+stores, a *repeated* integration must ship measurably fewer wire bytes
+as entity keys than as encoded tuples, with both modes bit-for-bit
+equal to serial.
+
 Float masses, as in ``bench_parallel_integration``: exact fractions
 would measure bigint growth rather than the execution layer.
 """
@@ -70,10 +75,19 @@ def serial_result(federation):
     return elapsed, relation
 
 
-def _remote_scope(addr_spec: str, workers: int, threshold: str | None):
+def _remote_scope(
+    addr_spec: str,
+    workers: int,
+    threshold: str | None,
+    locality: str | None = None,
+):
     saved = {
         key: os.environ.get(key)
-        for key in ("REPRO_WORKERS_ADDRS", "REPRO_REMOTE_THRESHOLD")
+        for key in (
+            "REPRO_WORKERS_ADDRS",
+            "REPRO_REMOTE_THRESHOLD",
+            "REPRO_REMOTE_LOCALITY",
+        )
     }
 
     class _Scope:
@@ -83,6 +97,10 @@ def _remote_scope(addr_spec: str, workers: int, threshold: str | None):
                 os.environ.pop("REPRO_REMOTE_THRESHOLD", None)
             else:
                 os.environ["REPRO_REMOTE_THRESHOLD"] = threshold
+            if locality is None:
+                os.environ.pop("REPRO_REMOTE_LOCALITY", None)
+            else:
+                os.environ["REPRO_REMOTE_LOCALITY"] = locality
             self._exec = executor_scope(
                 executor="remote", workers=workers, partitions=workers * 2
             )
@@ -151,6 +169,61 @@ def test_remote_4_workers_beats_serial(federation, serial_result):
     print(f"\n4-worker cluster: {ratio:.2f}x vs serial (floor {RATIO_FLOOR}x)")
     assert relation == serial_relation
     assert ratio >= RATIO_FLOOR
+
+
+def test_keyed_scatter_ships_fewer_bytes_than_tuples(
+    federation, serial_result, bench_record, tmp_path
+):
+    """Shard-resident workers: repeated integrations ship keys, not rows.
+
+    Runs the same federation twice per mode against a 4-worker cluster
+    whose daemons own shard stores: once with locality forced off
+    (PR 9's tuple shipping) and once forced on.  The first keyed run
+    pays the shard sync; the *second* -- the repeated-integration case
+    the locality layer exists for -- must put measurably fewer bytes on
+    the wire than tuple shipping does, while both modes stay bit-for-bit
+    equal to the serial fold.
+    """
+    from repro.exec import cost
+    from repro.exec.remote import spawn_local_cluster
+
+    _, serial_relation = serial_result
+    wire_bytes = {}
+    for mode, label in (("0", "tuple"), ("1", "keyed")):
+        cost.reset_remote_samples()
+        store_dir = tmp_path / label
+        store_dir.mkdir()
+        with spawn_local_cluster(4, store_dir=store_dir) as cluster:
+            with _remote_scope(
+                cluster.addr_spec, 4, threshold="0", locality=mode
+            ):
+                relation, _ = federation.integrate(name="F")
+                assert relation == serial_relation
+                sent_before = registry().collect()["exec.remote.bytes_sent"]
+                hits_before = registry().collect()[
+                    "exec.remote.locality_hits"
+                ]
+                relation, _ = federation.integrate(name="F")
+                collected = registry().collect()
+                sent = collected["exec.remote.bytes_sent"] - sent_before
+                hits = collected["exec.remote.locality_hits"] - hits_before
+        assert relation == serial_relation
+        assert list(relation.keys()) == list(serial_relation.keys())
+        if label == "keyed":
+            assert hits >= 1, "the repeated run must hit the shard stores"
+        wire_bytes[label] = sent
+        bench_record(f"remote_{label}_repeat_bytes_sent", sent)
+    saved = wire_bytes["tuple"] - wire_bytes["keyed"]
+    print(
+        f"\nrepeated integrate, bytes sent: tuple {wire_bytes['tuple']}, "
+        f"keyed {wire_bytes['keyed']} ({saved} saved)"
+    )
+    bench_record("remote_keyed_repeat_bytes_saved", saved)
+    assert wire_bytes["keyed"] < wire_bytes["tuple"], (
+        f"key-only scatter must ship fewer bytes than tuple shipping at "
+        f"{N_ENTITIES} entities per source: keyed {wire_bytes['keyed']} "
+        f">= tuple {wire_bytes['tuple']}"
+    )
 
 
 def test_sub_threshold_batches_never_leave_the_process(bench_record):

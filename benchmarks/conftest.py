@@ -7,16 +7,20 @@ doubles as an end-to-end verification run.
 
 Headline numbers also land in ``BENCH_RESULTS.json`` at the repo root
 (override with ``BENCH_RESULTS_PATH``): benches call the
-:func:`bench_record` fixture with ``(metric, value)`` pairs and the
-session-finish hook read-modify-writes the JSON list, replacing any
-stale records of the benches that just ran.  CI uploads the file as an
-artifact, so every build leaves a machine-readable performance trail.
+:func:`bench_record` fixture with ``(metric, value)`` pairs, every
+record is stamped with the git revision it measured (``rev``, None
+outside a checkout), and the session-finish hook read-modify-writes the
+JSON list, replacing any stale records of the benches that just ran.
+:func:`read_results` reads the file back, normalizing pre-stamping
+records to ``rev: None``.  CI uploads the file as an artifact, so every
+build leaves a machine-readable performance trail.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -25,8 +29,49 @@ from repro.datasets.generators import SyntheticConfig, synthetic_pair
 from repro.datasets.restaurants import table_ra, table_rb
 from repro.obs import registry
 
-#: Records accumulated this session: {"bench", "metric", "value"} dicts.
+#: Records accumulated this session: {"bench", "metric", "value", "rev"}.
 _RECORDS: list[dict] = []
+
+_GIT_REVISION: str | None | bool = False  # False = not resolved yet
+
+
+def git_revision() -> str | None:
+    """The working tree's short commit hash (None outside git / no git)."""
+    global _GIT_REVISION
+    if _GIT_REVISION is False:
+        try:
+            _GIT_REVISION = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_REVISION = None
+    return _GIT_REVISION
+
+
+def read_results(path: Path | None = None) -> list[dict]:
+    """``BENCH_RESULTS.json`` as a record list, tolerating old layouts.
+
+    Records written before revision stamping carry no ``rev`` field;
+    they are normalized to ``rev: None`` so readers can rely on the key
+    existing.  A missing or corrupt file reads as an empty list.
+    """
+    target = path if path is not None else _results_path()
+    try:
+        raw = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(raw, list):
+        return []
+    records = []
+    for record in raw:
+        if isinstance(record, dict):
+            records.append({"rev": None, **record})
+    return records
 
 
 def _results_path() -> Path:
@@ -50,7 +95,12 @@ def bench_record(request):
 
     def record(metric: str, value: float) -> None:
         _RECORDS.append(
-            {"bench": bench, "metric": str(metric), "value": float(value)}
+            {
+                "bench": bench,
+                "metric": str(metric),
+                "value": float(value),
+                "rev": git_revision(),
+            }
         )
 
     return record
@@ -60,12 +110,7 @@ def pytest_sessionfinish(session, exitstatus):
     if not _RECORDS:
         return
     path = _results_path()
-    try:
-        existing = json.loads(path.read_text())
-        if not isinstance(existing, list):
-            existing = []
-    except (OSError, ValueError):
-        existing = []
+    existing = read_results(path)
     fresh_benches = {record["bench"] for record in _RECORDS}
     kept = [r for r in existing if r.get("bench") not in fresh_benches]
     path.write_text(json.dumps(kept + _RECORDS, indent=2) + "\n")

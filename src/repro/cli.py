@@ -73,7 +73,9 @@ else JSON).
     loopback cluster of N daemons, executes CMD with the remote
     executor configured against it, and tears the cluster down --
     ``make test-remote`` uses it to drive the tier-1 suite over the
-    wire.
+    wire.  With ``--store`` workers own per-node shard stores and
+    eligible batches ship entity keys instead of tuples
+    (``make test-remote-sharded``).
 
 Exit status: 0 on success, 1 on any :class:`repro.errors.ReproError`
 (message on stderr), 2 on usage errors.
@@ -319,6 +321,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan batches over N local warm-pool processes (default 1)",
     )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help="own a shard store at URL (e.g. sqlite:shards.db): the "
+        "coordinator syncs relation shards here and ships entity keys "
+        "instead of tuples",
+    )
     run = worker_actions.add_parser(
         "run",
         help="spawn a loopback cluster, run CMD against it "
@@ -339,6 +349,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="REPRO_REMOTE_THRESHOLD for the command (default 0: "
         "every batch goes remote)",
+    )
+    run.add_argument(
+        "--store",
+        action="store_true",
+        help="give every worker a temporary SQLite shard store, so "
+        "eligible batches scatter entity keys instead of tuples",
     )
     run.add_argument(
         "cmd",
@@ -695,12 +711,15 @@ def _command_worker(args: argparse.Namespace, out) -> int:
     if args.worker_command == "serve":
         from repro.exec.remote import WorkerServer
 
-        server = WorkerServer(args.address, pool_workers=args.pool_workers)
+        server = WorkerServer(
+            args.address, pool_workers=args.pool_workers, store=args.store
+        )
         server.start()
+        store_note = f", shard store {args.store}" if args.store else ""
         print(
             f"worker serving on {server.address} "
-            f"(pid {os.getpid()}, {args.pool_workers} pool worker(s)); "
-            f"Ctrl-C to stop",
+            f"(pid {os.getpid()}, {args.pool_workers} pool worker(s)"
+            f"{store_note}); Ctrl-C to stop",
             file=out,
         )
         try:
@@ -722,20 +741,36 @@ def _command_worker(args: argparse.Namespace, out) -> int:
     if not cmd:
         print("error: worker run needs a command after --", file=sys.stderr)
         return 2
-    cluster = spawn_local_cluster(args.workers)
+    store_dir = None
+    if args.store:
+        import tempfile
+
+        store_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+    try:
+        cluster = spawn_local_cluster(
+            args.workers,
+            store_dir=store_dir.name if store_dir else None,
+        )
+    except BaseException:
+        if store_dir is not None:
+            store_dir.cleanup()
+        raise
     env = dict(os.environ)
     env["REPRO_EXECUTOR"] = "remote"
     env["REPRO_WORKERS_ADDRS"] = cluster.addr_spec
     env["REPRO_REMOTE_THRESHOLD"] = str(args.threshold)
+    sharded = " with shard stores" if args.store else ""
     print(
-        f"cluster of {args.workers} worker(s) at {cluster.addr_spec}; "
-        f"running: {' '.join(cmd)}",
+        f"cluster of {args.workers} worker(s){sharded} at "
+        f"{cluster.addr_spec}; running: {' '.join(cmd)}",
         file=out,
     )
     try:
         return subprocess.call(cmd, env=env)
     finally:
         cluster.stop()
+        if store_dir is not None:
+            store_dir.cleanup()
 
 
 def main(argv: list[str] | None = None, out=None) -> int:

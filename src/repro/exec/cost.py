@@ -91,6 +91,11 @@ REMOTE_CHUNK_COST = 500.0
 REMOTE_BYTE_COST = 0.001
 DEFAULT_REMOTE_RTT = 0.0005
 DEFAULT_REMOTE_BYTES_PER_ITEM = 512.0
+#: Key-only locality scatter (shard-resident workers): an item costs
+#: its key on the wire plus one indexed point load worker-side; until
+#: keyed batches accrue samples the default models a short entity key.
+DEFAULT_LOCALITY_BYTES_PER_ITEM = 64.0
+LOCALITY_LOAD_COST = 1.0
 #: Floor on the useful work one parallel task should carry; partition
 #: counts are capped so tasks stay at least this expensive.
 MIN_TASK_COST = {"thread": 2000.0, "process": 10000.0}
@@ -235,6 +240,7 @@ REMOTE_EWMA_ALPHA = 0.3
 _REMOTE_LOCK = threading.Lock()
 _remote_rtt: float | None = None
 _remote_bytes_per_item: float | None = None
+_locality_bytes_per_item: float | None = None
 
 
 def note_remote_sample(
@@ -265,12 +271,31 @@ def note_remote_sample(
                 )
 
 
+def note_locality_sample(bytes_per_item: float) -> None:
+    """Feed the locality tier one keyed-batch wire measurement.
+
+    Keyed chunks meter separately from tuple-shipped chunks: folding
+    them into :func:`note_remote_sample` would drag the tuple estimate
+    toward the key cost and erase the very difference the gate prices.
+    """
+    global _locality_bytes_per_item
+    with _REMOTE_LOCK:
+        if bytes_per_item is not None and bytes_per_item >= 0.0:
+            if _locality_bytes_per_item is None:
+                _locality_bytes_per_item = float(bytes_per_item)
+            else:
+                _locality_bytes_per_item += REMOTE_EWMA_ALPHA * (
+                    float(bytes_per_item) - _locality_bytes_per_item
+                )
+
+
 def reset_remote_samples() -> None:
     """Forget the observed RTT/bytes (tests; a new cluster topology)."""
-    global _remote_rtt, _remote_bytes_per_item
+    global _remote_rtt, _remote_bytes_per_item, _locality_bytes_per_item
     with _REMOTE_LOCK:
         _remote_rtt = None
         _remote_bytes_per_item = None
+        _locality_bytes_per_item = None
 
 
 def observed_remote_rtt() -> float:
@@ -323,6 +348,67 @@ def remote_worthwhile(size: int, workers: int) -> bool:
         return False
     profile = profile_for(size)
     return remote_cost(profile, workers) < estimate(profile)
+
+
+def observed_locality_bytes_per_item() -> float:
+    """The smoothed wire bytes per key-only shipped item."""
+    with _REMOTE_LOCK:
+        return (
+            DEFAULT_LOCALITY_BYTES_PER_ITEM
+            if _locality_bytes_per_item is None
+            else _locality_bytes_per_item
+        )
+
+
+def locality_cost(
+    profile: WorkloadProfile, workers: int, pending_items: int = 0
+) -> float:
+    """Estimated cost of a key-only scatter to shard-resident workers.
+
+    Same shape as :func:`remote_cost`, but an item ships as its key and
+    is point-loaded worker-side, and *pending_items* -- rows the shard
+    sync must still push before the batch can run keyed -- are charged
+    at the tuple-shipping byte rate (syncing them IS shipping them,
+    just once instead of per batch).
+    """
+    entities = max(int(profile.entities), 0)
+    total = estimate(profile)
+    chunks = min(max(int(workers), 1), max(entities, 1))
+    rtt_units = observed_remote_rtt() * 1e6
+    ship = entities * (
+        observed_locality_bytes_per_item() * REMOTE_BYTE_COST
+        + LOCALITY_LOAD_COST
+    )
+    sync = (
+        max(int(pending_items), 0)
+        * observed_remote_bytes_per_item()
+        * REMOTE_BYTE_COST
+    )
+    return (
+        REMOTE_BATCH_COST
+        + chunks * REMOTE_CHUNK_COST
+        + rtt_units
+        + ship
+        + sync
+        + total / chunks
+    )
+
+
+def locality_worthwhile(
+    size: int, workers: int, pending_items: int = 0
+) -> bool:
+    """Should a *size*-item batch ship keys instead of tuples?
+
+    ``True`` when the keyed estimate strictly beats both the
+    tuple-shipping remote estimate and the serial one -- locality must
+    win outright, otherwise the coordinator takes the already-proven
+    path.
+    """
+    if size <= 1 or workers < 1:
+        return False
+    profile = profile_for(size)
+    keyed = locality_cost(profile, workers, pending_items)
+    return keyed < remote_cost(profile, workers) and keyed < estimate(profile)
 
 
 # -- observed inputs and per-thread hints -------------------------------------

@@ -26,6 +26,13 @@ executors all spend the same machine.  This package carries the same
   when a payload cannot pickle or the cluster is gone.  Batches the
   cost model (:mod:`repro.exec.cost`, remote tier) prices below the
   wire overhead never leave the process.
+* :mod:`repro.exec.remote.shards` -- the coordinator-side ledger of the
+  data-locality layer: which relation versions each worker's shard
+  store holds, delta logs for O(delta) ``SHARD_SYNC`` pushes, and the
+  sync plans behind key-only ``KEY_BATCH`` scatter (workers started
+  with ``--store URL`` point-load their rows locally; any epoch
+  mismatch, dead worker or un-synced shard falls back to tuple
+  shipping).
 
 Whatever the cluster size and whatever fails mid-batch, the equivalence
 contract of :mod:`repro.exec` holds: results equal the serial path
@@ -41,6 +48,7 @@ from repro.exec.remote.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.exec.remote.shards import ShardSyncManager
 from repro.exec.remote.worker import (
     LocalCluster,
     WorkerServer,
@@ -52,6 +60,7 @@ __all__ = [
     "LocalCluster",
     "ProtocolError",
     "RemoteExecutor",
+    "ShardSyncManager",
     "WorkerClient",
     "WorkerServer",
     "recv_frame",

@@ -34,6 +34,22 @@ equivalence suites exercise the wire).  Unpicklable payloads, an empty
 worker list, and nested fan-out all fall back to a local adaptive
 executor transparently.
 
+When every worker owns a shard store (``repro worker serve --store``),
+callers that can describe items as entity keys use
+:meth:`~RemoteExecutor.map_encoded_keyed`: the coordinator first pushes
+O(delta) ``SHARD_SYNC`` operations bringing each store current on the
+referenced relations (:class:`~repro.exec.remote.shards.ShardSyncManager`
+plans them from published versions and dirty-key hints), then scatters
+``KEY_BATCH`` frames carrying key lists instead of tuple blobs; workers
+point-load their rows locally.  The locality tier of the cost model
+prices key bytes plus pending sync against tuple shipping
+(``REPRO_REMOTE_LOCALITY`` forces it ``on``/``off``).  Any epoch
+mismatch, un-synced shard, or worker death degrades that chunk -- or
+the whole batch -- to the tuple-shipping path above, so the equivalence
+contract never depends on store state.  ``exec.remote.locality_hits``/
+``locality_misses`` count the outcomes and ``exec.remote.bytes_saved``
+estimates the avoided traffic.
+
 Worker-side telemetry ships home with every reply: kernel-stats deltas
 are applied to the local counters (so ``EXPLAIN ANALYZE`` and the cost
 model see remote work), and tracing spans are re-parented under the
@@ -56,6 +72,7 @@ from repro.exec.executors import (
     note_parallel_batch,
 )
 from repro.exec.remote import protocol
+from repro.exec.remote.shards import ShardSyncManager
 from repro.exec.remote.worker import parse_address
 from repro.obs import tracing
 from repro.obs.registry import registry as _metrics_registry
@@ -90,9 +107,26 @@ _LOCAL_BATCHES = _METRICS.counter(
 _RTT_SECONDS = _METRICS.histogram(
     "exec.remote.rtt_seconds", "per-chunk round-trip latency"
 )
+_LOCALITY_HITS = _METRICS.counter(
+    "exec.remote.locality_hits",
+    "key-only chunks served from worker shard stores",
+)
+_LOCALITY_MISSES = _METRICS.counter(
+    "exec.remote.locality_misses",
+    "key-only chunks that fell back to tuple shipping",
+)
+_BYTES_SAVED = _METRICS.counter(
+    "exec.remote.bytes_saved",
+    "estimated wire bytes key-only scatter avoided",
+)
+
 
 class _UnshippableChunk(Exception):
     """Internal: a chunk's items could not pickle; the batch falls back."""
+
+
+class _ShardStale(Exception):
+    """Internal: a worker answered SHARD_STALE; re-ship the chunk as tuples."""
 
 
 #: Backoff before retrying a chunk on a survivor (seconds; grows
@@ -126,6 +160,12 @@ class WorkerClient:
         self.pid: int | None = None
         self.rtt: float | None = None
         self.in_flight = 0
+        #: Shard-store state (data locality): the worker's store URL and
+        #: its last acknowledged ``catalog_version`` (the epoch), plus
+        #: the coordinator-side relation versions this store holds.
+        self.store_url: str | None = None
+        self.store_epoch: int | None = None
+        self.shard_versions: dict[str, int] = {}
 
     def _dial(self):
         sock = socket.socket(self._family, socket.SOCK_STREAM)
@@ -161,6 +201,20 @@ class WorkerClient:
                 return False
             self._sock = sock
             self.pid = info.get("pid")
+            store_url = info.get("store")
+            store_epoch = info.get("store_epoch")
+            if (
+                store_url != self.store_url
+                or store_epoch != self.store_epoch
+            ):
+                # A different store, a restarted worker whose store
+                # changed, or out-of-band writes: everything we thought
+                # was synced may be stale.  (A persistent store whose
+                # epoch still matches keeps its synced state across
+                # reconnects.)
+                self.shard_versions = {}
+            self.store_url = store_url
+            self.store_epoch = store_epoch
             self.dead = False
         from repro.exec import cost as _cost
 
@@ -233,6 +287,80 @@ class WorkerClient:
             )
         return protocol.decode_result(reply)
 
+    def sync_shards(self, payload: bytes) -> dict:
+        """Push one SHARD_SYNC payload; returns the worker's reply dict.
+
+        The reply carries ``epoch`` (the store's new catalog version)
+        on success or ``error`` when the store could not apply the
+        operations; transport trouble raises for the caller's
+        dead-worker handling.  Sync bytes are real wire traffic and
+        meter into ``exec.remote.bytes_sent``/``bytes_received``.
+        """
+        with self._lock:
+            if self._sock is None:
+                raise ProtocolError(f"worker {self.address} is not connected")
+            self.in_flight += 1
+            try:
+                sent = protocol.send_frame(
+                    self._sock, protocol.FrameKind.SHARD_SYNC, payload
+                )
+                kind, reply, received = protocol.recv_frame(self._sock)
+            finally:
+                self.in_flight -= 1
+        _BYTES_SENT.inc(sent)
+        _BYTES_RECEIVED.inc(received)
+        if kind != protocol.FrameKind.SHARD_SYNC_REPLY:
+            raise ProtocolError(
+                f"expected SHARD_SYNC_REPLY, got {kind.name}"
+            )
+        return protocol.decode_info(reply, what="SHARD_SYNC_REPLY")
+
+    def run_chunk_keyed(
+        self, common_blob: bytes, spec_blob: bytes, n_items: int, trace: bool
+    ) -> tuple[list, tuple, object, int]:
+        """Ship one chunk as entity keys and block for its reply.
+
+        Returns ``(results, kernel_delta, spans, wire_bytes)`` -- the
+        extra element is the chunk's actual framed traffic, which the
+        caller compares against the tuple-shipping estimate for
+        ``exec.remote.bytes_saved``.  A ``SHARD_STALE`` reply raises
+        :class:`_ShardStale` (the caller re-ships the chunk as tuples);
+        a ``TASK_ERROR`` re-raises like :meth:`run_chunk`.  Keyed
+        traffic feeds the cost model's *locality* bytes-per-item
+        estimate, never the tuple-shipping one.
+        """
+        payload = protocol.encode_batch(common_blob, spec_blob, trace)
+        with self._lock:
+            if self._sock is None:
+                raise ProtocolError(f"worker {self.address} is not connected")
+            self.in_flight += 1
+            try:
+                started = time.perf_counter()
+                sent = protocol.send_frame(
+                    self._sock, protocol.FrameKind.KEY_BATCH, payload
+                )
+                kind, reply, received = protocol.recv_frame(self._sock)
+                elapsed = time.perf_counter() - started
+            finally:
+                self.in_flight -= 1
+        _BYTES_SENT.inc(sent)
+        _BYTES_RECEIVED.inc(received)
+        _RTT_SECONDS.observe(elapsed)
+        from repro.exec import cost as _cost
+
+        _cost.note_locality_sample((sent + received) / max(1, n_items))
+        if kind == protocol.FrameKind.SHARD_STALE:
+            info = protocol.decode_info(reply, what="SHARD_STALE")
+            raise _ShardStale(info.get("reason", "shard store is stale"))
+        if kind == protocol.FrameKind.TASK_ERROR:
+            raise protocol.decode_error(reply)
+        if kind != protocol.FrameKind.RESULT:
+            raise ProtocolError(
+                f"expected RESULT, TASK_ERROR or SHARD_STALE, got {kind.name}"
+            )
+        results, kernel_delta, spans = protocol.decode_result(reply)
+        return results, kernel_delta, spans, sent + received
+
     def mark_dead(self) -> None:
         """Declare the worker dead and close its socket (idempotent)."""
         with self._lock:
@@ -295,6 +423,7 @@ class RemoteExecutor(Executor):
         self._local = None
         self._dispatch_pool = None
         self._lock = threading.Lock()
+        self._shards = ShardSyncManager()
 
     # -- local fallback --------------------------------------------------------
 
@@ -471,6 +600,228 @@ class RemoteExecutor(Executor):
             # Prefer the survivor with the least queued work.
             client = min(survivors, key=lambda peer: peer.in_flight)
 
+    # -- shard locality --------------------------------------------------------
+
+    def publish_relation(self, relation, changed=None, removed=None) -> None:
+        """Register *relation* as shippable by key (with dirty hints).
+
+        Callers with precise dirty-key knowledge (the stream engine's
+        flush delta, ``Database.persist``) pass hints so only O(delta)
+        rows cross the wire on the next sync; without hints the manager
+        diffs against the previously published version.
+        """
+        self._shards.publish(relation, changed=changed, removed=removed)
+
+    def map_encoded_keyed(self, fn, common, specs, items) -> list:
+        """Like :meth:`map_encoded`, shipping entity keys when possible.
+
+        ``specs[i]`` describes ``items[i]`` as
+        ``[(relation_name, keys), ...]`` -- enough for a shard-resident
+        worker to rebuild the item from its local store.  Every
+        condition that rules out key-only scatter (no shard stores,
+        unpublished relations, stale epochs, cost gate, worker death
+        mid-batch) degrades to the tuple-shipping path, preserving the
+        bit-for-bit equivalence contract.
+        """
+        items = list(items)
+        if len(items) <= 1 or _task_depth() > 0:
+            note_inline_batch()
+            return [fn(common, item) for item in items]
+        results = self.submit_batch_keyed(fn, common, list(specs), items)
+        if results is not None:
+            return results
+        return self.map_encoded(fn, common, items)
+
+    def submit_batch_keyed(self, fn, common, specs, items) -> list | None:
+        """Scatter a batch as key lists; ``None`` defers to tuple shipping.
+
+        Whole-batch disqualifiers (locality disabled, a worker without
+        a store, an unpublished relation, a failed sync, the cost gate)
+        return ``None`` so the caller reuses :meth:`submit_batch`
+        unchanged; per-chunk trouble (stale epoch, worker death) is
+        handled inside :meth:`_run_chunk_resilient_keyed` without
+        abandoning the keyed batch.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if len(specs) != len(items):
+            return None
+        mode = os.environ.get("REPRO_REMOTE_LOCALITY", "").strip().lower()
+        if mode in ("0", "off", "no"):
+            return None
+        names: list = []
+        for spec in specs:
+            for name, _keys in spec:
+                if name not in names:
+                    names.append(name)
+        if not names:
+            return None
+        tracked = set(self._shards.names())
+        if any(name not in tracked for name in names):
+            return None
+        live = self._live_clients()
+        if not live or any(client.store_url is None for client in live):
+            return None
+        if mode not in ("1", "on", "force") and not self._worth_shipping_keyed(
+            len(items), live, names
+        ):
+            return None
+        synced = self._sync_clients(live, names)
+        if not synced:
+            return None
+        try:
+            common_blob = protocol.encode_common(fn, common)
+        except Exception:  # noqa: BLE001 -- any pickling failure: fall back
+            return None
+        paired = self._chunk(list(zip(specs, items)), len(synced))
+        trace = tracing.enabled()
+        note_parallel_batch(len(items))
+        _BATCHES.inc()
+        _TASKS.inc(len(items))
+        with tracing.span(
+            "exec.remote.scatter_keyed", chunks=len(paired), tasks=len(items)
+        ):
+            pool = self._ensure_dispatch_pool()
+            futures = [
+                pool.submit(
+                    self._run_chunk_resilient_keyed,
+                    common_blob,
+                    [spec for spec, _item in pair],
+                    [item for _spec, item in pair],
+                    synced,
+                    synced[index % len(synced)],
+                    trace,
+                )
+                for index, pair in enumerate(paired)
+            ]
+            gathered, first_error, unshippable = [], None, False
+            for future in futures:
+                try:
+                    gathered.append(future.result())
+                except _UnshippableChunk:
+                    unshippable = True
+                except BaseException as exc:  # noqa: BLE001 -- gather all first
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            if unshippable:
+                return None
+        results: list = []
+        for chunk_results, kernel_delta, spans in gathered:
+            results.extend(chunk_results)
+            if kernel_delta:
+                self._apply_kernel_delta(kernel_delta)
+            if spans:
+                tracing.ingest(spans)
+        return results
+
+    def _sync_clients(self, live, names) -> list | None:
+        """Bring every live client's shard store current on *names*.
+
+        Returns the clients whose stores now hold every referenced
+        relation at the published version (their ``store_epoch`` is
+        refreshed from the sync reply), or ``None`` when some name was
+        never published -- key-only scatter cannot serve it at all.  A
+        store that rejects a delta (pre-key-layout rows, out-of-band
+        damage) gets one full-snapshot retry before the client is
+        skipped for this batch.
+        """
+        synced: list = []
+        for client in live:
+            plan = self._shards.plan_for(client.shard_versions, names)
+            if plan is None:
+                return None
+            ops, new_versions = plan
+            force_full = False
+            while True:
+                if ops:
+                    try:
+                        reply = client.sync_shards(protocol.encode_sync(ops))
+                    except (ProtocolError, OSError):
+                        client.mark_dead()
+                        _WORKER_DEATHS.inc()
+                        break
+                    if "error" in reply:
+                        if force_full:
+                            break
+                        force_full = True
+                        plan = self._shards.plan_for(
+                            client.shard_versions, names, force_full=True
+                        )
+                        if plan is None:
+                            return None
+                        ops, new_versions = plan
+                        continue
+                    client.store_epoch = reply.get("epoch")
+                client.shard_versions.update(new_versions)
+                synced.append(client)
+                break
+        return synced
+
+    def _run_chunk_resilient_keyed(
+        self,
+        common_blob: bytes,
+        spec_chunk: list,
+        item_chunk: list,
+        synced: list,
+        client: WorkerClient,
+        trace: bool,
+    ) -> tuple[list, tuple | None, object]:
+        """Run one keyed chunk, degrading to tuple shipping on trouble.
+
+        A ``SHARD_STALE`` reply (epoch drift, missing rows) or running
+        out of synced survivors re-ships this chunk's *tuples* through
+        :meth:`_run_chunk_resilient` -- same items, same order, so the
+        gather contract is untouched.  Worker deaths retry the keyed
+        frame on synced survivors first, exactly like the tuple path's
+        retry ladder.
+        """
+        attempt = 0
+        while True:
+            if not client.dead:
+                spec_blob = protocol.encode_keyspec(
+                    client.store_epoch or 0, spec_chunk
+                )
+                try:
+                    results, kernel_delta, spans, wire = client.run_chunk_keyed(
+                        common_blob, spec_blob, len(item_chunk), trace
+                    )
+                except _ShardStale:
+                    _LOCALITY_MISSES.inc()
+                    return self._run_chunk_resilient(
+                        common_blob, item_chunk, client, trace
+                    )
+                except TaskDecodeError as exc:
+                    raise _UnshippableChunk(str(exc)) from exc
+                except (ProtocolError, OSError):
+                    client.mark_dead()
+                    _WORKER_DEATHS.inc()
+                else:
+                    _LOCALITY_HITS.inc()
+                    from repro.exec import cost as _cost
+
+                    saved = int(
+                        _cost.observed_remote_bytes_per_item()
+                        * len(item_chunk)
+                        - wire
+                    )
+                    if saved > 0:
+                        _BYTES_SAVED.inc(saved)
+                    return results, kernel_delta, spans
+            survivors = [peer for peer in synced if not peer.dead]
+            if not survivors:
+                # No synced store left: ship the tuples instead.
+                _LOCALITY_MISSES.inc()
+                return self._run_chunk_resilient(
+                    common_blob, item_chunk, client, trace
+                )
+            attempt += 1
+            _RETRIES.inc()
+            time.sleep(RETRY_BACKOFF * min(attempt, 5))
+            client = min(survivors, key=lambda peer: peer.in_flight)
+
     # -- policy ----------------------------------------------------------------
 
     def _worth_shipping(self, n_items: int) -> bool:
@@ -487,6 +838,36 @@ class RemoteExecutor(Executor):
         from repro.exec import cost as _cost
 
         return _cost.remote_worthwhile(n_items, max(1, len(self.addresses)))
+
+    def _worth_shipping_keyed(self, n_items: int, live, names) -> bool:
+        """The locality-tier cost gate: keys + pending sync vs tuples.
+
+        ``REPRO_REMOTE_THRESHOLD`` pins this gate too, so test runs
+        that force everything remote exercise the keyed path as well.
+        The pending-sync size is the worst lag across the live clients
+        -- every one of them must be brought current before the batch
+        scatters.
+        """
+        raw = os.environ.get("REPRO_REMOTE_THRESHOLD", "").strip()
+        if raw:
+            try:
+                return n_items >= int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_REMOTE_THRESHOLD must be an integer item count, "
+                    f"got {raw!r}"
+                ) from None
+        from repro.exec import cost as _cost
+
+        pending = 0
+        for client in live:
+            lag = self._shards.pending_items(client.shard_versions, names)
+            if lag is None:
+                return False
+            pending = max(pending, lag)
+        return _cost.locality_worthwhile(
+            n_items, max(1, len(self.addresses)), pending
+        )
 
     @staticmethod
     def _chunk(items: list, workers: int) -> list[list]:

@@ -65,6 +65,10 @@ class FrameKind(IntEnum):
     RESULT = 6         #: chunk results + worker-side telemetry
     TASK_ERROR = 7     #: the task itself raised (deterministic; no retry)
     SHUTDOWN = 8       #: coordinator -> worker: stop serving
+    SHARD_SYNC = 9     #: coordinator -> worker: shard-store delta/snapshot ops
+    SHARD_SYNC_REPLY = 10  #: worker -> coordinator: {epoch} or {error}
+    KEY_BATCH = 11     #: a chunk shipped as entity keys, not tuples
+    SHARD_STALE = 12   #: worker -> coordinator: cannot serve the keys locally
 
 
 def send_frame(sock, kind: FrameKind, payload: bytes) -> int:
@@ -219,16 +223,71 @@ def decode_error(payload: bytes) -> BaseException:
 
 
 def encode_info(info: dict) -> bytes:
-    """Pickle a HELLO_REPLY payload (a small plain dict)."""
+    """Pickle a small plain-dict payload (HELLO_REPLY and friends)."""
     return pickle.dumps(info, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_info(payload: bytes) -> dict:
-    """Unpickle a HELLO_REPLY payload."""
+def decode_info(payload: bytes, what: str = "HELLO_REPLY") -> dict:
+    """Unpickle a plain-dict payload (HELLO_REPLY, SHARD_SYNC_REPLY,
+    SHARD_STALE)."""
     try:
         info = pickle.loads(payload)
     except Exception as exc:  # noqa: BLE001 -- see decode_result
-        raise ProtocolError(f"undecodable HELLO_REPLY payload: {exc}") from exc
+        raise ProtocolError(f"undecodable {what} payload: {exc}") from exc
     if not isinstance(info, dict):
-        raise ProtocolError(f"HELLO_REPLY payload is not a dict: {info!r}")
+        raise ProtocolError(f"{what} payload is not a dict: {info!r}")
     return info
+
+
+# -- shard locality -----------------------------------------------------------
+#
+# The data-locality layer pairs a worker-owned SQLite shard store with
+# two extra exchanges:
+#
+# * ``SHARD_SYNC`` ships a list of store operations -- ``("full", name,
+#   relation)`` snapshots or ``("delta", name, schema, upserts,
+#   removed)`` dirty-key deltas -- and the worker answers with a
+#   ``SHARD_SYNC_REPLY`` carrying the store's new ``catalog_version``
+#   (the *epoch*) or an ``error`` string;
+# * ``KEY_BATCH`` reuses the BATCH payload layout, but the per-chunk
+#   blob holds ``(epoch, specs)`` instead of pickled items: the worker
+#   point-loads each spec's ``(relation_name, keys)`` rows from its
+#   store, rebuilding the chunk's items locally.  Any mismatch (wrong
+#   epoch, unknown relation, missing key) answers ``SHARD_STALE`` and
+#   the coordinator re-ships the chunk as tuples.
+
+
+def encode_sync(ops: list) -> bytes:
+    """Pickle a SHARD_SYNC payload (a list of store operations)."""
+    return pickle.dumps(ops, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_sync(payload: bytes) -> list:
+    """Unpickle a SHARD_SYNC payload.
+
+    Sync operations carry only :mod:`repro.model` values (relations,
+    tuples, schemas, keys), which always import on a worker; a failure
+    here is wire-level corruption, not a task problem.
+    """
+    try:
+        ops = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 -- see decode_result
+        raise ProtocolError(f"undecodable SHARD_SYNC payload: {exc}") from exc
+    if not isinstance(ops, list):
+        raise ProtocolError(f"SHARD_SYNC payload is not a list: {ops!r}")
+    return ops
+
+
+def encode_keyspec(epoch: int, specs: list) -> bytes:
+    """Pickle a KEY_BATCH chunk blob: the expected store epoch plus one
+    ``[(relation_name, keys), ...]`` spec per item."""
+    return pickle.dumps((int(epoch), specs), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_keyspec(blob: bytes) -> tuple[int, list]:
+    """Unpickle a KEY_BATCH chunk blob into ``(epoch, specs)``."""
+    try:
+        epoch, specs = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 -- keys are plain atoms; see decode_sync
+        raise ProtocolError(f"undecodable KEY_BATCH spec: {exc}") from exc
+    return int(epoch), list(specs)

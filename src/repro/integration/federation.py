@@ -274,9 +274,34 @@ class Federation:
             # header are picklable by construction, so the fold can
             # scatter across worker daemons; in-process executors keep
             # the closure path below (nothing to pickle).
-            outcomes = executor.map_encoded(
-                _integrate_shard, common, shard_rows
-            )
+            keyed = getattr(executor, "map_encoded_keyed", None)
+            publish = getattr(executor, "publish_relation", None)
+            source_names = [source.relation.name for source in sources]
+            if (
+                keyed is not None
+                and publish is not None
+                and len(set(source_names)) == len(source_names)
+            ):
+                # Shard-resident workers can rebuild each shard row from
+                # entity keys alone, so publish the source relations and
+                # scatter key lists; the executor transparently ships
+                # tuples instead whenever locality cannot serve the
+                # batch.  Duplicate source relation names would alias in
+                # the per-name shard stores, so they keep tuple shipping.
+                for source in sources:
+                    publish(source.relation)
+                specs = [
+                    tuple(
+                        (source_names[j], tuple(row[j].keys()))
+                        for j in range(len(sources))
+                    )
+                    for row in shard_rows
+                ]
+                outcomes = keyed(_integrate_shard, common, specs, shard_rows)
+            else:
+                outcomes = executor.map_encoded(
+                    _integrate_shard, common, shard_rows
+                )
         else:
 
             def shard_task(row):

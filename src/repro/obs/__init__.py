@@ -41,6 +41,9 @@ exec.remote.worker_deaths               counter    workers declared dead mid-bat
 exec.remote.fallbacks                   counter    batches run locally (no workers / unpicklable)
 exec.remote.local_batches               counter    batches the cost model kept below the wire
 exec.remote.rtt_seconds                 histogram  per-chunk round-trip latency
+exec.remote.locality_hits               counter    key-only chunks served from worker shard stores
+exec.remote.locality_misses             counter    key-only chunks that fell back to tuple shipping
+exec.remote.bytes_saved                 counter    estimated wire bytes key-only scatter avoided
 session.queries                         counter    queries executed, summed over live sessions
 session.plans_built                     counter    plans compiled (cache misses)
 session.plan_cache_hits                 counter    plan-cache hits

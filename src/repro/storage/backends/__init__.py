@@ -108,13 +108,28 @@ def open_database(url):
     through it, ``db.reload()`` refreshes from it, ``db.close()``
     releases it.  Raises :class:`SerializationError` when the location
     holds no store.
+
+    Backends advertising ``lazy_catalog`` (SQLite) open with name stubs
+    instead of parsing every relation up front; each relation loads on
+    first access.  ``REPRO_LAZY_CATALOG=0`` restores the eager load.
     """
     backend = resolve_backend(url)
     if not backend.exists():
         raise SerializationError(f"no database at {backend.url()}")
     backend.open()
     try:
-        database = backend.load_database()
+        lazy = (
+            backend.lazy_catalog
+            and os.environ.get("REPRO_LAZY_CATALOG", "").strip() != "0"
+        )
+        if lazy:
+            from repro.storage.database import Database
+
+            database = Database(backend.database_name())
+            database._pending = set(backend.list_relations())
+            database._version = max(0, backend.catalog_version())
+        else:
+            database = backend.load_database()
     except Exception:
         backend.close()
         raise

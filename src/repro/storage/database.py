@@ -42,6 +42,10 @@ class Database:
     def __init__(self, name: str = "db"):
         self._name = str(name)
         self._relations: dict[str, ExtendedRelation] = {}
+        #: Names the attached store holds but this catalog has not read
+        #: yet (lazy open): materialized on first access, disjoint from
+        #: ``_relations`` by construction.
+        self._pending: set[str] = set()
         self._version = 0
         self._changed: dict[str, int] = {}
         self._listeners: list = []
@@ -63,6 +67,12 @@ class Database:
         too.  The catalog version is seeded from the backend, so
         sessions never confuse results cached against an earlier
         incarnation of the store.
+
+        Backends that support it (``lazy_catalog``, e.g. SQLite) open
+        lazily: the catalog holds name stubs and each relation's rows
+        are parsed on first access, so opening a large store to query
+        one relation reads one relation.  ``REPRO_LAZY_CATALOG=0``
+        forces the historical eager load.
         """
         from repro.storage.backends import open_database
 
@@ -90,6 +100,23 @@ class Database:
         :class:`CatalogError` when no backend is attached.
         """
         self._require_backend().save_database(self, partitions=partitions)
+        self._publish_remote_shards()
+
+    def _publish_remote_shards(self) -> None:
+        """Register the persisted relations with a locality-aware executor.
+
+        After a full persist the catalog is the ground truth, so a
+        remote executor with shard-resident workers (``publish_relation``
+        hook) learns every relation's current version; in-process
+        executors have no such hook and this is a no-op.
+        """
+        from repro.exec.executors import get_executor
+
+        publish = getattr(get_executor(), "publish_relation", None)
+        if publish is None:
+            return
+        for relation in self:
+            publish(relation)
 
     def reload(self) -> frozenset:
         """Re-read the attached store, refreshing changed relations.
@@ -108,10 +135,18 @@ class Database:
             # Sorted: drop order reaches catalog listeners and the
             # returned name set's insertion order, and must not depend
             # on set iteration order.
-            for name in sorted(set(self._relations) - set(fresh.names())):
+            stale = (set(self._relations) | self._pending) - set(fresh.names())
+            for name in sorted(stale):
                 self.drop(name)
                 touched.append(name)
             for relation in fresh:
+                if relation.name in self._pending:
+                    # Never materialized, so nothing can hold a stale
+                    # view of it: install silently, exactly as first
+                    # access would have.
+                    self._pending.discard(relation.name)
+                    self._relations[relation.name] = relation
+                    continue
                 current = self._relations.get(relation.name)
                 if current is None or current != relation:
                     self._install(relation)
@@ -120,8 +155,15 @@ class Database:
         return frozenset(touched)
 
     def close(self) -> None:
-        """Release the attached backend (no-op when none is attached)."""
+        """Release the attached backend (no-op when none is attached).
+
+        A detached database must stay fully readable, so any lazy
+        stubs materialize first, while the backend can still serve
+        them (callers wanting to stay lazy keep the backend attached).
+        """
         if self._backend is not None:
+            for name in sorted(self._pending):
+                self._materialize(name)
             self._backend.close()
             self._backend = None
 
@@ -172,9 +214,12 @@ class Database:
         """Insert without name validation (deserialization trusts saved
         files, which may predate the identifier rule)."""
         name = relation.name
-        if name in self._relations:
+        if name in self._relations or name in self._pending:
+            # A pending stub counts as existing: replacing it changes
+            # the meaning of the name for anyone who resolved it.
             self._version += 1
             self._changed[name] = self._version
+        self._pending.discard(name)
         self._relations[name] = relation
         self._notify(name)
 
@@ -259,44 +304,66 @@ class Database:
             callback(names)
 
     def get(self, name: str) -> ExtendedRelation:
-        """The relation registered under *name*."""
+        """The relation registered under *name*.
+
+        A lazily-opened catalog materializes the relation from the
+        attached store on first access (no version bump, no listener
+        notification -- nothing can hold a stale view of a relation
+        that was never loaded).
+        """
         try:
             return self._relations[name]
         except KeyError:
-            known = ", ".join(sorted(self._relations)) or "(none)"
+            if name in self._pending:
+                return self._materialize(name)
+            known_names = set(self._relations) | self._pending
+            known = ", ".join(sorted(known_names)) or "(none)"
             raise CatalogError(
                 f"no relation {name!r} in database {self._name!r} "
-                f"(known: {known}){_did_you_mean(name, self._relations)}"
+                f"(known: {known}){_did_you_mean(name, known_names)}"
             ) from None
+
+    def _materialize(self, name: str) -> ExtendedRelation:
+        """Load a pending stub's relation from the attached store."""
+        relation = self._require_backend().load_relation(name)
+        self._pending.discard(name)
+        self._relations[name] = relation
+        return relation
 
     def drop(self, name: str) -> None:
         """Remove the relation registered under *name*."""
-        if name not in self._relations:
+        if name in self._pending:
+            # Dropping an unmaterialized stub never reads its rows.
+            self._pending.discard(name)
+        elif name in self._relations:
+            del self._relations[name]
+        else:
+            known_names = set(self._relations) | self._pending
             raise CatalogError(
                 f"cannot drop unknown relation {name!r} from "
-                f"{self._name!r}{_did_you_mean(name, self._relations)}"
+                f"{self._name!r}{_did_you_mean(name, known_names)}"
             )
-        del self._relations[name]
         self._version += 1
         self._changed[name] = self._version
         self._notify(name)
 
     def names(self) -> tuple[str, ...]:
         """All registered relation names, sorted."""
-        return tuple(sorted(self._relations))
+        return tuple(sorted(set(self._relations) | self._pending))
 
     def relations(self) -> tuple[ExtendedRelation, ...]:
-        """All registered relations, sorted by name."""
-        return tuple(self._relations[name] for name in self.names())
+        """All registered relations, sorted by name (materializes any
+        pending stubs)."""
+        return tuple(self.get(name) for name in self.names())
 
     def __contains__(self, name: object) -> bool:
-        return name in self._relations
+        return name in self._relations or name in self._pending
 
     def __iter__(self) -> Iterator[ExtendedRelation]:
         return iter(self.relations())
 
     def __len__(self) -> int:
-        return len(self._relations)
+        return len(self._relations) + len(self._pending)
 
     # -- the query engine ---------------------------------------------------
 
@@ -336,4 +403,4 @@ class Database:
         return self.session().explain(text)
 
     def __repr__(self) -> str:
-        return f"Database({self._name!r}, {len(self._relations)} relations)"
+        return f"Database({self._name!r}, {len(self)} relations)"

@@ -687,6 +687,18 @@ class StreamEngine:
             self._published_once = True
             self._stats.publishes += 1
             self._db.add(relation, replace=True)
+        # Feed the executor's shard-locality ledger (if the executor has
+        # one) with this flush's precise dirty keys, so shard-resident
+        # remote workers receive an O(delta) sync instead of a snapshot
+        # before the next key-only scatter.  Quiet flushes no-op inside
+        # the manager.
+        publish = getattr(get_executor(), "publish_relation", None)
+        if publish is not None:
+            publish(
+                relation,
+                changed=tuple(delta.inserted) + tuple(delta.updated),
+                removed=delta.removed,
+            )
         if profiling:
             done = time.perf_counter()
             profile = FlushProfile(
